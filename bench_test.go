@@ -1,0 +1,335 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The corpus/budget sizes are scaled for laptop runs; the reported
+// custom metrics (solved fractions, alternation ratios) carry the
+// paper-shape comparisons, while ns/op carries the raw cost. Use
+// cmd/mbabench for full-size, human-readable tables.
+package mbasolver
+
+import (
+	"fmt"
+	"testing"
+
+	"mbasolver/internal/core"
+	"mbasolver/internal/gen"
+	"mbasolver/internal/harness"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/sat"
+	"mbasolver/internal/smt"
+	"mbasolver/internal/truthtable"
+)
+
+// benchCorpus returns a deterministic miniature corpus.
+func benchCorpus(n int) []gen.Sample {
+	return gen.New(gen.Config{Seed: 1}).Corpus(n)
+}
+
+func benchConfig() harness.Config {
+	// Small width and budget keep every single-iteration bench run in
+	// seconds; scale up alongside cmd/mbabench for bigger machines.
+	return harness.Config{Width: 8, Budget: smt.Budget{Conflicts: 3000}}
+}
+
+func solvedFraction(outs []harness.Outcome) float64 {
+	solved := 0
+	for _, o := range outs {
+		if o.Solved() {
+			solved++
+		}
+	}
+	return float64(solved) / float64(len(outs))
+}
+
+// BenchmarkTable1CorpusMetrics measures corpus generation plus metric
+// extraction (the paper's Table 1 pipeline) and reports the average
+// alternation per category.
+func BenchmarkTable1CorpusMetrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples := benchCorpus(20)
+		sums := map[metrics.Kind]int{}
+		counts := map[metrics.Kind]int{}
+		for _, s := range samples {
+			sums[s.Kind] += metrics.Alternation(s.Obfuscated)
+			counts[s.Kind]++
+		}
+		if i == 0 {
+			b.ReportMetric(float64(sums[metrics.KindLinear])/float64(counts[metrics.KindLinear]), "linAlt/avg")
+			b.ReportMetric(float64(sums[metrics.KindNonPoly])/float64(counts[metrics.KindNonPoly]), "nonpolyAlt/avg")
+		}
+	}
+}
+
+// BenchmarkTable2Baseline runs the raw-corpus solver study (Table 2) —
+// per solver sub-benchmarks reporting the solved fraction.
+func BenchmarkTable2Baseline(b *testing.B) {
+	samples := benchCorpus(4)
+	for _, sv := range smt.All() {
+		b.Run(sv.Name(), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				outs := harness.RunBaseline(samples, []*smt.Solver{sv}, benchConfig())
+				frac = solvedFraction(outs)
+			}
+			b.ReportMetric(frac, "solved/frac")
+		})
+	}
+}
+
+// BenchmarkFigure3AlternationBuckets measures the metric-bucketing
+// analysis behind Figure 3.
+func BenchmarkFigure3AlternationBuckets(b *testing.B) {
+	samples := benchCorpus(4)
+	outs := harness.RunBaseline(samples, smt.All(), benchConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harness.Figure3(outs)
+	}
+}
+
+// BenchmarkFigure4Distribution measures the per-solver distribution
+// rendering of Figure 4.
+func BenchmarkFigure4Distribution(b *testing.B) {
+	samples := benchCorpus(4)
+	outs := harness.RunBaseline(samples, smt.All(), benchConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harness.Figure4(outs, []string{"z3sim", "stpsim", "btorsim"})
+	}
+}
+
+// BenchmarkTable6Simplified runs the simplify-then-solve pipeline
+// (Table 6); the solved fraction should approach 1.0, in contrast to
+// BenchmarkTable2Baseline.
+func BenchmarkTable6Simplified(b *testing.B) {
+	samples := benchCorpus(4)
+	for _, sv := range smt.All() {
+		b.Run(sv.Name(), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				outs := harness.RunSimplified(samples, []*smt.Solver{sv}, benchConfig())
+				frac = solvedFraction(outs)
+			}
+			b.ReportMetric(frac, "solved/frac")
+		})
+	}
+}
+
+// BenchmarkTable7Peers runs the peer-tool comparison (Table 7),
+// reporting each tool's correct-simplification ratio.
+func BenchmarkTable7Peers(b *testing.B) {
+	samples := benchCorpus(2)
+	solvers := smt.All()
+	cfg := benchConfig()
+	for _, tool := range harness.DefaultTools(cfg.Width) {
+		b.Run(tool.Name, func(b *testing.B) {
+			var row harness.PeerRow
+			for i := 0; i < b.N; i++ {
+				rows := harness.RunPeers(samples, []harness.Tool{tool}, solvers, cfg)
+				row = rows[0]
+			}
+			total := row.Correct + row.Wrong + row.Out
+			b.ReportMetric(float64(row.Correct)/float64(total), "correct/frac")
+			if row.AltBefore > 0 {
+				b.ReportMetric(row.AltAfter/row.AltBefore, "altAfterOverBefore")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6Z3AfterSimplification measures single simplified
+// queries under the z3sim personality (the Figure 6 population).
+func BenchmarkFigure6Z3AfterSimplification(b *testing.B) {
+	samples := benchCorpus(4)
+	simplified := harness.SimplifyAll(samples, 0)
+	sv := smt.NewZ3Sim()
+	cfg := benchConfig()
+	b.ResetTimer()
+	solved := 0
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s := samples[i%len(samples)]
+		res := sv.CheckEquiv(simplified[s.ID], s.Ground, cfg.Width, cfg.Budget)
+		n++
+		if res.Status == smt.Equivalent {
+			solved++
+		}
+	}
+	b.ReportMetric(float64(solved)/float64(n), "solved/frac")
+}
+
+// BenchmarkTable8SimplifierCost profiles MBA-Solver itself per input
+// alternation band (Table 8). b.ReportAllocs carries the memory
+// column.
+func BenchmarkTable8SimplifierCost(b *testing.B) {
+	g := gen.New(gen.Config{Seed: 7})
+	buckets := map[int][]*gen.Sample{}
+	for draws := 0; draws < 4000; draws++ {
+		s := g.NonPoly()
+		alt := metrics.Alternation(s.Obfuscated)
+		for _, t := range []int{10, 20, 30, 40} {
+			if alt >= t-4 && alt <= t+4 && len(buckets[t]) < 10 {
+				sc := s
+				buckets[t] = append(buckets[t], &sc)
+			}
+		}
+	}
+	for _, t := range []int{10, 20, 30, 40} {
+		inputs := buckets[t]
+		b.Run(fmt.Sprintf("alternation=%d", t), func(b *testing.B) {
+			if len(inputs) == 0 {
+				b.Skip("no samples in bucket")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := core.Default()
+				s.Simplify(inputs[i%len(inputs)].Obfuscated)
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks for the core machinery ---
+
+// BenchmarkSignatureVector measures one signature computation (the
+// inner loop of both the simplifier and the generator).
+func BenchmarkSignatureVector(b *testing.B) {
+	e := parser.MustParse("2*(x|y) - (~x&y) - (x&~y) + 7*(x^y) - 3*(x&y)")
+	vars := []string{"x", "y"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		truthtable.Compute(e, vars, 64)
+	}
+}
+
+// BenchmarkSimplifyLinear measures end-to-end linear simplification
+// with a warm look-up table.
+func BenchmarkSimplifyLinear(b *testing.B) {
+	s := core.Default()
+	e := parser.MustParse("2*(x|y) - (~x&y) - (x&~y) + 7*(x^y) - 7*(x^y)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Simplify(e)
+	}
+}
+
+// BenchmarkSimplifyPoly measures the §4.4 polynomial pipeline on the
+// Figure 1 equation.
+func BenchmarkSimplifyPoly(b *testing.B) {
+	s := core.Default()
+	e := parser.MustParse("(x&~y)*(~x&y) + (x&y)*(x|y)")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Simplify(e)
+	}
+}
+
+// BenchmarkSATPigeonhole measures the raw CDCL engine on a canonical
+// UNSAT family (7 pigeons, 6 holes).
+func BenchmarkSATPigeonhole(b *testing.B) {
+	const pigeons, holes = 7, 6
+	for i := 0; i < b.N; i++ {
+		s := sat.New(sat.DefaultOptions())
+		va := func(p, h int) sat.Lit { return sat.MkLit(sat.Var(p*holes+h), false) }
+		for v := 0; v < pigeons*holes; v++ {
+			s.NewVar()
+		}
+		for p := 0; p < pigeons; p++ {
+			cl := make([]sat.Lit, holes)
+			for h := 0; h < holes; h++ {
+				cl[h] = va(p, h)
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 < pigeons; p1++ {
+				for p2 := p1 + 1; p2 < pigeons; p2++ {
+					s.AddClause(va(p1, h).Not(), va(p2, h).Not())
+				}
+			}
+		}
+		if s.Solve(sat.Budget{}) != sat.Unsat {
+			b.Fatal("pigeonhole must be unsat")
+		}
+	}
+}
+
+// BenchmarkBitblastMultiplier measures CNF generation for a 16-bit
+// multiplier equivalence query.
+func BenchmarkBitblastMultiplier(b *testing.B) {
+	lhs := parser.MustParse("x*y")
+	rhs := parser.MustParse("y*x")
+	sv := smt.NewBoolectorSim()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sv.CheckEquiv(lhs, rhs, 16, smt.Budget{Conflicts: 1})
+	}
+}
+
+// --- Ablation benches for the DESIGN.md §4 design choices ---
+
+// BenchmarkAblationLookupTable compares simplification with and
+// without the signature look-up table (§4.5).
+func BenchmarkAblationLookupTable(b *testing.B) {
+	inputs := make([]*gen.Sample, 0, 16)
+	g := gen.New(gen.Config{Seed: 9})
+	for i := 0; i < 16; i++ {
+		s := g.Linear()
+		inputs = append(inputs, &s)
+	}
+	for _, disabled := range []bool{false, true} {
+		name := "table=on"
+		if disabled {
+			name = "table=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := core.New(core.Options{DisableTable: disabled})
+			for i := 0; i < b.N; i++ {
+				s.Simplify(inputs[i%len(inputs)].Obfuscated)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCSE compares the common-sub-expression optimization
+// on the paper's §4.5 worked example shape.
+func BenchmarkAblationCSE(b *testing.B) {
+	e := parser.MustParse("(((x&~y) - (~x&y))|z) + (((x&~y) - (~x&y))&z)")
+	for _, disabled := range []bool{false, true} {
+		name := "cse=on"
+		if disabled {
+			name = "cse=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := core.New(core.Options{DisableCSE: disabled})
+			for i := 0; i < b.N; i++ {
+				s.Simplify(e)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBasis compares the conjunction basis (Table 4)
+// against the disjunction basis (Table 9, §7 discussion).
+func BenchmarkAblationBasis(b *testing.B) {
+	inputs := make([]*gen.Sample, 0, 16)
+	g := gen.New(gen.Config{Seed: 11})
+	for i := 0; i < 16; i++ {
+		s := g.Linear()
+		inputs = append(inputs, &s)
+	}
+	for _, basis := range []core.Basis{core.BasisConjunction, core.BasisDisjunction} {
+		b.Run("basis="+basis.String(), func(b *testing.B) {
+			s := core.New(core.Options{Basis: basis})
+			for i := 0; i < b.N; i++ {
+				s.Simplify(inputs[i%len(inputs)].Obfuscated)
+			}
+		})
+	}
+}

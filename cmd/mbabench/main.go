@@ -1,0 +1,152 @@
+// Command mbabench reruns the paper's experiments and prints each
+// table and figure in the paper's shape.
+//
+// Usage:
+//
+//	mbabench [-exp all|table1|table2|figure3|figure4|table6|table7|figure6|table8]
+//	         [-n 100] [-seed 1] [-width 8] [-conflicts 30000] [-timeout 0]
+//	         [-corpus file]
+//
+// -n is the per-category corpus size (the paper uses 1000; the default
+// of 100 finishes in minutes on a laptop). -conflicts is the per-query
+// CDCL budget standing in for the paper's 1-hour wall-clock timeout;
+// -timeout adds a wall-clock bound per query (seconds, 0 = none).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/harness"
+	"mbasolver/internal/smt"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, table1, table2, figure3, figure4, table6, table7, figure6, table8, ablation")
+	n := flag.Int("n", 100, "corpus samples per category")
+	seed := flag.Int64("seed", 1, "corpus generator seed")
+	width := flag.Uint("width", 8, "solver bitvector width")
+	conflicts := flag.Int64("conflicts", 30000, "per-query CDCL conflict budget (the scaled-down 1-hour timeout)")
+	timeout := flag.Float64("timeout", 0, "per-query wall-clock budget in seconds (0 = none)")
+	corpusFile := flag.String("corpus", "", "load corpus from file instead of generating")
+	csvOut := flag.String("csv", "", "also export raw per-query outcomes as CSV to this file")
+	flag.Parse()
+
+	var samples []gen.Sample
+	if *corpusFile != "" {
+		f, err := os.Open(*corpusFile)
+		if err != nil {
+			fatal(err)
+		}
+		samples, err = gen.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		samples = gen.New(gen.Config{Seed: *seed}).Corpus(*n)
+	}
+
+	cfg := harness.Config{
+		Width: *width,
+		Budget: smt.Budget{
+			Conflicts: *conflicts,
+			Timeout:   time.Duration(*timeout * float64(time.Second)),
+		},
+	}
+	solvers := smt.All()
+	names := make([]string, len(solvers))
+	for i, s := range solvers {
+		names[i] = s.Name()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println(harness.Table1(samples))
+	}
+
+	var baseline []harness.Outcome
+	needBaseline := want("table2") || want("figure3") || want("figure4")
+	if needBaseline {
+		ran = true
+		step("running baseline solvers on %d equations (width %d, %d conflicts)...",
+			len(samples), *width, *conflicts)
+		baseline = harness.RunBaseline(samples, solvers, cfg)
+	}
+	if want("table2") {
+		fmt.Println(harness.SolverTable("Table 2: solvers on the raw MBA corpus", baseline, names))
+	}
+	if want("figure3") {
+		fmt.Println(harness.Figure3(baseline))
+		fmt.Println(harness.PlotFigure3(baseline))
+	}
+	if want("figure4") {
+		fmt.Println(harness.Figure4(baseline, names))
+		fmt.Println(harness.PlotFigure4(baseline, names))
+	}
+	if *csvOut != "" && baseline != nil {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := harness.WriteOutcomesCSV(f, baseline); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		step("wrote raw outcomes to %s", *csvOut)
+	}
+
+	var simplified []harness.Outcome
+	if want("table6") || want("figure6") {
+		ran = true
+		step("running solvers on MBA-Solver-simplified corpus...")
+		simplified = harness.RunSimplified(samples, solvers, cfg)
+	}
+	if want("table6") {
+		fmt.Println(harness.SolverTable("Table 6: solvers on MBA-Solver's simplification result", simplified, names))
+	}
+	if want("figure6") {
+		fmt.Println(harness.Figure6(simplified))
+		fmt.Println(harness.PlotFigure6(simplified))
+	}
+
+	if want("table7") {
+		ran = true
+		step("running peer-tool comparison (SSPAM, Syntia, MBA-Solver)...")
+		rows := harness.RunPeers(samples, harness.DefaultTools(*width), solvers, cfg)
+		fmt.Println(harness.Table7(rows, names))
+	}
+
+	if want("ablation") {
+		ran = true
+		step("running simplifier ablation...")
+		fmt.Println(harness.AblationTable(harness.RunAblation(samples)))
+	}
+
+	if want("table8") {
+		ran = true
+		step("profiling MBA-Solver by input alternation...")
+		rows := harness.ProfileSimplifier(gen.New(gen.Config{Seed: *seed + 7}), 20)
+		fmt.Println(harness.Table8(rows))
+	}
+
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func step(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "== "+strings.TrimSpace(format)+"\n", args...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbabench:", err)
+	os.Exit(1)
+}

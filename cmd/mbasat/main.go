@@ -1,0 +1,81 @@
+// Command mbasat is a standalone DIMACS CNF solver over the in-tree
+// CDCL engine, with optional DRAT proof output.
+//
+// Usage:
+//
+//	mbasat [-proof out.drat] [-conflicts N] [-luby=false] [file.cnf]
+//
+// Prints "s SATISFIABLE" with a "v ..." model line, "s UNSATISFIABLE",
+// or "s UNKNOWN" when the budget runs out; exit codes follow the SAT
+// competition convention (10 / 20 / 0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mbasolver/internal/sat"
+)
+
+func main() {
+	proofPath := flag.String("proof", "", "write a DRAT proof to this file (UNSAT runs)")
+	conflicts := flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+	luby := flag.Bool("luby", true, "Luby restarts (false = geometric)")
+	flag.Parse()
+
+	opts := sat.DefaultOptions()
+	opts.RestartLuby = *luby
+	solver := sat.New(opts)
+
+	if *proofPath != "" {
+		f, err := os.Create(*proofPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		solver.SetProofWriter(f)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if _, err := sat.ParseDIMACS(solver, in); err != nil {
+		fatal(err)
+	}
+
+	switch solver.Solve(sat.Budget{Conflicts: *conflicts}) {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		var sb strings.Builder
+		sb.WriteString("v")
+		for i, val := range solver.Model() {
+			lit := i + 1
+			if !val {
+				lit = -lit
+			}
+			fmt.Fprintf(&sb, " %d", lit)
+		}
+		sb.WriteString(" 0")
+		fmt.Println(sb.String())
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbasat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command mbasmt is a command-line SMT solver for the QF_BV subset of
+// SMT-LIB v2 that MBA equations use, driven by one of the in-tree
+// solver personalities.
+//
+// Usage:
+//
+//	mbasmt [-solver z3sim|stpsim|btorsim] [-conflicts N] [-timeout SECONDS]
+//	       [-simplify] [file.smt2]
+//
+// Reads the script from the file (or stdin), prints sat/unsat/unknown,
+// and a model when the script asked for one. With -simplify, asserted
+// disequalities between bitvector terms are first run through
+// MBA-Solver — the paper's preprocessing pipeline as a solver flag.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/smt"
+	"mbasolver/internal/smtlib"
+)
+
+func main() {
+	solverName := flag.String("solver", "btorsim", "personality: z3sim, stpsim or btorsim")
+	conflicts := flag.Int64("conflicts", 0, "CDCL conflict budget (0 = unlimited)")
+	timeout := flag.Float64("timeout", 0, "wall-clock budget in seconds (0 = unlimited)")
+	simplify := flag.Bool("simplify", false, "run MBA-Solver preprocessing on asserted (dis)equalities")
+	flag.Parse()
+
+	var solver *smt.Solver
+	switch *solverName {
+	case "z3sim":
+		solver = smt.NewZ3Sim()
+	case "stpsim":
+		solver = smt.NewSTPSim()
+	case "btorsim":
+		solver = smt.NewBoolectorSim()
+	default:
+		fatal(fmt.Errorf("unknown solver %q", *solverName))
+	}
+
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	script, err := smtlib.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	assertions := script.Assertions
+	if *simplify {
+		assertions = preprocess(assertions)
+	}
+
+	res := solver.SolveAssertions(assertions, smt.Budget{
+		Conflicts: *conflicts,
+		Timeout:   time.Duration(*timeout * float64(time.Second)),
+	})
+	fmt.Println(res.Status)
+	if res.Status == smt.Satisfiable && script.ProduceModels {
+		fmt.Println("(model")
+		names := make([]string, 0, len(res.Model))
+		for n := range res.Model {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  (define-fun %s () (_ BitVec %d) (_ bv%d %d))\n",
+				n, script.Decls[n], res.Model[n], script.Decls[n])
+		}
+		fmt.Println(")")
+	}
+	if res.Status == smt.SatUnknown {
+		os.Exit(2)
+	}
+}
+
+// preprocess applies the paper's MBA-Solver pass to each asserted
+// equality or disequality whose sides convert back to MBA expressions.
+func preprocess(assertions []*bv.Term) []*bv.Term {
+	out := make([]*bv.Term, len(assertions))
+	for i, a := range assertions {
+		out[i] = smt.SimplifyPredicate(a)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mbasmt:", err)
+	os.Exit(1)
+}

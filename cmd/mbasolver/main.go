@@ -1,0 +1,121 @@
+// Command mbasolver simplifies MBA expressions from the command line
+// and optionally verifies the result with the in-tree SMT solvers.
+//
+// Usage:
+//
+//	mbasolver [-width N] [-basis conj|disj] [-verify] [-metrics] EXPR...
+//	echo "2*(x|y) - (~x&y) - (x&~y)" | mbasolver
+//
+// Each expression is printed as "input  =>  simplified". With -metrics
+// the complexity metrics before and after are reported; with -verify
+// the equivalence of input and output is proven at the given width.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mbasolver"
+	"mbasolver/internal/bv"
+	"mbasolver/internal/smtlib"
+)
+
+func main() {
+	width := flag.Uint("width", 64, "bit width of the ring Z/2^n (1..64)")
+	basis := flag.String("basis", "conj", "normalization basis: conj (Table 4) or disj (Table 9)")
+	verify := flag.Bool("verify", false, "prove input == output with the SMT solver")
+	showMetrics := flag.Bool("metrics", false, "print complexity metrics before and after")
+	smt2 := flag.String("smt2", "", "write the input==output queries as an SMT-LIB script to this file ('-' for stdout)")
+	flag.Parse()
+
+	opts := mbasolver.Options{Width: *width}
+	switch *basis {
+	case "conj":
+	case "disj":
+		opts.UseDisjunctionBasis = true
+	default:
+		fmt.Fprintf(os.Stderr, "mbasolver: unknown basis %q (want conj or disj)\n", *basis)
+		os.Exit(2)
+	}
+	s := mbasolver.NewSimplifier(opts)
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line != "" && !strings.HasPrefix(line, "#") {
+				inputs = append(inputs, line)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "mbasolver: reading stdin:", err)
+			os.Exit(1)
+		}
+	}
+
+	var smtQueries []*bv.Term
+	exit := 0
+	for _, src := range inputs {
+		e, err := mbasolver.Parse(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbasolver: %q: %v\n", src, err)
+			exit = 1
+			continue
+		}
+		simplified := s.Simplify(e)
+		fmt.Printf("%s  =>  %s\n", e, simplified)
+		if *smt2 != "" {
+			// Namespace the variables per query so that asserting all
+			// disequalities in one script is UNSAT if and only if every
+			// individual obligation is UNSAT (obligations over disjoint
+			// variables are independent).
+			prefix := fmt.Sprintf("q%d_", len(smtQueries))
+			in, _ := mbasolver.ToBitvector(e.RenameVars(prefix), *width)
+			out, _ := mbasolver.ToBitvector(simplified.RenameVars(prefix), *width)
+			smtQueries = append(smtQueries, bv.Predicate(bv.Ne, in, out))
+		}
+		if *showMetrics {
+			mb, ma := e.Metrics(), simplified.Metrics()
+			fmt.Printf("  before: kind=%s vars=%d alternation=%d length=%d terms=%d\n",
+				mb.Kind, mb.NumVars, mb.Alternation, mb.Length, mb.NumTerms)
+			fmt.Printf("  after:  kind=%s vars=%d alternation=%d length=%d terms=%d\n",
+				ma.Kind, ma.NumVars, ma.Alternation, ma.Length, ma.NumTerms)
+		}
+		if *verify {
+			v := mbasolver.CheckEquivalenceRaw(e, simplified, *width)
+			switch {
+			case v.Timeout:
+				fmt.Printf("  verify: timeout after %v\n", v.Elapsed)
+			case v.Equivalent:
+				fmt.Printf("  verify: equivalent at width %d (%v)\n", *width, v.Elapsed)
+			default:
+				fmt.Printf("  verify: NOT EQUIVALENT, witness %v\n", v.Witness)
+				exit = 1
+			}
+		}
+	}
+	if *smt2 != "" && len(smtQueries) > 0 {
+		w := os.Stdout
+		if *smt2 != "-" {
+			f, err := os.Create(*smt2)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mbasolver:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		// Variables are namespaced per query above, so the combined
+		// script is unsat exactly when every simplification is correct;
+		// a sat answer's model pinpoints the broken query by prefix.
+		if err := smtlib.WriteQuery(w, smtQueries, "QF_BV"); err != nil {
+			fmt.Fprintln(os.Stderr, "mbasolver:", err)
+			os.Exit(1)
+		}
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,64 @@
+// Command mbatable prints the pre-computed simplification table used
+// by MBA-Solver's normalization (the paper's Table 5 for two
+// variables), for any variable count from 1 to 4.
+//
+// Usage:
+//
+//	mbatable [-vars "x,y"] [-width 64] [-signature "0,1,1,2"] [-basis conj|disj]
+//
+// Without -signature the full table (2^2^t rows) is printed; with
+// -signature only the normalized expression for that vector.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mbasolver/internal/core"
+)
+
+func main() {
+	varsFlag := flag.String("vars", "x,y", "comma-separated variable names (1..4)")
+	width := flag.Uint("width", 64, "ring width")
+	sigFlag := flag.String("signature", "", "print only this signature vector's expression")
+	basisFlag := flag.String("basis", "conj", "basis: conj (Table 4) or disj (Table 9)")
+	flag.Parse()
+
+	vars := strings.Split(*varsFlag, ",")
+	for i := range vars {
+		vars[i] = strings.TrimSpace(vars[i])
+	}
+	basis := core.BasisConjunction
+	if *basisFlag == "disj" {
+		basis = core.BasisDisjunction
+	}
+
+	if *sigFlag != "" {
+		parts := strings.Split(*sigFlag, ",")
+		sig := make([]uint64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mbatable: bad signature entry %q\n", p)
+				os.Exit(2)
+			}
+			sig[i] = uint64(v)
+		}
+		if len(sig) != 1<<len(vars) {
+			fmt.Fprintf(os.Stderr, "mbatable: signature needs %d entries for %d variables\n",
+				1<<len(vars), len(vars))
+			os.Exit(2)
+		}
+		fmt.Println(core.GenerateFromSignature(sig, vars, *width, basis))
+		return
+	}
+
+	if len(vars) > 3 {
+		fmt.Fprintln(os.Stderr, "mbatable: full tables beyond 3 variables are huge; use -signature")
+		os.Exit(2)
+	}
+	fmt.Print(core.FormatTable(core.LookupTable(vars, *width)))
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/sat"
+	"mbasolver/internal/smt"
+)
+
+func main() {
+	// Compare SAT option sets on linear MBA UNSAT instances.
+	configs := map[string]sat.Options{}
+	base := sat.DefaultOptions()
+	configs["default"] = base
+	strong := base
+	strong.VarDecay = 0.99
+	strong.LearntsFraction = 2.0
+	configs["strong"] = strong
+	weak := base
+	weak.VarDecay = 0.85
+	weak.RestartLuby = false
+	weak.RestartBase = 400
+	weak.RestartInc = 2.0
+	weak.LearntsFraction = 0.15
+	configs["weak"] = weak
+	weakPhase := weak
+	weakPhase.PhaseSaving = false
+	configs["weak-nophase"] = weakPhase
+
+	g := gen.New(gen.Config{Seed: 100})
+	samples := make([]gen.Sample, 12)
+	for i := range samples {
+		samples[i] = g.Linear()
+	}
+	for name, opts := range configs {
+		sv := smt.NewCustom("probe", 2, opts) // RewriteFull
+		solved := 0
+		var conf int64
+		start := time.Now()
+		for _, s := range samples {
+			res := sv.CheckEquiv(s.Obfuscated, s.Ground, 16, smt.Budget{Conflicts: 60000})
+			if res.Status == smt.Equivalent {
+				solved++
+			}
+			conf += res.Conflicts
+		}
+		fmt.Printf("%-14s solved %d/12 conflicts=%d elapsed=%v\n", name, solved, conf, time.Since(start))
+	}
+}

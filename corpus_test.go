@@ -1,0 +1,75 @@
+package mbasolver
+
+import (
+	"os"
+	"testing"
+)
+
+// TestCommittedCorpus validates the checked-in 3,000-equation dataset:
+// it loads, has the paper's 1000/1000/1000 category layout, and a
+// sample of equations spread across the file are identities.
+func TestCommittedCorpus(t *testing.T) {
+	f, err := os.Open("testdata/corpus_3000.txt")
+	if err != nil {
+		t.Skipf("corpus file not present: %v", err)
+	}
+	defer f.Close()
+	ids, err := LoadCorpus(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3000 {
+		t.Fatalf("corpus has %d entries, want 3000", len(ids))
+	}
+	counts := map[string]int{}
+	for _, id := range ids {
+		counts[id.Kind]++
+	}
+	for _, k := range []string{"linear", "poly", "nonpoly"} {
+		if counts[k] != 1000 {
+			t.Errorf("category %s has %d entries, want 1000", k, counts[k])
+		}
+	}
+	step := len(ids) / 60
+	for i := 0; i < len(ids); i += step {
+		id := ids[i]
+		if ok, w := ProbablyEqual(id.Obfuscated, id.Ground, 64, 50); !ok {
+			t.Errorf("entry %d (%s) is not an identity at %v", i, id.Kind, w)
+		}
+	}
+}
+
+// TestCorpusSimplifiesCorrectly spot-checks the end-to-end pipeline on
+// the committed corpus: simplification must preserve semantics on
+// every sampled entry, and must reduce alternation on the vast
+// majority.
+func TestCorpusSimplifiesCorrectly(t *testing.T) {
+	f, err := os.Open("testdata/corpus_3000.txt")
+	if err != nil {
+		t.Skipf("corpus file not present: %v", err)
+	}
+	defer f.Close()
+	ids, err := LoadCorpus(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimplifier(Options{})
+	reduced, total := 0, 0
+	step := len(ids) / 45
+	for i := 0; i < len(ids); i += step {
+		id := ids[i]
+		out := s.Simplify(id.Obfuscated)
+		if ok, w := ProbablyEqual(out, id.Ground, 64, 50); !ok {
+			t.Errorf("entry %d (%s): simplified %q not equivalent to ground %q at %v",
+				i, id.Kind, out, id.Ground, w)
+			continue
+		}
+		total++
+		if out.Metrics().Alternation <= id.Obfuscated.Metrics().Alternation {
+			reduced++
+		}
+	}
+	if reduced*10 < total*9 {
+		t.Errorf("alternation reduced on only %d/%d sampled entries", reduced, total)
+	}
+}

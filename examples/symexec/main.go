@@ -1,0 +1,136 @@
+// Symexec: break an MBA-obfuscated license check with symbolic
+// execution — the paper's motivating scenario (§1, and the
+// backward-bounded DSE of Bardin et al. that §2.2 cites) end to end.
+//
+// The shipped routine contains two MBA tricks:
+//
+//  1. An *opaque predicate*: a scrambled MBA expression that is
+//     identically zero guards a decoy branch. Proving the decoy
+//     infeasible is an UNSAT query — exactly what MBA blocks. Raw
+//     exploration burns its budget and keeps the bogus path alive;
+//     with MBA-Solver the predicate collapses to the constant 0 and
+//     the decoy is pruned without any solver call.
+//
+//  2. The real check `(serial ^ user) - 44 == 0`, MBA-obfuscated.
+//     Finding an accepting input is a SAT query; simplification
+//     shrinks it from a 100+ character monster to a 5-term condition.
+//
+//     go run ./examples/symexec
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbasolver"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/smt"
+	"mbasolver/internal/symexec"
+	"mbasolver/internal/vm"
+)
+
+func main() {
+	obfuscator := mbasolver.NewObfuscator(2021)
+
+	// The real check and its obfuscated form.
+	plain := mbasolver.MustParse("(serial ^ user) - 44")
+	check := obfuscator.Obfuscate(plain, 4)
+
+	// The opaque predicate: an MBA expression that is identically zero,
+	// guarding a decoy branch. Subtracting the two sides of a generated
+	// linear MBA identity gives a scrambled zero of full corpus
+	// hardness — the solver has to prove a Table-2-grade UNSAT query to
+	// kill the decoy.
+	id := obfuscator.Linear()
+	for i := 0; i < 20; i++ {
+		next := obfuscator.Linear()
+		if len(next.Obfuscated.Vars()) >= 2 &&
+			next.Obfuscated.Metrics().Alternation > id.Obfuscated.Metrics().Alternation {
+			id = next
+		}
+	}
+	opaque := mbasolver.MustParse(
+		"(" + id.Obfuscated.String() + ") - (" + id.Ground.String() + ")")
+	opaque = opaque.RenameVars("k_") // fresh key-material inputs
+
+	fmt.Printf("real check:       %s == 0\n", plain)
+	fmt.Printf("shipped check:    %s == 0\n", check)
+	fmt.Printf("opaque predicate: %s   (identically 0, but who can tell)\n\n", opaque)
+
+	prog := buildLicenseRoutine(check, opaque)
+
+	budget := smt.Budget{Conflicts: 3000}
+
+	exRaw, err := symexec.New(prog, symexec.Config{Budget: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawPaths := exRaw.Explore()
+	fmt.Printf("raw exploration:        %d paths, %d feasibility queries, %d timeouts, %d pruned\n",
+		len(rawPaths), exRaw.Stats().Queries, exRaw.Stats().Timeouts, exRaw.Stats().Infeasible)
+	report(prog, rawPaths, "raw")
+
+	exSimp, err := symexec.New(prog, symexec.Config{Budget: budget, Simplify: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simpPaths := exSimp.Explore()
+	fmt.Printf("\nsimplified exploration: %d paths, %d feasibility queries, %d timeouts, %d pruned\n",
+		len(simpPaths), exSimp.Stats().Queries, exSimp.Stats().Timeouts, exSimp.Stats().Infeasible)
+	report(prog, simpPaths, "simplified")
+}
+
+// buildLicenseRoutine compiles:
+//
+//	if (opaque != 0) return 0xBAD   // decoy, unreachable
+//	if (check  == 0) return 1       // accepted
+//	return 0                        // rejected
+func buildLicenseRoutine(check, opaque mbasolver.Expression) *vm.Program {
+	b := vm.NewBuilder(8)
+	op := b.CompileExpr(parser.MustParse(opaque.String()))
+	jnz := b.Jnz(op)
+	g := b.CompileExpr(parser.MustParse(check.String()))
+	jz := b.Jz(g)
+	reject := b.Const(0)
+	b.Halt(reject)
+	acceptLbl := b.Label()
+	accept := b.Const(1)
+	b.Halt(accept)
+	decoyLbl := b.Label()
+	decoy := b.Const(0xAD)
+	b.Halt(decoy)
+	b.SetTarget(jz, acceptLbl)
+	b.SetTarget(jnz, decoyLbl)
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return prog
+}
+
+func report(prog *vm.Program, paths []symexec.Path, label string) {
+	decoyAlive, accepted := false, false
+	for _, p := range paths {
+		if p.Result != nil && p.Result.IsConst(0xAD) && (p.Feasible || p.Unknown) {
+			decoyAlive = true
+		}
+		if p.Feasible && p.Result != nil && p.Result.IsConst(1) {
+			accepted = true
+			out, err := prog.Run(p.Inputs)
+			if err != nil || out != 1 {
+				log.Fatalf("%s: model replay failed: %v (out=%d)", label, err, out)
+			}
+			fmt.Printf("  keygen: serial=%#x user=%#x -> accepted\n",
+				p.Inputs["serial"], p.Inputs["user"])
+			fmt.Printf("  recovered condition: %s == 0\n", p.Branches[len(p.Branches)-1].Cond)
+		}
+	}
+	if decoyAlive {
+		fmt.Printf("  decoy branch NOT proven dead (opaque predicate survived)\n")
+	} else {
+		fmt.Printf("  decoy branch proven unreachable\n")
+	}
+	if !accepted {
+		fmt.Printf("  no accepting input found within budget\n")
+	}
+}

@@ -1,0 +1,3 @@
+module mbasolver
+
+go 1.22

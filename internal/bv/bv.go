@@ -1,0 +1,286 @@
+// Package bv defines the word-level bitvector term IR shared by the
+// SMT solver personalities: fixed-width terms over the MBA operator
+// set plus equality/disequality predicates, with constructors,
+// evaluation (for differential testing against the bit-blasted
+// circuit) and conversion from MBA expression trees.
+package bv
+
+import (
+	"fmt"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+)
+
+// Op enumerates term operators.
+type Op uint8
+
+const (
+	Const Op = iota // width-n constant
+	Var             // width-n free variable
+	Not             // bitwise complement
+	Neg             // two's-complement negation
+	And
+	Or
+	Xor
+	Add
+	Sub
+	Mul
+	Eq  // width-1 result: arguments equal
+	Ne  // width-1 result: arguments differ
+	Ult // width-1 result: unsigned less-than
+)
+
+func (op Op) String() string {
+	switch op {
+	case Const:
+		return "const"
+	case Var:
+		return "var"
+	case Not:
+		return "bvnot"
+	case Neg:
+		return "bvneg"
+	case And:
+		return "bvand"
+	case Or:
+		return "bvor"
+	case Xor:
+		return "bvxor"
+	case Add:
+		return "bvadd"
+	case Sub:
+		return "bvsub"
+	case Mul:
+		return "bvmul"
+	case Eq:
+		return "="
+	case Ne:
+		return "distinct"
+	case Ult:
+		return "bvult"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Term is a bitvector term. Terms are immutable after construction and
+// may share subterms.
+type Term struct {
+	Op    Op
+	Width uint // result width in bits (1 for predicates)
+	Name  string
+	Val   uint64
+	Args  []*Term
+}
+
+// NewConst returns a width-bit constant (value reduced mod 2^width).
+func NewConst(v uint64, width uint) *Term {
+	return &Term{Op: Const, Width: width, Val: v & eval.Mask(width)}
+}
+
+// NewVar returns a width-bit free variable.
+func NewVar(name string, width uint) *Term {
+	return &Term{Op: Var, Width: width, Name: name}
+}
+
+// Unary builds bvnot or bvneg.
+func Unary(op Op, a *Term) *Term {
+	if op != Not && op != Neg {
+		panic("bv: Unary with non-unary op " + op.String())
+	}
+	return &Term{Op: op, Width: a.Width, Args: []*Term{a}}
+}
+
+// Binary builds a bitwise/arithmetic binary term; both arguments must
+// have the same width.
+func Binary(op Op, a, b *Term) *Term {
+	if op < And || op > Mul {
+		panic("bv: Binary with non-binary op " + op.String())
+	}
+	checkSameWidth(a, b)
+	return &Term{Op: op, Width: a.Width, Args: []*Term{a, b}}
+}
+
+// Predicate builds =, distinct or bvult over same-width arguments; the
+// result has width 1.
+func Predicate(op Op, a, b *Term) *Term {
+	if op != Eq && op != Ne && op != Ult {
+		panic("bv: Predicate with non-predicate op " + op.String())
+	}
+	checkSameWidth(a, b)
+	return &Term{Op: op, Width: 1, Args: []*Term{a, b}}
+}
+
+func checkSameWidth(a, b *Term) {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("bv: width mismatch %d vs %d", a.Width, b.Width))
+	}
+}
+
+// FromExpr translates an MBA expression into a bitvector term at the
+// given width.
+func FromExpr(e *expr.Expr, width uint) *Term {
+	switch e.Op {
+	case expr.OpVar:
+		return NewVar(e.Name, width)
+	case expr.OpConst:
+		return NewConst(e.Val, width)
+	case expr.OpNot:
+		return Unary(Not, FromExpr(e.X, width))
+	case expr.OpNeg:
+		return Unary(Neg, FromExpr(e.X, width))
+	}
+	x, y := FromExpr(e.X, width), FromExpr(e.Y, width)
+	switch e.Op {
+	case expr.OpAnd:
+		return Binary(And, x, y)
+	case expr.OpOr:
+		return Binary(Or, x, y)
+	case expr.OpXor:
+		return Binary(Xor, x, y)
+	case expr.OpAdd:
+		return Binary(Add, x, y)
+	case expr.OpSub:
+		return Binary(Sub, x, y)
+	case expr.OpMul:
+		return Binary(Mul, x, y)
+	}
+	panic(fmt.Sprintf("bv: unsupported expression operator %v", e.Op))
+}
+
+// Eval computes the term's value under env (predicates yield 0 or 1).
+func Eval(t *Term, env map[string]uint64) uint64 {
+	m := eval.Mask(t.Width)
+	switch t.Op {
+	case Const:
+		return t.Val & m
+	case Var:
+		return env[t.Name] & m
+	case Not:
+		return ^Eval(t.Args[0], env) & m
+	case Neg:
+		return -Eval(t.Args[0], env) & m
+	case And:
+		return Eval(t.Args[0], env) & Eval(t.Args[1], env)
+	case Or:
+		return Eval(t.Args[0], env) | Eval(t.Args[1], env)
+	case Xor:
+		return Eval(t.Args[0], env) ^ Eval(t.Args[1], env)
+	case Add:
+		return (Eval(t.Args[0], env) + Eval(t.Args[1], env)) & m
+	case Sub:
+		return (Eval(t.Args[0], env) - Eval(t.Args[1], env)) & m
+	case Mul:
+		return (Eval(t.Args[0], env) * Eval(t.Args[1], env)) & m
+	case Eq:
+		if Eval(t.Args[0], env) == Eval(t.Args[1], env) {
+			return 1
+		}
+		return 0
+	case Ne:
+		if Eval(t.Args[0], env) != Eval(t.Args[1], env) {
+			return 1
+		}
+		return 0
+	case Ult:
+		if Eval(t.Args[0], env) < Eval(t.Args[1], env) {
+			return 1
+		}
+		return 0
+	}
+	panic("bv: unknown op in Eval")
+}
+
+// Vars returns the set of variable names in t.
+func Vars(t *Term) map[string]uint {
+	out := map[string]uint{}
+	var walk func(*Term)
+	walk = func(n *Term) {
+		if n.Op == Var {
+			out[n.Name] = n.Width
+			return
+		}
+		for _, a := range n.Args {
+			walk(a)
+		}
+	}
+	walk(t)
+	return out
+}
+
+// Size returns the number of term nodes counting shared subterms once.
+func Size(t *Term) int {
+	seen := map[*Term]bool{}
+	var walk func(*Term) int
+	walk = func(n *Term) int {
+		if seen[n] {
+			return 0
+		}
+		seen[n] = true
+		c := 1
+		for _, a := range n.Args {
+			c += walk(a)
+		}
+		return c
+	}
+	return walk(t)
+}
+
+// String renders the term in SMT-LIB-like prefix syntax.
+func (t *Term) String() string {
+	switch t.Op {
+	case Const:
+		return fmt.Sprintf("#x%x[%d]", t.Val, t.Width)
+	case Var:
+		return t.Name
+	}
+	s := "(" + t.Op.String()
+	for _, a := range t.Args {
+		s += " " + a.String()
+	}
+	return s + ")"
+}
+
+// ToExpr converts a term back to an MBA expression tree. It reports
+// false when the term contains operators outside the MBA fragment
+// (predicates, bvult) or mixed widths.
+func ToExpr(t *Term) (*expr.Expr, bool) {
+	switch t.Op {
+	case Const:
+		return expr.Const(t.Val), true
+	case Var:
+		return expr.Var(t.Name), true
+	case Not, Neg:
+		x, ok := ToExpr(t.Args[0])
+		if !ok {
+			return nil, false
+		}
+		if t.Op == Not {
+			return expr.Not(x), true
+		}
+		return expr.Neg(x), true
+	case And, Or, Xor, Add, Sub, Mul:
+		x, okx := ToExpr(t.Args[0])
+		y, oky := ToExpr(t.Args[1])
+		if !okx || !oky {
+			return nil, false
+		}
+		var op expr.Op
+		switch t.Op {
+		case And:
+			op = expr.OpAnd
+		case Or:
+			op = expr.OpOr
+		case Xor:
+			op = expr.OpXor
+		case Add:
+			op = expr.OpAdd
+		case Sub:
+			op = expr.OpSub
+		default:
+			op = expr.OpMul
+		}
+		return expr.Binary(op, x, y), true
+	}
+	return nil, false
+}

@@ -1,0 +1,224 @@
+package bv
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+)
+
+func TestFromExprToExprRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"x", "42", "~x", "-x", "x&y", "x|y", "x^y", "x+y", "x-y", "x*y",
+		"(x&~y)*(~x&y) + (x&y)*(x|y)",
+		"2*(x|y) - (~x&y) - (x&~y)",
+	} {
+		e := parser.MustParse(src)
+		term := FromExpr(e, 16)
+		back, ok := ToExpr(term)
+		if !ok {
+			t.Errorf("ToExpr(%q) failed", src)
+			continue
+		}
+		if !expr.Equal(e, back) {
+			t.Errorf("round trip %q -> %q", src, back)
+		}
+	}
+}
+
+func TestToExprRejectsPredicates(t *testing.T) {
+	p := Predicate(Eq, NewVar("x", 8), NewVar("y", 8))
+	if _, ok := ToExpr(p); ok {
+		t.Error("ToExpr accepted a predicate")
+	}
+}
+
+func TestEvalAgainstExprEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	srcs := []string{
+		"x*y + (x&~y) - 3",
+		"~(x^y)|(x+1)",
+		"-x*-y",
+	}
+	for _, src := range srcs {
+		e := parser.MustParse(src)
+		for _, width := range []uint{1, 7, 16, 64} {
+			term := FromExpr(e, width)
+			for round := 0; round < 20; round++ {
+				env := map[string]uint64{"x": rng.Uint64(), "y": rng.Uint64()}
+				want := eval.Eval(e, eval.Env(env), width)
+				if got := Eval(term, env); got != want {
+					t.Fatalf("%q at width %d: bv.Eval=%#x expr eval=%#x (env %v)",
+						src, width, got, want, env)
+				}
+			}
+		}
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	x, y := NewVar("x", 8), NewVar("y", 8)
+	cases := []struct {
+		t    *Term
+		env  map[string]uint64
+		want uint64
+	}{
+		{Predicate(Eq, x, y), map[string]uint64{"x": 5, "y": 5}, 1},
+		{Predicate(Eq, x, y), map[string]uint64{"x": 5, "y": 6}, 0},
+		{Predicate(Ne, x, y), map[string]uint64{"x": 5, "y": 6}, 1},
+		{Predicate(Ult, x, y), map[string]uint64{"x": 5, "y": 6}, 1},
+		{Predicate(Ult, x, y), map[string]uint64{"x": 6, "y": 5}, 0},
+	}
+	for i, c := range cases {
+		if got := Eval(c.t, c.env); got != c.want {
+			t.Errorf("case %d: Eval = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Binary(Add, NewVar("x", 8), NewVar("y", 16))
+}
+
+func TestVarsAndSize(t *testing.T) {
+	term := FromExpr(parser.MustParse("x + y*x"), 8)
+	vars := Vars(term)
+	if len(vars) != 2 || vars["x"] != 8 || vars["y"] != 8 {
+		t.Errorf("Vars = %v", vars)
+	}
+	if Size(term) < 4 {
+		t.Errorf("Size = %d", Size(term))
+	}
+}
+
+func TestRewriterFoldsAndUnifies(t *testing.T) {
+	rw := NewRewriter(RewriteFull)
+	x := NewVar("x", 8)
+	y := NewVar("y", 8)
+
+	cases := []struct {
+		in   *Term
+		want string // expected rewritten String() or "" for same-pointer checks
+	}{
+		{Binary(Add, NewConst(3, 8), NewConst(4, 8)), "#x7[8]"},
+		{Binary(And, x, NewConst(0, 8)), "#x0[8]"},
+		{Binary(Or, x, NewConst(0, 8)), "x"},
+		{Binary(Mul, x, NewConst(1, 8)), "x"},
+		{Binary(Xor, x, x), "#x0[8]"},
+		{Binary(And, x, Unary(Not, x)), "#x0[8]"},
+		{Binary(Or, x, Unary(Not, x)), "#xff[8]"},
+		{Unary(Not, Unary(Not, x)), "x"},
+	}
+	for i, c := range cases {
+		got := rw.Rewrite(c.in)
+		if got.String() != c.want {
+			t.Errorf("case %d: Rewrite(%v) = %v, want %s", i, c.in, got, c.want)
+		}
+	}
+
+	// Commutative normalization unifies x&y with y&x by pointer.
+	a := rw.Rewrite(Binary(And, x, y))
+	b := rw.Rewrite(Binary(And, y, x))
+	if a != b {
+		t.Error("hash-consing failed to unify x&y with y&x")
+	}
+}
+
+func TestRewritePreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var gen func(d int) *Term
+	vars := []*Term{NewVar("x", 8), NewVar("y", 8)}
+	gen = func(d int) *Term {
+		if d == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(3) == 0 {
+				return NewConst(rng.Uint64(), 8)
+			}
+			return vars[rng.Intn(2)]
+		}
+		switch rng.Intn(9) {
+		case 0:
+			return Unary(Not, gen(d-1))
+		case 1:
+			return Unary(Neg, gen(d-1))
+		default:
+			ops := []Op{And, Or, Xor, Add, Sub, Mul}
+			return Binary(ops[rng.Intn(len(ops))], gen(d-1), gen(d-1))
+		}
+	}
+	for _, level := range []RewriteLevel{RewriteBasic, RewriteFull} {
+		rw := NewRewriter(level)
+		for i := 0; i < 300; i++ {
+			in := gen(4)
+			out := rw.Rewrite(in)
+			for round := 0; round < 8; round++ {
+				env := map[string]uint64{"x": rng.Uint64() & 0xff, "y": rng.Uint64() & 0xff}
+				if Eval(in, env) != Eval(out, env) {
+					t.Fatalf("level %d: rewrite broke semantics: %v -> %v at %v",
+						level, in, out, env)
+				}
+			}
+		}
+	}
+}
+
+func TestRewriteNoneIsIdentity(t *testing.T) {
+	rw := NewRewriter(RewriteNone)
+	in := Binary(Add, NewConst(1, 8), NewConst(1, 8))
+	if rw.Rewrite(in) != in {
+		t.Error("RewriteNone changed the term")
+	}
+}
+
+func TestConeCanonicalizationUnifiesSpellings(t *testing.T) {
+	// (x|~(~y&~x)) computes x|y; RewriteFull must unify the two
+	// spellings to the same pointer.
+	rw := NewRewriter(RewriteFull)
+	x, y := NewVar("x", 8), NewVar("y", 8)
+	ugly := Binary(Or, x, Unary(Not, Binary(And, Unary(Not, y), Unary(Not, x))))
+	clean := Binary(Or, x, y)
+	a, b := rw.Rewrite(ugly), rw.Rewrite(clean)
+	if a != b {
+		t.Errorf("cone canonicalization failed: %v vs %v", a, b)
+	}
+}
+
+func TestConeCanonicalizationSemantics(t *testing.T) {
+	// Random bitwise cones over arithmetic leaves must keep semantics.
+	rng := rand.New(rand.NewSource(12))
+	leaves := []*Term{
+		NewVar("x", 8),
+		NewVar("y", 8),
+		Binary(Add, NewVar("x", 8), NewVar("y", 8)),
+	}
+	var gen func(d int) *Term
+	gen = func(d int) *Term {
+		if d == 0 || rng.Intn(3) == 0 {
+			return leaves[rng.Intn(len(leaves))]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return Unary(Not, gen(d-1))
+		default:
+			ops := []Op{And, Or, Xor}
+			return Binary(ops[rng.Intn(3)], gen(d-1), gen(d-1))
+		}
+	}
+	rw := NewRewriter(RewriteFull)
+	for i := 0; i < 200; i++ {
+		in := gen(4)
+		out := rw.Rewrite(in)
+		for round := 0; round < 6; round++ {
+			env := map[string]uint64{"x": rng.Uint64() & 0xff, "y": rng.Uint64() & 0xff}
+			if Eval(in, env) != Eval(out, env) {
+				t.Fatalf("cone rewrite broke semantics: %v -> %v at %v", in, out, env)
+			}
+		}
+	}
+}

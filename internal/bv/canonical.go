@@ -1,0 +1,171 @@
+package bv
+
+import (
+	"fmt"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/truthtable"
+)
+
+// Two-level bitwise-cone canonicalization, the bv-level analogue of
+// Boolector's AIG rewriting (Brummayer & Biere, "Local Two-Level
+// And-Inverter Graph Rewriting"): a maximal cone of bitwise operators
+// over at most three distinct leaves is replaced by the minimal-size
+// expression computing the same boolean function. This unifies
+// different spellings of the same function ((x|~(~y&~x)) and x|y
+// become pointer-equal after hash-consing), which shrinks the blasted
+// CNF and lets the word-level arithmetic normalization match more
+// atoms. Only RewriteFull (the btorsim personality) performs it —
+// it is a large part of why Boolector leads on MBA in the paper's
+// Table 2.
+
+// maxConeLeaves bounds the cone analysis; the minimal-expression
+// synthesis is complete for <= 3 inputs.
+const maxConeLeaves = 3
+
+// canonicalizeCone rewrites a bitwise-rooted term to its canonical
+// minimal form when profitable. Returns nil when not applicable.
+func (r *Rewriter) canonicalizeCone(t *Term) *Term {
+	switch t.Op {
+	case Not, And, Or, Xor:
+	default:
+		return nil
+	}
+	if t.Op == Not && t.Width == 1 {
+		// Boolean connectives over predicates are not a bitwise cone.
+		return nil
+	}
+	leaves := make([]*Term, 0, maxConeLeaves)
+	if !r.collectConeLeaves(t, &leaves) {
+		return nil
+	}
+	if len(leaves) == 0 {
+		return nil
+	}
+
+	// Truth table of the cone: evaluate with each leaf set to 0 or the
+	// all-ones word; bitwise operators map such inputs to 0/all-ones.
+	names := make([]string, len(leaves))
+	for i := range leaves {
+		names[i] = fmt.Sprintf("l%d", i)
+	}
+	mask := eval.Mask(t.Width)
+	n := 1 << len(leaves)
+	var tt uint64
+	for a := 0; a < n; a++ {
+		env := map[string]uint64{}
+		for j, name := range names {
+			if a>>uint(j)&1 == 1 {
+				env[name] = mask
+			}
+		}
+		if evalCone(t, leaves, env, names) != 0 {
+			tt |= 1 << uint(a)
+		}
+	}
+
+	canonical := truthtable.MinimalBoolExpr(tt, names)
+	if canonical == nil {
+		return nil
+	}
+	out := r.exprOverLeaves(canonical, names, leaves, t.Width)
+	if Size(out) < Size(t) {
+		return out
+	}
+	return nil
+}
+
+// collectConeLeaves gathers the distinct non-bitwise leaves of a
+// bitwise cone (variables, constants or arithmetic subterms). It
+// reports false when the cone has too many leaves.
+func (r *Rewriter) collectConeLeaves(t *Term, leaves *[]*Term) bool {
+	switch t.Op {
+	case Not, And, Or, Xor:
+		for _, a := range t.Args {
+			if !r.collectConeLeaves(a, leaves) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, l := range *leaves {
+		if l == t || r.Key(l) == r.Key(t) {
+			return true
+		}
+	}
+	if len(*leaves) >= maxConeLeaves {
+		return false
+	}
+	*leaves = append(*leaves, t)
+	return true
+}
+
+// evalCone evaluates the cone with each leaf bound to env[name]; the
+// cone contains only bitwise operators above the leaves.
+func evalCone(t *Term, leaves []*Term, env map[string]uint64, names []string) uint64 {
+	for i, l := range leaves {
+		if t == l {
+			return env[names[i]]
+		}
+	}
+	switch t.Op {
+	case Not:
+		return ^evalCone(t.Args[0], leaves, env, names) & eval.Mask(t.Width)
+	case And:
+		return evalCone(t.Args[0], leaves, env, names) & evalCone(t.Args[1], leaves, env, names)
+	case Or:
+		return evalCone(t.Args[0], leaves, env, names) | evalCone(t.Args[1], leaves, env, names)
+	case Xor:
+		return evalCone(t.Args[0], leaves, env, names) ^ evalCone(t.Args[1], leaves, env, names)
+	}
+	// Leaf comparison above is by pointer; hash-consing guarantees
+	// pointer equality for equal keys, but be conservative otherwise.
+	for i, l := range leaves {
+		if sameKeyShallow(t, l) {
+			return env[names[i]]
+		}
+	}
+	panic("bv: non-bitwise node inside cone evaluation")
+}
+
+func sameKeyShallow(a, b *Term) bool {
+	if a.Op != b.Op || a.Width != b.Width {
+		return false
+	}
+	switch a.Op {
+	case Var:
+		return a.Name == b.Name
+	case Const:
+		return a.Val == b.Val
+	}
+	return false
+}
+
+// exprOverLeaves instantiates a synthesized boolean expression with
+// the cone's leaf terms.
+func (r *Rewriter) exprOverLeaves(e *expr.Expr, names []string, leaves []*Term, width uint) *Term {
+	byName := make(map[string]*Term, len(names))
+	for i, n := range names {
+		byName[n] = leaves[i]
+	}
+	var build func(*expr.Expr) *Term
+	build = func(x *expr.Expr) *Term {
+		switch x.Op {
+		case expr.OpVar:
+			return byName[x.Name]
+		case expr.OpConst:
+			return r.intern(NewConst(x.Val, width))
+		case expr.OpNot:
+			return r.intern(Unary(Not, build(x.X)))
+		case expr.OpAnd:
+			return r.intern(r.normalizeCommutative(Binary(And, build(x.X), build(x.Y))))
+		case expr.OpOr:
+			return r.intern(r.normalizeCommutative(Binary(Or, build(x.X), build(x.Y))))
+		case expr.OpXor:
+			return r.intern(r.normalizeCommutative(Binary(Xor, build(x.X), build(x.Y))))
+		}
+		panic("bv: unexpected operator in synthesized boolean expression")
+	}
+	return build(e)
+}

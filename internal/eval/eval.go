@@ -1,0 +1,130 @@
+// Package eval evaluates MBA expressions over the modular ring Z/2^n
+// and provides randomized equivalence testing, the workhorse check used
+// by the test suite and by the Syntia-style synthesis baseline.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mbasolver/internal/expr"
+)
+
+// Mask returns the bit mask for an n-bit width; width 64 yields all
+// ones. It panics for widths outside 1..64.
+func Mask(width uint) uint64 {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("eval: invalid width %d", width))
+	}
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << width) - 1
+}
+
+// Env maps variable names to values.
+type Env map[string]uint64
+
+// Eval computes the value of e under env at the given bit width. All
+// intermediate results are reduced mod 2^width, matching n-bit
+// two's-complement machine arithmetic. Unbound variables evaluate to 0.
+func Eval(e *expr.Expr, env Env, width uint) uint64 {
+	m := Mask(width)
+	return evalMasked(e, env, m)
+}
+
+func evalMasked(e *expr.Expr, env Env, m uint64) uint64 {
+	switch e.Op {
+	case expr.OpVar:
+		return env[e.Name] & m
+	case expr.OpConst:
+		return e.Val & m
+	case expr.OpNot:
+		return ^evalMasked(e.X, env, m) & m
+	case expr.OpNeg:
+		return -evalMasked(e.X, env, m) & m
+	case expr.OpAnd:
+		return evalMasked(e.X, env, m) & evalMasked(e.Y, env, m)
+	case expr.OpOr:
+		return evalMasked(e.X, env, m) | evalMasked(e.Y, env, m)
+	case expr.OpXor:
+		return evalMasked(e.X, env, m) ^ evalMasked(e.Y, env, m)
+	case expr.OpAdd:
+		return (evalMasked(e.X, env, m) + evalMasked(e.Y, env, m)) & m
+	case expr.OpSub:
+		return (evalMasked(e.X, env, m) - evalMasked(e.Y, env, m)) & m
+	case expr.OpMul:
+		return (evalMasked(e.X, env, m) * evalMasked(e.Y, env, m)) & m
+	}
+	panic(fmt.Sprintf("eval: unknown operator %v", e.Op))
+}
+
+// RandomEnv draws a value for each variable name uniformly from the
+// n-bit range, mixing in a few adversarial corner values (0, 1, -1,
+// 2^(n-1)) that commonly expose overflow-sensitive non-identities.
+func RandomEnv(rng *rand.Rand, vars []string, width uint) Env {
+	m := Mask(width)
+	env := make(Env, len(vars))
+	corners := []uint64{0, 1, m, m >> 1, (m >> 1) + 1}
+	for _, v := range vars {
+		if rng.Intn(4) == 0 {
+			env[v] = corners[rng.Intn(len(corners))]
+		} else {
+			env[v] = rng.Uint64() & m
+		}
+	}
+	return env
+}
+
+// ProbablyEqual tests a = b on rounds random inputs at the given width.
+// It returns false together with a witness environment as soon as the
+// two expressions disagree; a true result means no counterexample was
+// found (so equality is probable, not proven).
+func ProbablyEqual(rng *rand.Rand, a, b *expr.Expr, width uint, rounds int) (bool, Env) {
+	vars := unionVars(a, b)
+	for i := 0; i < rounds; i++ {
+		env := RandomEnv(rng, vars, width)
+		if Eval(a, env, width) != Eval(b, env, width) {
+			return false, env
+		}
+	}
+	// Exhaustive corner sweep for up to 3 variables at tiny widths:
+	// every variable in {0,1,-1} simultaneously.
+	if len(vars) <= 3 {
+		corner := []uint64{0, 1, Mask(width)}
+		n := len(vars)
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= len(corner)
+		}
+		for c := 0; c < total; c++ {
+			env := Env{}
+			k := c
+			for _, v := range vars {
+				env[v] = corner[k%len(corner)]
+				k /= len(corner)
+			}
+			if Eval(a, env, width) != Eval(b, env, width) {
+				return false, env
+			}
+		}
+	}
+	return true, nil
+}
+
+func unionVars(a, b *expr.Expr) []string {
+	set := map[string]bool{}
+	for _, v := range expr.Vars(a) {
+		set[v] = true
+	}
+	for _, v := range expr.Vars(b) {
+		set[v] = true
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars) // deterministic order keeps seeded runs reproducible
+	return vars
+}

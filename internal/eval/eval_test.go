@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbasolver/internal/expr"
+)
+
+func TestMask(t *testing.T) {
+	if Mask(1) != 1 || Mask(8) != 0xff || Mask(64) != ^uint64(0) {
+		t.Error("Mask values wrong")
+	}
+	for _, bad := range []uint{0, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", bad)
+				}
+			}()
+			Mask(bad)
+		}()
+	}
+}
+
+func TestEvalOperators(t *testing.T) {
+	env := Env{"x": 0b1100, "y": 0b1010}
+	cases := []struct {
+		src  *expr.Expr
+		want uint64
+	}{
+		{expr.And(expr.Var("x"), expr.Var("y")), 0b1000},
+		{expr.Or(expr.Var("x"), expr.Var("y")), 0b1110},
+		{expr.Xor(expr.Var("x"), expr.Var("y")), 0b0110},
+		{expr.Not(expr.Var("x")), 0b0011},
+		{expr.Neg(expr.Var("x")), 0b0100},                // -12 mod 16 = 4
+		{expr.Add(expr.Var("x"), expr.Var("y")), 0b0110}, // 22 mod 16
+		{expr.Sub(expr.Var("y"), expr.Var("x")), 0b1110}, // -2 mod 16
+		{expr.Mul(expr.Var("x"), expr.Var("y")), (12 * 10) % 16},
+		{expr.Const(0xfff), 0xf},
+	}
+	for _, c := range cases {
+		if got := Eval(c.src, env, 4); got != c.want {
+			t.Errorf("Eval(%v) = %#b, want %#b", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalUnboundVarIsZero(t *testing.T) {
+	if got := Eval(expr.Add(expr.Var("q"), expr.Const(3)), Env{}, 8); got != 3 {
+		t.Errorf("unbound var: %d", got)
+	}
+}
+
+func TestEvalWidth64Wraps(t *testing.T) {
+	e := expr.Add(expr.Const(^uint64(0)), expr.Const(1))
+	if got := Eval(e, nil, 64); got != 0 {
+		t.Errorf("2^64-1 + 1 = %d, want 0", got)
+	}
+}
+
+func TestProbablyEqualFindsWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := expr.Add(expr.Var("x"), expr.Var("y"))
+	b := expr.Or(expr.Var("x"), expr.Var("y")) // differs when both have a common bit
+	eq, env := ProbablyEqual(rng, a, b, 8, 100)
+	if eq {
+		t.Fatal("x+y vs x|y reported equal")
+	}
+	if Eval(a, env, 8) == Eval(b, env, 8) {
+		t.Fatalf("witness %v does not distinguish", env)
+	}
+}
+
+func TestProbablyEqualAcceptsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := expr.Add(expr.Var("x"), expr.Var("y"))
+	b := expr.Add(expr.Var("y"), expr.Var("x"))
+	if eq, env := ProbablyEqual(rng, a, b, 64, 200); !eq {
+		t.Fatalf("x+y vs y+x reported unequal at %v", env)
+	}
+}
+
+func TestProbablyEqualCornerSweep(t *testing.T) {
+	// ~x == -x-1 everywhere; x == -x only at 0 and 2^(n-1): the corner
+	// sweep (all vars in {0,1,-1}) must catch the latter.
+	rng := rand.New(rand.NewSource(3))
+	a := expr.Var("x")
+	b := expr.Neg(expr.Var("x"))
+	if eq, _ := ProbablyEqual(rng, a, b, 64, 5); eq {
+		t.Fatal("x == -x not refuted")
+	}
+}
+
+func TestRandomEnvRespectsWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		env := RandomEnv(rng, []string{"x", "y"}, 5)
+		for name, v := range env {
+			if v > 31 {
+				t.Fatalf("%s = %d exceeds width 5", name, v)
+			}
+		}
+	}
+}

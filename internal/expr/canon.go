@@ -1,0 +1,34 @@
+package expr
+
+// Canon returns a canonicalized copy of e: operands of commutative
+// operators (&, |, ^, +, *) are sorted by their Key, double negations
+// are removed, and constants inside ~/- are folded. Canonicalization is
+// purely structural — it performs no MBA-specific simplification — and
+// exists so that semantically written-alike subtrees (x&y vs y&x)
+// compare equal, which the common-sub-expression optimization and the
+// polynomial atom table rely on.
+func Canon(e *Expr) *Expr {
+	return Rewrite(e, func(n *Expr) *Expr {
+		switch n.Op {
+		case OpNot:
+			if n.X.Op == OpNot {
+				return n.X.X // ~~a = a
+			}
+			if n.X.Op == OpConst {
+				return Const(^n.X.Val)
+			}
+		case OpNeg:
+			if n.X.Op == OpNeg {
+				return n.X.X // -(-a) = a
+			}
+			if n.X.Op == OpConst {
+				return Const(-n.X.Val)
+			}
+		case OpAnd, OpOr, OpXor, OpAdd, OpMul:
+			if n.Y.Key() < n.X.Key() {
+				return &Expr{Op: n.Op, X: n.Y, Y: n.X}
+			}
+		}
+		return nil
+	})
+}

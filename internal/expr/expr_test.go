@@ -1,0 +1,208 @@
+package expr
+
+import (
+	"testing"
+)
+
+func TestConstructorsAndPredicates(t *testing.T) {
+	x, y := Var("x"), Var("y")
+	cases := []struct {
+		e       *Expr
+		op      Op
+		bitwise bool
+		arith   bool
+	}{
+		{Not(x), OpNot, true, false},
+		{Neg(x), OpNeg, false, true},
+		{And(x, y), OpAnd, true, false},
+		{Or(x, y), OpOr, true, false},
+		{Xor(x, y), OpXor, true, false},
+		{Add(x, y), OpAdd, false, true},
+		{Sub(x, y), OpSub, false, true},
+		{Mul(x, y), OpMul, false, true},
+	}
+	for _, c := range cases {
+		if c.e.Op != c.op {
+			t.Errorf("op = %v, want %v", c.e.Op, c.op)
+		}
+		if c.op.IsBitwise() != c.bitwise || c.op.IsArith() != c.arith {
+			t.Errorf("%v: domain flags wrong", c.op)
+		}
+	}
+	if !OpVar.IsLeaf() || !OpConst.IsLeaf() || OpAdd.IsLeaf() {
+		t.Error("IsLeaf wrong")
+	}
+	if !OpNot.IsUnary() || OpAdd.IsUnary() || !OpAdd.IsBinary() || OpNot.IsBinary() {
+		t.Error("arity predicates wrong")
+	}
+}
+
+func TestConstInt(t *testing.T) {
+	if ConstInt(-1).Val != ^uint64(0) {
+		t.Errorf("ConstInt(-1) = %d", ConstInt(-1).Val)
+	}
+	if ConstInt(5).Val != 5 {
+		t.Errorf("ConstInt(5) = %d", ConstInt(5).Val)
+	}
+}
+
+func TestBinaryUnaryPanic(t *testing.T) {
+	assertPanics(t, func() { Binary(OpNot, Var("x"), Var("y")) })
+	assertPanics(t, func() { Unary(OpAdd, Var("x")) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestEqual(t *testing.T) {
+	a := Add(Var("x"), Mul(Const(2), Var("y")))
+	b := Add(Var("x"), Mul(Const(2), Var("y")))
+	if !Equal(a, b) {
+		t.Error("identical trees not equal")
+	}
+	if Equal(a, Add(Var("x"), Mul(Const(3), Var("y")))) {
+		t.Error("different constants compare equal")
+	}
+	if Equal(a, nil) || !Equal(nil, nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestSizeDepthVars(t *testing.T) {
+	e := Add(And(Var("x"), Not(Var("y"))), Const(4))
+	if got := e.Size(); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+	if got := e.Depth(); got != 4 {
+		t.Errorf("Depth = %d, want 4", got)
+	}
+	vars := Vars(e)
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestRewriteDoesNotMutate(t *testing.T) {
+	orig := Add(Var("x"), Var("y"))
+	out := Rewrite(orig, func(n *Expr) *Expr {
+		if n.Op == OpVar && n.Name == "x" {
+			return Var("z")
+		}
+		return nil
+	})
+	if orig.X.Name != "x" {
+		t.Error("Rewrite mutated the input tree")
+	}
+	if out.X.Name != "z" {
+		t.Errorf("Rewrite result wrong: %v", out)
+	}
+}
+
+func TestSubstitute(t *testing.T) {
+	e := Add(Sub(Var("x"), Var("y")), And(Sub(Var("x"), Var("y")), Var("z")))
+	got := Substitute(e, Sub(Var("x"), Var("y")), Var("t"))
+	want := Add(Var("t"), And(Var("t"), Var("z")))
+	if !Equal(got, want) {
+		t.Errorf("Substitute = %v, want %v", got, want)
+	}
+}
+
+func TestSubstituteVars(t *testing.T) {
+	e := Add(Var("x"), Var("y"))
+	got := SubstituteVars(e, map[string]*Expr{"x": Mul(Var("a"), Var("b"))})
+	want := Add(Mul(Var("a"), Var("b")), Var("y"))
+	if !Equal(got, want) {
+		t.Errorf("SubstituteVars = %v", got)
+	}
+}
+
+func TestIsBitwisePure(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want bool
+	}{
+		{And(Var("x"), Not(Var("y"))), true},
+		{Var("x"), true},
+		{Const(1), false},
+		{And(Var("x"), Const(1)), false},
+		{Add(Var("x"), Var("y")), false},
+		{Or(Var("x"), Add(Var("y"), Var("z"))), false},
+		{Xor(Not(Var("a")), Or(Var("b"), Var("c"))), true},
+	}
+	for _, c := range cases {
+		if got := IsBitwisePure(c.e); got != c.want {
+			t.Errorf("IsBitwisePure(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestStringPrecedence(t *testing.T) {
+	cases := []struct {
+		e    *Expr
+		want string
+	}{
+		{Add(Var("x"), Mul(Const(2), Var("y"))), "x+2*y"},
+		{Mul(Add(Var("x"), Var("y")), Var("z")), "(x+y)*z"},
+		{And(Add(Var("x"), Var("y")), Var("z")), "x+y&z"},
+		{Add(And(Var("x"), Var("y")), Var("z")), "(x&y)+z"},
+		{Sub(Var("x"), Add(Var("y"), Var("z"))), "x-(y+z)"},
+		{Sub(Sub(Var("x"), Var("y")), Var("z")), "x-y-z"},
+		{Not(And(Var("x"), Var("y"))), "~(x&y)"},
+		{Not(Var("x")), "~x"},
+		{Neg(Add(Var("x"), Var("y"))), "-(x+y)"},
+		{Or(Xor(Var("x"), Var("y")), Var("z")), "x^y|z"},
+		{Xor(Or(Var("x"), Var("y")), Var("z")), "(x|y)^z"},
+		{ConstInt(-1), "-1"},
+		{Const(300), "300"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v-tree) = %q, want %q", c.want, got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinguishesStructure(t *testing.T) {
+	a := Sub(Var("x"), Sub(Var("y"), Var("z")))
+	b := Sub(Sub(Var("x"), Var("y")), Var("z"))
+	if a.Key() == b.Key() {
+		t.Error("Key does not distinguish associativity")
+	}
+	if Neg(Var("x")).Key() == Not(Var("x")).Key() {
+		t.Error("Key conflates ~ and unary -")
+	}
+}
+
+func TestCanon(t *testing.T) {
+	// Commutative sorting makes x&y and y&x identical.
+	a := Canon(And(Var("y"), Var("x")))
+	b := Canon(And(Var("x"), Var("y")))
+	if !Equal(a, b) {
+		t.Error("Canon did not sort commutative operands")
+	}
+	// Double negation removal.
+	if got := Canon(Not(Not(Var("x")))); !Equal(got, Var("x")) {
+		t.Errorf("Canon(~~x) = %v", got)
+	}
+	if got := Canon(Neg(Neg(Var("x")))); !Equal(got, Var("x")) {
+		t.Errorf("Canon(-(-x)) = %v", got)
+	}
+	// Constant folding under unary operators.
+	if got := Canon(Not(Const(0))); !got.IsConst(^uint64(0)) {
+		t.Errorf("Canon(~0) = %v", got)
+	}
+	if got := Canon(Neg(Const(1))); !got.IsConst(^uint64(0)) {
+		t.Errorf("Canon(-1) = %v", got)
+	}
+	// Non-commutative operators untouched.
+	if got := Canon(Sub(Var("y"), Var("x"))); !Equal(got, Sub(Var("y"), Var("x"))) {
+		t.Errorf("Canon reordered subtraction: %v", got)
+	}
+}

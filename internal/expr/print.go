@@ -1,0 +1,96 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Operator precedence, following C conventions so that printed
+// expressions parse back identically in C, Python and this package's
+// parser: unary > * > +/- > & > ^ > |.
+func precedence(op Op) int {
+	switch op {
+	case OpVar, OpConst:
+		return 100
+	case OpNot, OpNeg:
+		return 90
+	case OpMul:
+		return 80
+	case OpAdd, OpSub:
+		return 70
+	case OpAnd:
+		return 60
+	case OpXor:
+		return 50
+	case OpOr:
+		return 40
+	}
+	return 0
+}
+
+// String renders the expression with the minimum parentheses needed
+// under C precedence. Constants render as decimal; values with the top
+// bit set render in signed form (e.g. -1 instead of 2^64-1) because MBA
+// literature writes them that way and both parse identically mod 2^n.
+func (e *Expr) String() string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e *Expr, parent int) {
+	if e == nil {
+		b.WriteString("<nil>")
+		return
+	}
+	p := precedence(e.Op)
+	switch e.Op {
+	case OpVar:
+		b.WriteString(e.Name)
+	case OpConst:
+		writeConst(b, e.Val, parent)
+	case OpNot, OpNeg:
+		need := p < parent
+		if need {
+			b.WriteByte('(')
+		}
+		if e.Op == OpNot {
+			b.WriteByte('~')
+		} else {
+			b.WriteByte('-')
+		}
+		writeExpr(b, e.X, p+1)
+		if need {
+			b.WriteByte(')')
+		}
+	default:
+		need := p < parent
+		if need {
+			b.WriteByte('(')
+		}
+		writeExpr(b, e.X, p)
+		b.WriteString(e.Op.String())
+		// +1 on the right operand keeps non-associative operators
+		// (-, and mixed same-precedence chains) unambiguous:
+		// a-(b+c) must keep its parentheses.
+		writeExpr(b, e.Y, p+1)
+		if need {
+			b.WriteByte(')')
+		}
+	}
+}
+
+func writeConst(b *strings.Builder, v uint64, parent int) {
+	if int64(v) < 0 && int64(v) > -65536 {
+		// Render small negative constants in signed form.
+		if precedence(OpNeg) < parent {
+			b.WriteByte('(')
+			b.WriteString(strconv.FormatInt(int64(v), 10))
+			b.WriteByte(')')
+			return
+		}
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+		return
+	}
+	b.WriteString(strconv.FormatUint(v, 10))
+}

@@ -1,0 +1,578 @@
+// Package gen generates the MBA identity-equation corpus used by the
+// experiments, standing in for the paper's 3,000 equations collected
+// from Syntia, Eyrolles' thesis, Tigress, the Zhou et al. papers,
+// Hacker's Delight and the HAKMEM memo (§3.1).
+//
+// Every generated sample is an identity by construction:
+//
+//   - Linear MBA comes from the Zhou et al. null-space method (§2.1
+//     Example 1): random bitwise expressions with random coefficients,
+//     completed to a target signature vector through the conjunction
+//     basis, so the obfuscated side provably equals the simple side.
+//   - Polynomial MBA multiplies linearly obfuscated factors and adds
+//     zero-signature padding terms, then expands to the Σ aᵢ·Πeᵢⱼ
+//     shape of Definition 2.
+//   - Non-polynomial MBA applies Hacker's Delight rewrite rules to
+//     arbitrary (compound) subtrees, which puts arithmetic results
+//     under bitwise operators.
+//
+// The default knobs are calibrated to the complexity distribution of
+// the paper's Table 1.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/identities"
+	"mbasolver/internal/linalg"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/truthtable"
+)
+
+// Sample is one corpus entry: an identity equation between a complex
+// (obfuscated) MBA expression and its simple ground truth.
+type Sample struct {
+	ID         int
+	Kind       metrics.Kind
+	Obfuscated *expr.Expr
+	Ground     *expr.Expr
+	// Hard marks non-poly samples deliberately generated beyond the
+	// normalization model (the paper's unsolvable §6.1 residue).
+	Hard bool
+}
+
+// Equation returns the obfuscated and ground sides (the identity the
+// solver must verify).
+func (s Sample) Equation() (lhs, rhs *expr.Expr) { return s.Obfuscated, s.Ground }
+
+// Config controls corpus generation.
+type Config struct {
+	Seed int64
+	// Width is the ring width used for coefficient arithmetic during
+	// generation. Identities generated at width w hold at every width
+	// <= w; default 64.
+	Width uint
+	// LinearTerms is the maximum number of bitwise terms per linear
+	// sample (minimum 3); default 12.
+	LinearTerms int
+	// CoeffRange bounds the magnitude of random coefficients;
+	// default 30.
+	CoeffRange int64
+	// NonPolyRewrites is the maximum number of rule applications per
+	// non-poly sample; default 8 (calibrated to Table 1's alternation
+	// average of 17.2 for non-poly MBA).
+	NonPolyRewrites int
+	// HardFraction is the fraction of non-poly samples generated
+	// outside the normalization model; default 0.1 (the paper's §6.1
+	// reports 10.6% of non-poly resisting simplification).
+	HardFraction float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width == 0 {
+		c.Width = 64
+	}
+	if c.LinearTerms == 0 {
+		c.LinearTerms = 12
+	}
+	if c.CoeffRange == 0 {
+		c.CoeffRange = 30
+	}
+	if c.NonPolyRewrites == 0 {
+		c.NonPolyRewrites = 8
+	}
+	if c.HardFraction == 0 {
+		c.HardFraction = 0.1
+	}
+	return c
+}
+
+// Generator produces corpus samples deterministically from its seed.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+	id  int
+}
+
+// New returns a Generator.
+func New(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Corpus generates n samples of each category (linear, poly, non-poly)
+// in that order, matching the paper's 1000+1000+1000 layout for
+// n=1000.
+func (g *Generator) Corpus(n int) []Sample {
+	out := make([]Sample, 0, 3*n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Linear())
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, g.Poly())
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, g.NonPoly())
+	}
+	return out
+}
+
+var varPool = []string{"x", "y", "z", "w"}
+
+// pickVars draws t distinct variable names; the distribution matches
+// Table 1's 1..4 variables averaging ~2.5.
+func (g *Generator) pickVars() []string {
+	weights := []int{1, 5, 3, 2} // 1,2,3,4 variables
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	r := g.rng.Intn(total)
+	t := 1
+	for i, w := range weights {
+		if r < w {
+			t = i + 1
+			break
+		}
+		r -= w
+	}
+	return varPool[:t]
+}
+
+// randCoeff draws a nonzero signed coefficient. Magnitudes are skewed
+// small (half the draws land in 1..4), matching the paper's Table 1
+// coefficient average of ~7 with occasional large outliers.
+func (g *Generator) randCoeff() uint64 {
+	var c int64
+	if g.rng.Intn(2) == 0 {
+		c = g.rng.Int63n(4) + 1
+	} else {
+		c = g.rng.Int63n(g.cfg.CoeffRange) + 1
+	}
+	if g.rng.Intn(2) == 0 {
+		return uint64(-c)
+	}
+	return uint64(c)
+}
+
+// randBitwise builds a random bitwise-pure expression over vars.
+func (g *Generator) randBitwise(vars []string, depth int) *expr.Expr {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		v := expr.Var(vars[g.rng.Intn(len(vars))])
+		if g.rng.Intn(4) == 0 {
+			return expr.Not(v)
+		}
+		return v
+	}
+	ops := []expr.Op{expr.OpAnd, expr.OpOr, expr.OpXor}
+	op := ops[g.rng.Intn(len(ops))]
+	e := expr.Binary(op, g.randBitwise(vars, depth-1), g.randBitwise(vars, depth-1))
+	if g.rng.Intn(6) == 0 {
+		return expr.Not(e)
+	}
+	return e
+}
+
+// nonDegenerateBitwise draws a random bitwise expression whose truth
+// column is not constant and not a plain (possibly negated) variable
+// column — degenerate draws like x|x or y^~y fold away under any
+// solver's word-level rewriting and would make the corpus trivially
+// easy (the paper's collected corpus has no such terms).
+func (g *Generator) nonDegenerateBitwise(vars []string) *expr.Expr {
+	for attempt := 0; attempt < 16; attempt++ {
+		e := g.randBitwise(vars, 1+g.rng.Intn(2))
+		col := truthtable.TruthColumn(e, vars)
+		if degenerateColumn(col, vars) && len(vars) > 1 {
+			continue
+		}
+		return e
+	}
+	return g.randBitwise(vars, 1)
+}
+
+// degenerateColumn reports whether the column is constant or equal to
+// a single variable's (possibly complemented) column.
+func degenerateColumn(col uint64, vars []string) bool {
+	n := uint(1) << len(vars)
+	mask := uint64(1)<<n - 1
+	col &= mask
+	if col == 0 || col == mask {
+		return true
+	}
+	for j := range vars {
+		var vcol uint64
+		for a := uint(0); a < n; a++ {
+			if a>>uint(j)&1 == 1 {
+				vcol |= 1 << a
+			}
+		}
+		if col == vcol || col == ^vcol&mask {
+			return true
+		}
+	}
+	return false
+}
+
+// groundLinear picks a simple linear ground truth over vars.
+func (g *Generator) groundLinear(vars []string) *expr.Expr {
+	x := expr.Var(vars[0])
+	switch {
+	case len(vars) == 1:
+		switch g.rng.Intn(4) {
+		case 0:
+			return x
+		case 1:
+			return expr.Neg(x)
+		case 2:
+			return expr.Add(x, expr.Const(uint64(g.rng.Int63n(16))))
+		default:
+			return expr.Mul(expr.Const(uint64(2+g.rng.Int63n(4))), x)
+		}
+	default:
+		y := expr.Var(vars[1])
+		cands := []*expr.Expr{
+			expr.Add(x, y),
+			expr.Sub(x, y),
+			expr.And(x, y),
+			expr.Or(x, y),
+			expr.Xor(x, y),
+			x,
+			expr.Add(expr.Add(x, y), expr.Const(uint64(g.rng.Int63n(8)))),
+		}
+		if len(vars) >= 3 {
+			z := expr.Var(vars[2])
+			cands = append(cands, expr.Add(expr.Sub(x, y), z), expr.Add(x, expr.And(y, z)))
+		}
+		return cands[g.rng.Intn(len(cands))]
+	}
+}
+
+// signatureOf computes the signature vector of e over vars.
+func (g *Generator) signatureOf(e *expr.Expr, vars []string) []uint64 {
+	return truthtable.Compute(e, vars, g.cfg.Width).S
+}
+
+// Linear generates one linear MBA identity with the null-space method:
+// random terms are generated, and a completion term computed through
+// the Möbius transform forces the total signature to match the ground
+// truth.
+func (g *Generator) Linear() Sample {
+	g.id++
+	vars := g.pickVars()
+	ground := g.groundLinear(vars)
+	obf := g.linearWithSignature(g.signatureOf(ground, vars), vars)
+	return Sample{ID: g.id, Kind: metrics.KindLinear, Obfuscated: obf, Ground: ground}
+}
+
+// linearWithSignature builds a random linear MBA whose signature over
+// vars equals target, drawing up to cfg.LinearTerms random terms.
+func (g *Generator) linearWithSignature(target []uint64, vars []string) *expr.Expr {
+	return g.linearWithSignatureN(target, vars, 3+g.rng.Intn(g.cfg.LinearTerms-2))
+}
+
+// linearWithSignatureN is linearWithSignature with an explicit random
+// term budget (the poly generator uses small factors so that the
+// expanded product stays near Table 1's term counts).
+func (g *Generator) linearWithSignatureN(target []uint64, vars []string, nTerms int) *expr.Expr {
+	mask := eval.Mask(g.cfg.Width)
+	residual := append([]uint64(nil), target...)
+
+	var terms []*expr.Expr
+	for i := 0; i < nTerms; i++ {
+		e := g.nonDegenerateBitwise(vars)
+		coeff := g.randCoeff()
+		col := truthtable.TruthColumn(e, vars)
+		for a := range residual {
+			if col>>uint(a)&1 == 1 {
+				residual[a] = (residual[a] - coeff) & mask
+			}
+		}
+		terms = append(terms, scaleTerm(coeff, e, g.cfg.Width))
+	}
+
+	// Completion: render the residual signature over the conjunction
+	// basis and append its terms.
+	c := append([]uint64(nil), residual...)
+	linalg.Moebius(c, g.cfg.Width)
+	for sub := 1; sub < len(c); sub++ {
+		if c[sub] == 0 {
+			continue
+		}
+		terms = append(terms, scaleTerm(c[sub], conj(vars, sub), g.cfg.Width))
+	}
+	if k := -c[0] & mask; k != 0 {
+		terms = append(terms, constTerm(k, g.cfg.Width))
+	}
+
+	g.rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+	return sumTerms(terms)
+}
+
+// scaleTerm renders coeff*e with signed-coefficient sugar.
+func scaleTerm(coeff uint64, e *expr.Expr, width uint) *expr.Expr {
+	mask := eval.Mask(width)
+	coeff &= mask
+	switch coeff {
+	case 1:
+		return e
+	case mask:
+		return expr.Neg(e)
+	}
+	if coeff>>(width-1)&1 == 1 {
+		return expr.Neg(expr.Mul(expr.Const(-coeff&mask), e))
+	}
+	return expr.Mul(expr.Const(coeff), e)
+}
+
+func constTerm(v uint64, width uint) *expr.Expr {
+	if v>>(width-1)&1 == 1 {
+		return expr.Neg(expr.Const(-v & eval.Mask(width)))
+	}
+	return expr.Const(v)
+}
+
+func conj(vars []string, subset int) *expr.Expr {
+	var acc *expr.Expr
+	for i, v := range vars {
+		if subset&(1<<i) == 0 {
+			continue
+		}
+		if acc == nil {
+			acc = expr.Var(v)
+		} else {
+			acc = expr.And(acc, expr.Var(v))
+		}
+	}
+	if acc == nil {
+		panic("gen: empty conjunction")
+	}
+	return acc
+}
+
+func sumTerms(terms []*expr.Expr) *expr.Expr {
+	if len(terms) == 0 {
+		return expr.Const(0)
+	}
+	acc := terms[0]
+	for _, t := range terms[1:] {
+		if t.Op == expr.OpNeg {
+			acc = expr.Sub(acc, t.X)
+		} else {
+			acc = expr.Add(acc, t)
+		}
+	}
+	return acc
+}
+
+// zeroLinear builds a linear MBA that is identically zero: random
+// terms completed back to the all-zero signature.
+func (g *Generator) zeroLinear(vars []string) *expr.Expr {
+	zero := make([]uint64, 1<<len(vars))
+	return g.linearWithSignature(zero, vars)
+}
+
+// zeroLinearSmall is zeroLinear with a small term budget.
+func (g *Generator) zeroLinearSmall(vars []string) *expr.Expr {
+	zero := make([]uint64, 1<<len(vars))
+	return g.linearWithSignatureN(zero, vars, 1+g.rng.Intn(2))
+}
+
+// Poly generates one non-linear polynomial MBA identity: a product of
+// obfuscated linear factors plus zero-signature padding, expanded to
+// Definition 2 shape.
+func (g *Generator) Poly() Sample {
+	g.id++
+	vars := g.pickVars()
+	if len(vars) == 1 {
+		vars = varPool[:2] // degree needs at least some structure
+	}
+	x, y := expr.Var(vars[0]), expr.Var(vars[1])
+
+	var ground *expr.Expr
+	switch g.rng.Intn(4) {
+	case 0:
+		ground = expr.Mul(x, y)
+	case 1:
+		ground = expr.Add(expr.Mul(x, y), x)
+	case 2:
+		ground = expr.Mul(x, expr.Add(x, y))
+	default:
+		ground = expr.Sub(expr.Mul(x, x), expr.Mul(y, y))
+	}
+
+	// Obfuscate by replacing simple factors with equivalent linear
+	// MBAs, then expanding into Σ aᵢ·Π eᵢⱼ form. Retry when the
+	// expansion happens to be formally identical to the ground truth
+	// (a trivial draw any solver's arithmetic normalization kills —
+	// the paper's corpus had essentially none of those: 1/1000 poly
+	// equations solved).
+	var expanded *expr.Expr
+	for attempt := 0; attempt < 8; attempt++ {
+		obf := expr.Rewrite(ground, func(n *expr.Expr) *expr.Expr {
+			if n.Op != expr.OpMul {
+				return nil
+			}
+			c := *n
+			c.X = g.linearizeFactor(c.X, vars)
+			c.Y = g.linearizeFactor(c.Y, vars)
+			return &c
+		})
+		// Zero-signature padding multiplied by a random bitwise
+		// expression keeps the identity while deepening the polynomial.
+		pad := expr.Mul(g.zeroLinearSmall(vars), g.randBitwise(vars, 1))
+		obf = expr.Add(obf, pad)
+		expanded = expandToPolyForm(obf, g.cfg.Width)
+		if !formallyEqual(expanded, ground, g.cfg.Width) {
+			break
+		}
+	}
+	return Sample{ID: g.id, Kind: metrics.KindPoly, Obfuscated: expanded, Ground: ground}
+}
+
+// linearizeFactor replaces a linear factor by an equivalent random
+// linear MBA (leaves non-linear factors untouched).
+func (g *Generator) linearizeFactor(e *expr.Expr, vars []string) *expr.Expr {
+	if metrics.Classify(e) != metrics.KindLinear {
+		return e
+	}
+	evars := expr.Vars(e)
+	if len(evars) == 0 {
+		evars = vars[:1]
+	}
+	return g.linearWithSignatureN(g.signatureOf(e, evars), evars, 2+g.rng.Intn(2))
+}
+
+// NonPoly generates one non-polynomial MBA identity by applying
+// Hacker's Delight rewrite rules to compound subtrees.
+func (g *Generator) NonPoly() Sample {
+	g.id++
+	hard := g.rng.Float64() < g.cfg.HardFraction
+	vars := g.pickVars()
+	if len(vars) < 2 {
+		vars = varPool[:2]
+	}
+	ground := g.groundNonPoly(vars, hard)
+	obf := ground
+	rewrites := 3 + g.rng.Intn(g.cfg.NonPolyRewrites-2)
+	for i := 0; i < rewrites; i++ {
+		obf = g.applyRandomRule(obf)
+	}
+	// Guarantee the non-poly shape: if rewriting happened to keep the
+	// expression polynomial, force one more rule at the root.
+	if metrics.Classify(obf) != metrics.KindNonPoly {
+		obf = g.applyRuleAt(obf, obf)
+	}
+	// Layered obfuscation (Tigress-style): most samples additionally
+	// carry a globally scrambled zero-signature linear MBA. Local rule
+	// rewriting alone leaves the obfuscated circuit structurally close
+	// to the ground circuit, which SAT equivalence checking exploits;
+	// the scrambled zero chunk removes that correspondence, matching
+	// the hardness profile of the paper's non-poly corpus (only 28 of
+	// 1000 solved).
+	if g.rng.Float64() < 0.95 {
+		obf = expr.Add(obf, g.zeroLinear(vars))
+	}
+	return Sample{ID: g.id, Kind: metrics.KindNonPoly, Obfuscated: obf, Ground: ground, Hard: hard}
+}
+
+// groundNonPoly picks the seed expression. Hard samples seed with
+// several distinct non-linear atoms so that abstraction exceeds the
+// normalization budget.
+func (g *Generator) groundNonPoly(vars []string, hard bool) *expr.Expr {
+	x, y := expr.Var(vars[0]), expr.Var(vars[1])
+	if hard {
+		// Distinct squares and products resist abstraction sharing.
+		parts := []*expr.Expr{
+			expr.Mul(x, x), expr.Mul(y, y), expr.Mul(x, y),
+			expr.Mul(expr.Add(x, y), y), expr.Mul(expr.Sub(x, y), x),
+			expr.Mul(expr.Add(x, expr.Const(1)), expr.Add(y, expr.Const(3))),
+			expr.Mul(expr.Mul(x, x), y),
+		}
+		g.rng.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+		n := 5 + g.rng.Intn(3)
+		if n > len(parts) {
+			n = len(parts)
+		}
+		return sumTerms(parts[:n])
+	}
+	cands := []*expr.Expr{
+		expr.Add(x, y),
+		expr.Sub(x, y),
+		expr.Add(expr.Mul(x, y), x),
+		expr.Sub(expr.Mul(x, y), y),
+		expr.Mul(x, y),
+		expr.Add(expr.Mul(x, y), expr.Mul(x, x)),
+	}
+	if len(vars) >= 3 {
+		z := expr.Var(vars[2])
+		cands = append(cands, expr.Add(expr.Mul(x, y), z), expr.Sub(expr.Mul(x, z), expr.Mul(y, z)))
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// rulesByOp indexes the shared identity catalog (internal/identities)
+// by the operator being rewritten; the generator applies entries in
+// the simple→MBA direction.
+var rulesByOp = identities.ByOp()
+
+// applyRandomRule rewrites one random applicable node of e.
+func (g *Generator) applyRandomRule(e *expr.Expr) *expr.Expr {
+	// Collect applicable nodes.
+	var nodes []*expr.Expr
+	expr.Walk(e, func(n *expr.Expr) {
+		if len(rulesByOp[n.Op]) > 0 {
+			nodes = append(nodes, n)
+		}
+	})
+	if len(nodes) == 0 {
+		// Wrap the whole expression: e = (e + v) - v obfuscated.
+		v := expr.Var(varPool[g.rng.Intn(2)])
+		return g.applyRuleAt(expr.Add(e, expr.Sub(v, v)), e)
+	}
+	return g.applyRuleAt(e, nodes[g.rng.Intn(len(nodes))])
+}
+
+// applyRuleAt rewrites the specific target node (by pointer identity)
+// with a random matching catalog identity; if none matches, target+0
+// is obfuscated via an addition identity instead.
+func (g *Generator) applyRuleAt(e, target *expr.Expr) *expr.Expr {
+	matching := rulesByOp[target.Op]
+	if len(matching) == 0 {
+		addRules := rulesByOp[expr.OpAdd]
+		ident := addRules[g.rng.Intn(len(addRules))]
+		repl := identities.Instantiate(ident.MBA, target, expr.Const(0))
+		return replaceNode(e, target, repl)
+	}
+	ident := matching[g.rng.Intn(len(matching))]
+	repl := identities.Instantiate(ident.MBA, target.X, target.Y)
+	return replaceNode(e, target, repl)
+}
+
+// replaceNode substitutes the node with pointer identity `target`.
+func replaceNode(e, target, repl *expr.Expr) *expr.Expr {
+	if e == target {
+		return repl
+	}
+	if e.Op.IsLeaf() {
+		return e
+	}
+	x := replaceNode(e.X, target, repl)
+	var y *expr.Expr
+	if e.Op.IsBinary() {
+		y = replaceNode(e.Y, target, repl)
+	}
+	if x == e.X && y == e.Y {
+		return e
+	}
+	c := *e
+	c.X, c.Y = x, y
+	return &c
+}
+
+// describe aids debugging and error messages.
+func describe(s Sample) string {
+	return fmt.Sprintf("sample %d (%s): %s == %s", s.ID, s.Kind, s.Obfuscated, s.Ground)
+}

@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/parser"
+)
+
+// checkIdentity verifies the sample's two sides agree on many random
+// inputs at several widths.
+func checkIdentity(t *testing.T, s Sample) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(s.ID)))
+	for _, width := range []uint{8, 32, 64} {
+		if eq, env := eval.ProbablyEqual(rng, s.Obfuscated, s.Ground, width, 60); !eq {
+			t.Errorf("%s: not an identity at width %d (env %v)", describe(s), width, env)
+			return
+		}
+	}
+}
+
+func TestLinearSamplesAreIdentities(t *testing.T) {
+	g := New(Config{Seed: 1})
+	for i := 0; i < 150; i++ {
+		s := g.Linear()
+		if s.Kind != metrics.KindLinear {
+			t.Fatalf("wrong kind %v", s.Kind)
+		}
+		checkIdentity(t, s)
+		if got := metrics.Classify(s.Obfuscated); got != metrics.KindLinear {
+			t.Errorf("sample %d: obfuscated side classified %v, want linear:\n%s", s.ID, got, s.Obfuscated)
+		}
+	}
+}
+
+func TestPolySamplesAreIdentities(t *testing.T) {
+	g := New(Config{Seed: 2})
+	for i := 0; i < 80; i++ {
+		s := g.Poly()
+		checkIdentity(t, s)
+		if got := metrics.Classify(s.Obfuscated); got != metrics.KindPoly {
+			t.Errorf("sample %d: obfuscated side classified %v, want poly:\n%s", s.ID, got, s.Obfuscated)
+		}
+	}
+}
+
+func TestNonPolySamplesAreIdentities(t *testing.T) {
+	g := New(Config{Seed: 3})
+	hard := 0
+	for i := 0; i < 80; i++ {
+		s := g.NonPoly()
+		checkIdentity(t, s)
+		if got := metrics.Classify(s.Obfuscated); got != metrics.KindNonPoly {
+			t.Errorf("sample %d: obfuscated side classified %v, want nonpoly:\n%s", s.ID, got, s.Obfuscated)
+		}
+		if s.Hard {
+			hard++
+		}
+	}
+	if hard == 0 {
+		t.Error("expected some hard non-poly samples at the default 10% fraction")
+	}
+}
+
+func TestCorpusLayoutAndDeterminism(t *testing.T) {
+	a := New(Config{Seed: 99}).Corpus(10)
+	b := New(Config{Seed: 99}).Corpus(10)
+	if len(a) != 30 {
+		t.Fatalf("corpus size %d, want 30", len(a))
+	}
+	for i := range a {
+		if !expr.Equal(a[i].Obfuscated, b[i].Obfuscated) {
+			t.Fatalf("sample %d differs across identically seeded generators", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if a[i].Kind != metrics.KindLinear || a[10+i].Kind != metrics.KindPoly || a[20+i].Kind != metrics.KindNonPoly {
+			t.Fatalf("corpus layout broken at index %d", i)
+		}
+	}
+}
+
+func TestObfuscationIncreasesComplexity(t *testing.T) {
+	g := New(Config{Seed: 5})
+	grew := 0
+	const n = 60
+	for i := 0; i < n; i++ {
+		s := g.Linear()
+		if metrics.Alternation(s.Obfuscated) > metrics.Alternation(s.Ground) {
+			grew++
+		}
+	}
+	if grew < n*3/4 {
+		t.Errorf("only %d/%d linear samples increased alternation", grew, n)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := New(Config{Seed: 6})
+	samples := g.Corpus(5)
+	var sb strings.Builder
+	if err := Save(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(samples) {
+		t.Fatalf("loaded %d, want %d", len(loaded), len(samples))
+	}
+	for i := range samples {
+		if samples[i].Kind != loaded[i].Kind || samples[i].Hard != loaded[i].Hard {
+			t.Errorf("sample %d metadata mismatch", i)
+		}
+		// Parse/print round trip must preserve semantics.
+		rng := rand.New(rand.NewSource(int64(i)))
+		if eq, _ := eval.ProbablyEqual(rng, samples[i].Obfuscated, loaded[i].Obfuscated, 64, 40); !eq {
+			t.Errorf("sample %d: loaded obfuscated side differs semantically", i)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	for _, bad := range []string{
+		"linear\t0\tx\n",       // missing field
+		"cubic\t0\tx\tx\n",     // unknown kind
+		"linear\t0\tx+\tx\n",   // bad ground expr
+		"linear\t0\tx\t(x|y\n", // bad obfuscated expr
+	} {
+		if _, err := Load(strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestComplexityDistributionRoughlyTable1(t *testing.T) {
+	// Sanity-check the Table 1 calibration: averages inside loose
+	// bands around the paper's numbers.
+	g := New(Config{Seed: 7})
+	samples := g.Corpus(100)
+	sums := map[metrics.Kind]struct {
+		alt, terms, n int
+	}{}
+	for _, s := range samples {
+		m := metrics.Measure(s.Obfuscated)
+		v := sums[s.Kind]
+		v.alt += m.Alternation
+		v.terms += m.NumTerms
+		v.n++
+		sums[s.Kind] = v
+	}
+	for kind, v := range sums {
+		avgAlt := float64(v.alt) / float64(v.n)
+		avgTerms := float64(v.terms) / float64(v.n)
+		if avgAlt < 3 || avgAlt > 60 {
+			t.Errorf("%v: average alternation %.1f outside sanity band", kind, avgAlt)
+		}
+		if avgTerms < 2 || avgTerms > 80 {
+			t.Errorf("%v: average terms %.1f outside sanity band", kind, avgTerms)
+		}
+	}
+}
+
+func TestObfuscatePreservesSemantics(t *testing.T) {
+	g := New(Config{Seed: 41})
+	inputs := []string{
+		"x+y", "x*y - z", "x", "(x&y)+3", "x*(y+1)",
+	}
+	rng := rand.New(rand.NewSource(2))
+	for _, src := range inputs {
+		e := mustParse(t, src)
+		for layers := 1; layers <= 5; layers++ {
+			obf := g.Obfuscate(e, layers)
+			if eq, env := eval.ProbablyEqual(rng, e, obf, 64, 80); !eq {
+				t.Fatalf("Obfuscate(%q, %d) broke semantics at %v:\n%s", src, layers, env, obf)
+			}
+		}
+	}
+}
+
+func TestObfuscateGrowsComplexity(t *testing.T) {
+	g := New(Config{Seed: 42})
+	e := mustParse(t, "x+y")
+	grew := 0
+	for i := 0; i < 20; i++ {
+		obf := g.Obfuscate(e, 4)
+		if metrics.Alternation(obf) > metrics.Alternation(e) {
+			grew++
+		}
+	}
+	if grew < 16 {
+		t.Errorf("only %d/20 obfuscations increased alternation", grew)
+	}
+}
+
+func mustParse(t *testing.T, src string) *expr.Expr {
+	t.Helper()
+	e, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

@@ -1,0 +1,48 @@
+package gen
+
+import (
+	"mbasolver/internal/expr"
+	"mbasolver/internal/truthtable"
+)
+
+// Obfuscate rewrites an arbitrary expression into a provably
+// equivalent but more complex MBA form — the Tigress
+// EncodeArithmetic-style pipeline (paper §2.2):
+//
+//  1. `layers` rounds of Hacker's Delight rule rewriting at random
+//     applicable nodes (each sound for arbitrary subexpressions), and
+//  2. a linear scramble: maximal linear sub-MBAs over few variables
+//     are replaced by random equivalent linear MBAs via the null-space
+//     construction.
+//
+// The result is an identity with e by construction.
+func (g *Generator) Obfuscate(e *expr.Expr, layers int) *expr.Expr {
+	out := e
+	for i := 0; i < layers; i++ {
+		out = g.applyRandomRule(out)
+	}
+	return g.linearScramble(out)
+}
+
+// linearScramble replaces bitwise-pure subtrees over at most 3
+// variables with random equivalent linear MBAs, destroying the local
+// structural correspondence that rule rewriting leaves behind.
+func (g *Generator) linearScramble(e *expr.Expr) *expr.Expr {
+	return expr.Rewrite(e, func(n *expr.Expr) *expr.Expr {
+		if n.Op.IsLeaf() || !n.Op.IsBitwise() {
+			return nil
+		}
+		if !expr.IsBitwisePure(n) {
+			return nil
+		}
+		vars := expr.Vars(n)
+		if len(vars) == 0 || len(vars) > 3 {
+			return nil
+		}
+		if g.rng.Intn(2) == 0 {
+			return nil // scramble roughly half the candidates
+		}
+		sig := truthtable.Compute(n, vars, g.cfg.Width)
+		return g.linearWithSignatureN(sig.S, vars, 2+g.rng.Intn(3))
+	})
+}

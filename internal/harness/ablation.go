@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"mbasolver/internal/core"
+	"mbasolver/internal/gen"
+	"mbasolver/internal/metrics"
+)
+
+// AblationRow reports one simplifier configuration over the corpus.
+type AblationRow struct {
+	Config        string
+	AltBefore     float64
+	AltAfter      float64
+	AvgTime       time.Duration
+	TableHits     int
+	Bailouts      int
+	NotSimplified int // samples whose output alternation stayed above 2
+}
+
+// AblationConfigs returns the configurations the DESIGN.md ablation
+// studies: everything on, and each §4.5 optimization (plus the basis
+// choice) toggled individually.
+func AblationConfigs() map[string]core.Options {
+	return map[string]core.Options{
+		"full":        {},
+		"no-table":    {DisableTable: true},
+		"no-cse":      {DisableCSE: true},
+		"no-finalopt": {DisableFinalOpt: true},
+		"basis-disj":  {Basis: core.BasisDisjunction},
+	}
+}
+
+// RunAblation simplifies the corpus under each configuration and
+// aggregates effectiveness (alternation reduction) and cost.
+func RunAblation(samples []gen.Sample) []AblationRow {
+	order := []string{"full", "no-table", "no-cse", "no-finalopt", "basis-disj"}
+	configs := AblationConfigs()
+	rows := make([]AblationRow, 0, len(order))
+	for _, name := range order {
+		opts := configs[name]
+		s := core.New(opts)
+		row := AblationRow{Config: name}
+		start := time.Now()
+		for _, sample := range samples {
+			before := metrics.Alternation(sample.Obfuscated)
+			out := s.Simplify(sample.Obfuscated)
+			after := metrics.Alternation(out)
+			row.AltBefore += float64(before)
+			row.AltAfter += float64(after)
+			if after > 2 {
+				row.NotSimplified++
+			}
+		}
+		n := len(samples)
+		if n > 0 {
+			row.AltBefore /= float64(n)
+			row.AltAfter /= float64(n)
+			row.AvgTime = time.Since(start) / time.Duration(n)
+		}
+		st := s.Stats()
+		row.TableHits = st.TableHits
+		row.Bailouts = st.Bailouts
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationTable renders the ablation comparison.
+func AblationTable(rows []AblationRow) string {
+	var b tableBuilder
+	b.titlef("Ablation: MBA-Solver configurations over the corpus")
+	b.row("Config", "Alt before", "Alt after", "A/B %", "Residual>2", "Avg time", "Table hits", "Bailouts")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.AltBefore > 0 {
+			ratio = 100 * r.AltAfter / r.AltBefore
+		}
+		b.row(r.Config,
+			fmt.Sprintf("%.1f", r.AltBefore),
+			fmt.Sprintf("%.1f", r.AltAfter),
+			fmt.Sprintf("%.1f%%", ratio),
+			fmt.Sprintf("%d", r.NotSimplified),
+			fmt.Sprintf("%.4fs", sec(r.AvgTime)),
+			fmt.Sprintf("%d", r.TableHits),
+			fmt.Sprintf("%d", r.Bailouts))
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/smt"
+)
+
+// WriteOutcomesCSV exports per-query outcomes for external analysis
+// (the raw data behind Tables 2/6 and Figures 3/4/6). Columns:
+// sample id, kind, hard flag, solver, status, elapsed seconds and the
+// complexity metrics of the expression the solver saw.
+func WriteOutcomesCSV(w io.Writer, outcomes []Outcome) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"sample", "kind", "hard", "solver", "status", "elapsed_s",
+		"vars", "alternation", "length", "terms", "max_coeff",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		rec := []string{
+			strconv.Itoa(o.Sample.ID),
+			o.Sample.Kind.String(),
+			strconv.FormatBool(o.Sample.Hard),
+			o.Solver,
+			o.Status.String(),
+			fmt.Sprintf("%.6f", o.Elapsed.Seconds()),
+			strconv.Itoa(o.Metrics.NumVars),
+			strconv.Itoa(o.Metrics.Alternation),
+			strconv.Itoa(o.Metrics.Length),
+			strconv.Itoa(o.Metrics.NumTerms),
+			strconv.FormatUint(o.Metrics.MaxCoeff, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadOutcomesCSV round-trips the export format (used by tests and by
+// tooling that post-processes saved runs). Only the fields needed for
+// re-rendering tables are reconstructed.
+func ReadOutcomesCSV(r io.Reader) ([]Outcome, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, nil
+	}
+	out := make([]Outcome, 0, len(records)-1)
+	for _, rec := range records[1:] {
+		if len(rec) != 11 {
+			return nil, fmt.Errorf("harness: CSV row has %d fields, want 11", len(rec))
+		}
+		o := Outcome{}
+		o.Sample.ID, _ = strconv.Atoi(rec[0])
+		switch rec[1] {
+		case "poly":
+			o.Sample.Kind = metrics.KindPoly
+		case "nonpoly":
+			o.Sample.Kind = metrics.KindNonPoly
+		}
+		o.Sample.Hard = rec[2] == "true"
+		o.Solver = rec[3]
+		switch rec[4] {
+		case "equivalent":
+			o.Status = smt.Equivalent
+		case "not-equivalent":
+			o.Status = smt.NotEquivalent
+		}
+		secs, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("harness: bad elapsed %q", rec[5])
+		}
+		o.Elapsed = time.Duration(secs * float64(time.Second))
+		o.Metrics.NumVars, _ = strconv.Atoi(rec[6])
+		o.Metrics.Alternation, _ = strconv.Atoi(rec[7])
+		o.Metrics.Length, _ = strconv.Atoi(rec[8])
+		o.Metrics.NumTerms, _ = strconv.Atoi(rec[9])
+		o.Metrics.MaxCoeff, _ = strconv.ParseUint(rec[10], 10, 64)
+		out = append(out, o)
+	}
+	return out, nil
+}

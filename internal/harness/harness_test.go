@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/smt"
+)
+
+func solverNames(solvers []*smt.Solver) []string {
+	names := make([]string, len(solvers))
+	for i, s := range solvers {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// TestHeadlineShape reproduces the paper's central claim at miniature
+// scale: with a bounded budget the raw corpus is mostly unsolved, and
+// after MBA-Solver simplification almost everything solves quickly.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run is slow")
+	}
+	g := gen.New(gen.Config{Seed: 21})
+	samples := g.Corpus(12) // 36 equations
+	solvers := smt.All()
+	cfg := Config{Width: 8, Budget: smt.Budget{Conflicts: 1500}, Parallelism: 4}
+
+	base := RunBaseline(samples, solvers, cfg)
+	simp := RunSimplified(samples, solvers, cfg)
+
+	solved := func(outs []Outcome) int {
+		n := 0
+		for _, o := range outs {
+			n++
+			if !o.Solved() {
+				n--
+			}
+		}
+		return n
+	}
+	nb, ns := solved(base), solved(simp)
+	if ns <= nb {
+		t.Errorf("simplification did not help: baseline %d/%d vs simplified %d/%d",
+			nb, len(base), ns, len(simp))
+	}
+	if float64(ns) < 0.9*float64(len(simp)) {
+		t.Errorf("simplified solve rate too low: %d/%d", ns, len(simp))
+	}
+	// No solver may ever refute a corpus equation: they are identities
+	// and every pipeline stage is semantics-preserving.
+	for _, o := range append(base, simp...) {
+		if o.Status == smt.NotEquivalent {
+			t.Fatalf("solver %s refuted identity sample %d (%s)", o.Solver, o.Sample.ID, o.Sample.Kind)
+		}
+	}
+
+	// Table renderers must mention every solver and category.
+	tab := SolverTable("Table 2", base, solverNames(solvers))
+	for _, want := range []string{"z3sim", "stpsim", "btorsim", "Linear MBA", "Poly MBA", "Non-poly MBA", "Total Solved"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("SolverTable output missing %q:\n%s", want, tab)
+		}
+	}
+	fig3 := Figure3(base)
+	if !strings.Contains(fig3, "alternation") {
+		t.Errorf("Figure3 missing alternation rows:\n%s", fig3)
+	}
+	fig4 := Figure4(base, solverNames(solvers))
+	if !strings.Contains(fig4, "btorsim") {
+		t.Errorf("Figure4 missing solver rows:\n%s", fig4)
+	}
+	fig6 := Figure6(simp)
+	if !strings.Contains(fig6, "p50") {
+		t.Errorf("Figure6 missing percentiles:\n%s", fig6)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 22})
+	samples := g.Corpus(20)
+	out := Table1(samples)
+	for _, want := range []string{"Num of Variables", "MBA Alternation", "MBA Length", "Number of Terms", "Coefficients"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProfileSimplifier(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 23})
+	rows := ProfileSimplifier(g, 3)
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	filled := 0
+	for _, r := range rows {
+		if r.Samples > 0 {
+			filled++
+			if r.Time <= 0 {
+				t.Errorf("bucket %d: non-positive time", r.Alternation)
+			}
+		}
+	}
+	if filled < 2 {
+		t.Errorf("only %d/4 buckets captured samples", filled)
+	}
+	out := Table8(rows)
+	if !strings.Contains(out, "Alternation") {
+		t.Errorf("Table8 rendering broken:\n%s", out)
+	}
+}
+
+func TestRunPeersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("peer comparison is slow")
+	}
+	g := gen.New(gen.Config{Seed: 24})
+	samples := g.Corpus(6) // 18 equations
+	solvers := smt.All()
+	cfg := Config{Width: 8, Budget: smt.Budget{Conflicts: 1200}, Parallelism: 4}
+	rows := RunPeers(samples, DefaultTools(cfg.Width), solvers, cfg)
+	if len(rows) != 3 {
+		t.Fatalf("got %d peer rows", len(rows))
+	}
+	byName := map[string]PeerRow{}
+	for _, r := range rows {
+		byName[r.Tool] = r
+	}
+	mba := byName["MBA-Solver"]
+	ss := byName["SSPAM"]
+	if mba.Wrong != 0 {
+		t.Errorf("MBA-Solver produced %d wrong simplifications", mba.Wrong)
+	}
+	if ss.Wrong != 0 {
+		t.Errorf("SSPAM produced %d wrong simplifications (its rules are identities)", ss.Wrong)
+	}
+	if mba.Correct <= ss.Correct {
+		t.Errorf("MBA-Solver (%d correct) should beat SSPAM (%d correct)", mba.Correct, ss.Correct)
+	}
+	out := Table7(rows, solverNames(solvers))
+	for _, want := range []string{"SSPAM", "Syntia", "MBA-Solver", "Ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOutcomeMetricsRecorded(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 25})
+	samples := []gen.Sample{g.Linear()}
+	outs := RunBaseline(samples, []*smt.Solver{smt.NewBoolectorSim()}, Config{Width: 4, Budget: smt.Budget{Conflicts: 500}})
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[0].Metrics.Kind != metrics.KindLinear {
+		t.Errorf("metrics not recorded: %+v", outs[0].Metrics)
+	}
+}
+
+func TestPlotsRender(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 31})
+	samples := g.Corpus(3)
+	outs := RunBaseline(samples, smt.All(), Config{Width: 6, Budget: smt.Budget{Conflicts: 400}})
+	for name, out := range map[string]string{
+		"fig3": PlotFigure3(outs),
+		"fig4": PlotFigure4(outs, solverNames(smt.All())),
+		"fig6": PlotFigure6(outs),
+	} {
+		if !strings.Contains(out, "|") || !strings.Contains(out, "-") {
+			t.Errorf("%s plot missing axes:\n%s", name, out)
+		}
+		if len(strings.Split(out, "\n")) < plotHeight {
+			t.Errorf("%s plot too short", name)
+		}
+	}
+}
+
+func TestOutcomesCSVRoundTrip(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 33})
+	samples := g.Corpus(2)
+	outs := RunBaseline(samples, []*smt.Solver{smt.NewBoolectorSim()},
+		Config{Width: 6, Budget: smt.Budget{Conflicts: 300}})
+	var sb strings.Builder
+	if err := WriteOutcomesCSV(&sb, outs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOutcomesCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(outs) {
+		t.Fatalf("round trip %d of %d rows", len(back), len(outs))
+	}
+	for i := range outs {
+		if back[i].Sample.ID != outs[i].Sample.ID ||
+			back[i].Sample.Kind != outs[i].Sample.Kind ||
+			back[i].Solver != outs[i].Solver ||
+			back[i].Status != outs[i].Status ||
+			back[i].Metrics.Alternation != outs[i].Metrics.Alternation {
+			t.Fatalf("row %d differs: %+v vs %+v", i, back[i], outs[i])
+		}
+	}
+	// The re-read rows must render the same Table 2 cells.
+	a := SolverTable("t", outs, []string{"btorsim"})
+	b := SolverTable("t", back, []string{"btorsim"})
+	if a != b {
+		t.Errorf("re-rendered table differs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 51})
+	samples := g.Corpus(4)
+	rows := RunAblation(samples)
+	if len(rows) != 5 {
+		t.Fatalf("got %d ablation rows", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Config] = r
+	}
+	full := byName["full"]
+	if full.AltAfter >= full.AltBefore {
+		t.Errorf("full config did not reduce alternation: %.1f -> %.1f", full.AltBefore, full.AltAfter)
+	}
+	if byName["no-finalopt"].AltAfter < full.AltAfter {
+		t.Errorf("disabling final-opt should not reduce alternation further")
+	}
+	out := AblationTable(rows)
+	for _, want := range []string{"full", "no-table", "no-cse", "no-finalopt", "basis-disj"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("AblationTable missing %q:\n%s", want, out)
+		}
+	}
+}

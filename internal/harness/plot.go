@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ASCII plot rendering for the paper's figures: the text-mode
+// equivalent of Figure 3 (metric vs solving time), Figure 4 (solving
+// time scatter per solver) and Figure 6 (sorted time curve after
+// simplification). cmd/mbabench prints these beneath the numeric
+// tables so the shape is visible at a glance.
+
+const (
+	plotWidth  = 64
+	plotHeight = 12
+)
+
+// plotCanvas is a fixed-size character raster.
+type plotCanvas struct {
+	cells [][]byte
+}
+
+func newCanvas() *plotCanvas {
+	c := &plotCanvas{cells: make([][]byte, plotHeight)}
+	for i := range c.cells {
+		c.cells[i] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	return c
+}
+
+// set plots a point with 0,0 at the bottom-left.
+func (c *plotCanvas) set(x, y int, ch byte) {
+	if x < 0 || x >= plotWidth || y < 0 || y >= plotHeight {
+		return
+	}
+	row := plotHeight - 1 - y
+	if c.cells[row][x] == ' ' || c.cells[row][x] == ch {
+		c.cells[row][x] = ch
+	} else {
+		c.cells[row][x] = '*' // collision of different series
+	}
+}
+
+func (c *plotCanvas) render(b *strings.Builder, yLabel func(frac float64) string) {
+	for i, row := range c.cells {
+		frac := 1 - float64(i)/float64(plotHeight-1)
+		label := yLabel(frac)
+		fmt.Fprintf(b, "%10s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(b, "%10s +%s\n", "", strings.Repeat("-", plotWidth))
+}
+
+// PlotFigure4 draws each solver's sorted solving times (timeouts
+// plotted at the ceiling), one mark per query: the text rendition of
+// the paper's Figure 4 scatter.
+func PlotFigure4(outcomes []Outcome, solvers []string) string {
+	marks := []byte{'z', 's', 'b', '1', '2', '3'}
+	var maxT float64
+	perSolver := map[string][]float64{}
+	for _, o := range outcomes {
+		v := o.Elapsed.Seconds()
+		if !o.Solved() {
+			v = -1 // timeout sentinel
+		} else if v > maxT {
+			maxT = v
+		}
+		perSolver[o.Solver] = append(perSolver[o.Solver], v)
+	}
+	if maxT == 0 {
+		maxT = 1
+	}
+	canvas := newCanvas()
+	var legend []string
+	for si, name := range solvers {
+		times := perSolver[name]
+		sort.Float64s(times)
+		mark := marks[si%len(marks)]
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, name))
+		for i, v := range times {
+			x := 0
+			if len(times) > 1 {
+				x = i * (plotWidth - 1) / (len(times) - 1)
+			}
+			y := plotHeight - 1 // timeouts at ceiling
+			if v >= 0 {
+				y = int(v / maxT * float64(plotHeight-2))
+			}
+			canvas.set(x, y, mark)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4 plot: per-query solving time, sorted per solver (ceiling = timeout; %s)\n",
+		strings.Join(legend, " "))
+	canvas.render(&b, func(frac float64) string {
+		if frac >= 0.999 {
+			return "timeout"
+		}
+		return fmt.Sprintf("%.2fs", frac*maxT)
+	})
+	b.WriteString(strings.Repeat(" ", 11) + "queries, sorted by time ->\n")
+	return b.String()
+}
+
+// PlotFigure3 draws the timeout rate against MBA alternation buckets —
+// the dominant-metric finding of the paper's Figure 3.
+func PlotFigure3(outcomes []Outcome) string {
+	type agg struct{ timeouts, total int }
+	buckets := map[int]*agg{}
+	maxBucket := 0
+	for _, o := range outcomes {
+		bk := o.Metrics.Alternation / 4 * 4
+		a := buckets[bk]
+		if a == nil {
+			a = &agg{}
+			buckets[bk] = a
+		}
+		a.total++
+		if !o.Solved() {
+			a.timeouts++
+		}
+		if bk > maxBucket {
+			maxBucket = bk
+		}
+	}
+	canvas := newCanvas()
+	for bk, a := range buckets {
+		x := 0
+		if maxBucket > 0 {
+			x = bk * (plotWidth - 1) / maxBucket
+		}
+		rate := float64(a.timeouts) / float64(a.total)
+		y := int(math.Round(rate * float64(plotHeight-1)))
+		canvas.set(x, y, '#')
+		// Draw a thin column under the point for readability.
+		for yy := 0; yy < y; yy++ {
+			canvas.set(x, yy, '.')
+		}
+	}
+	var b strings.Builder
+	b.WriteString("Figure 3 plot: timeout rate vs MBA alternation (bucketed by 4)\n")
+	canvas.render(&b, func(frac float64) string {
+		return fmt.Sprintf("%3.0f%%", frac*100)
+	})
+	fmt.Fprintf(&b, "%salternation 0..%d ->\n", strings.Repeat(" ", 11), maxBucket)
+	return b.String()
+}
+
+// PlotFigure6 draws the sorted z3sim solving-time curve after
+// simplification.
+func PlotFigure6(outcomes []Outcome) string {
+	var times []float64
+	timeouts := 0
+	for _, o := range outcomes {
+		if o.Solver != "z3sim" {
+			continue
+		}
+		if o.Solved() {
+			times = append(times, o.Elapsed.Seconds())
+		} else {
+			timeouts++
+		}
+	}
+	sort.Float64s(times)
+	maxT := 0.000001
+	if n := len(times); n > 0 && times[n-1] > maxT {
+		maxT = times[n-1]
+	}
+	canvas := newCanvas()
+	for i, v := range times {
+		x := 0
+		if len(times) > 1 {
+			x = i * (plotWidth - 1) / (len(times) - 1)
+		}
+		canvas.set(x, int(v/maxT*float64(plotHeight-1)), '+')
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 plot: z3sim solving time after MBA-Solver simplification (%d solved, %d timeouts)\n",
+		len(times), timeouts)
+	canvas.render(&b, func(frac float64) string {
+		return shortDuration(time.Duration(frac * maxT * float64(time.Second)))
+	})
+	b.WriteString(strings.Repeat(" ", 11) + "queries, sorted by time ->\n")
+	return b.String()
+}
+
+func shortDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/metrics"
+)
+
+// tableBuilder renders aligned text tables.
+type tableBuilder struct {
+	title string
+	rows  [][]string
+}
+
+func (t *tableBuilder) titlef(format string, args ...any) {
+	t.title = fmt.Sprintf(format, args...)
+}
+
+func (t *tableBuilder) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableBuilder) String() string {
+	widths := []int{}
+	for _, r := range t.rows {
+		for i, c := range r {
+			for len(widths) <= i {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	for ri, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Table1 renders the corpus complexity distribution (paper Table 1):
+// min/max/average of each metric per MBA category.
+func Table1(samples []gen.Sample) string {
+	kinds := []metrics.Kind{metrics.KindLinear, metrics.KindPoly, metrics.KindNonPoly}
+	type agg struct {
+		min, max, sum [5]float64
+		n             int
+	}
+	get := func(m metrics.Metrics) [5]float64 {
+		return [5]float64{
+			float64(m.NumVars),
+			float64(m.Alternation),
+			float64(m.Length),
+			float64(m.NumTerms),
+			float64(m.MaxCoeff),
+		}
+	}
+	aggs := map[metrics.Kind]*agg{}
+	for _, k := range kinds {
+		aggs[k] = &agg{}
+	}
+	for _, s := range samples {
+		m := get(metrics.Measure(s.Obfuscated))
+		a := aggs[s.Kind]
+		for i, v := range m {
+			if a.n == 0 || v < a.min[i] {
+				a.min[i] = v
+			}
+			if v > a.max[i] {
+				a.max[i] = v
+			}
+			a.sum[i] += v
+		}
+		a.n++
+	}
+	names := []string{"Num of Variables", "MBA Alternation", "MBA Length", "Number of Terms", "Coefficients"}
+	var b tableBuilder
+	b.titlef("Table 1: complexity distribution of the MBA corpus (%d samples)", len(samples))
+	b.row("Metric",
+		"Linear Min", "Linear Max", "Linear Avg",
+		"Poly Min", "Poly Max", "Poly Avg",
+		"Nonpoly Min", "Nonpoly Max", "Nonpoly Avg")
+	for i, name := range names {
+		row := []string{name}
+		for _, k := range kinds {
+			a := aggs[k]
+			avg := 0.0
+			if a.n > 0 {
+				avg = a.sum[i] / float64(a.n)
+			}
+			row = append(row,
+				fmt.Sprintf("%.0f", a.min[i]),
+				fmt.Sprintf("%.0f", a.max[i]),
+				fmt.Sprintf("%.1f", avg))
+		}
+		b.row(row...)
+	}
+	return b.String()
+}
+
+// Figure3 renders solving time against each complexity metric: per
+// metric bucket, the average solving time and the timeout rate. The
+// paper's headline observation — alternation dominates — shows up as a
+// monotone climb of the alternation rows.
+func Figure3(outcomes []Outcome) string {
+	type bucketKey struct {
+		metric string
+		bucket int
+	}
+	type agg struct {
+		sum              time.Duration
+		solved, timeouts int
+	}
+	buckets := map[bucketKey]*agg{}
+	metricsOf := func(o Outcome) map[string]int {
+		return map[string]int{
+			"alternation": o.Metrics.Alternation / 5 * 5,
+			"variables":   o.Metrics.NumVars,
+			"terms":       o.Metrics.NumTerms / 4 * 4,
+			"length":      o.Metrics.Length / 50 * 50,
+		}
+	}
+	for _, o := range outcomes {
+		for m, bk := range metricsOf(o) {
+			k := bucketKey{m, bk}
+			a := buckets[k]
+			if a == nil {
+				a = &agg{}
+				buckets[k] = a
+			}
+			if o.Solved() {
+				a.solved++
+				a.sum += o.Elapsed
+			} else {
+				a.timeouts++
+			}
+		}
+	}
+	keys := make([]bucketKey, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].metric != keys[j].metric {
+			return keys[i].metric < keys[j].metric
+		}
+		return keys[i].bucket < keys[j].bucket
+	})
+	var b tableBuilder
+	b.titlef("Figure 3: complexity metrics vs solver performance")
+	b.row("Metric", "Bucket", "Solved", "Timeout", "Timeout %", "Avg time (solved)")
+	for _, k := range keys {
+		a := buckets[k]
+		n := a.solved + a.timeouts
+		avg := time.Duration(0)
+		if a.solved > 0 {
+			avg = a.sum / time.Duration(a.solved)
+		}
+		b.row(k.metric, fmt.Sprintf(">=%d", k.bucket),
+			fmt.Sprintf("%d", a.solved), fmt.Sprintf("%d", a.timeouts),
+			fmt.Sprintf("%.0f%%", 100*float64(a.timeouts)/float64(n)),
+			fmt.Sprintf("%.3fs", sec(avg)))
+	}
+	return b.String()
+}
+
+// Figure4 renders the per-solver solving-time distribution: solve-rate
+// and percentiles of the solved queries, the textual equivalent of the
+// paper's scatter plot.
+func Figure4(outcomes []Outcome, solvers []string) string {
+	var b tableBuilder
+	b.titlef("Figure 4: solving time distribution per solver")
+	b.row("Solver", "Queries", "Solved", "Timeouts", "p25", "p50", "p90", "Max")
+	for _, s := range solvers {
+		var times []time.Duration
+		timeouts, total := 0, 0
+		for _, o := range outcomes {
+			if o.Solver != s {
+				continue
+			}
+			total++
+			if o.Solved() {
+				times = append(times, o.Elapsed)
+			} else {
+				timeouts++
+			}
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		b.row(s, fmt.Sprintf("%d", total), fmt.Sprintf("%d", len(times)),
+			fmt.Sprintf("%d", timeouts),
+			fmtPct(times, 0.25), fmtPct(times, 0.5), fmtPct(times, 0.9), fmtPct(times, 1.0))
+	}
+	return b.String()
+}
+
+func fmtPct(sorted []time.Duration, q float64) string {
+	if len(sorted) == 0 {
+		return "-"
+	}
+	i := int(q*float64(len(sorted))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return fmt.Sprintf("%.3fs", sec(sorted[i]))
+}
+
+// Figure6 renders the z3sim solving-time distribution after
+// simplification (the paper's Figure 6 scatter).
+func Figure6(outcomes []Outcome) string {
+	var b tableBuilder
+	b.titlef("Figure 6: z3sim solving time with MBA-Solver's simplification")
+	b.row("Percentile", "Solving time")
+	var times []time.Duration
+	timeouts := 0
+	for _, o := range outcomes {
+		if o.Solver != "z3sim" {
+			continue
+		}
+		if o.Solved() {
+			times = append(times, o.Elapsed)
+		} else {
+			timeouts++
+		}
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, q := range []float64{0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0} {
+		b.row(fmt.Sprintf("p%02.0f", q*100), fmtPct(times, q))
+	}
+	b.row("timeouts", fmt.Sprintf("%d", timeouts))
+	return b.String()
+}
+
+// PeerRow aggregates one tool's Table 7 numbers.
+type PeerRow struct {
+	Tool                string
+	Correct, Wrong, Out int
+	AltBefore, AltAfter float64 // averages over correct samples
+	SolveAvg            map[string]time.Duration
+}
+
+// Table7 renders the peer comparison.
+func Table7(rows []PeerRow, solvers []string) string {
+	var b tableBuilder
+	b.titlef("Table 7: comparing simplification results with peer tools")
+	header := []string{"Tool", "Y", "N", "O", "Ratio", "Alt Before", "Alt After", "A/B %"}
+	header = append(header, solvers...)
+	b.row(header...)
+	for _, r := range rows {
+		total := r.Correct + r.Wrong + r.Out
+		ratio := 0.0
+		if total > 0 {
+			ratio = 100 * float64(r.Correct) / float64(total)
+		}
+		ab := 0.0
+		if r.AltBefore > 0 {
+			ab = 100 * r.AltAfter / r.AltBefore
+		}
+		row := []string{
+			r.Tool,
+			fmt.Sprintf("%d", r.Correct), fmt.Sprintf("%d", r.Wrong), fmt.Sprintf("%d", r.Out),
+			fmt.Sprintf("%.1f%%", ratio),
+			fmt.Sprintf("%.1f", r.AltBefore), fmt.Sprintf("%.1f", r.AltAfter),
+			fmt.Sprintf("%.1f%%", ab),
+		}
+		for _, s := range solvers {
+			row = append(row, fmt.Sprintf("%.3fs", sec(r.SolveAvg[s])))
+		}
+		b.row(row...)
+	}
+	return b.String()
+}
+
+// Table8Row is one complexity step of the simplifier profile.
+type Table8Row struct {
+	Alternation int
+	Time        time.Duration
+	AllocBytes  uint64
+	Samples     int
+}
+
+// Table8 renders the simplifier's own time/memory cost.
+func Table8(rows []Table8Row) string {
+	var b tableBuilder
+	b.titlef("Table 8: MBA-Solver performance by input MBA alternation")
+	b.row("Alternation", "Samples", "Avg time", "Avg memory")
+	for _, r := range rows {
+		b.row(fmt.Sprintf("%d", r.Alternation), fmt.Sprintf("%d", r.Samples),
+			fmt.Sprintf("%.4fs", sec(r.Time)),
+			fmt.Sprintf("%.2f MB", float64(r.AllocBytes)/(1<<20)))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package identities is the curated catalog of published MBA
+// identities (Hacker's Delight, the HAKMEM memo, Zhou et al., Eyrolles'
+// thesis) that both sides of this repository draw from:
+//
+//   - the corpus generator and the Obfuscate API apply them in the
+//     simple→MBA direction (internal/gen);
+//   - the SSPAM-style baseline applies them in the MBA→simple
+//     direction (internal/peers/sspam).
+//
+// Each entry is an equality over metavariables A and B that holds for
+// ALL n-bit values of the metavariables (so either side may be an
+// arbitrary subexpression), which the test suite verifies by random
+// instantiation and by SMT proof at small widths.
+package identities
+
+import (
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+)
+
+// Identity is one catalogued equality. Simple and MBA are expression
+// templates over the metavariables A and B.
+type Identity struct {
+	// Name identifies the identity in logs and tests.
+	Name string
+	// Simple is the plain side (e.g. A+B).
+	Simple *expr.Expr
+	// MBA is the mixed bitwise-arithmetic side.
+	MBA *expr.Expr
+	// Op is the root operator of the simple side, used by the
+	// generator to index rules by the node being rewritten.
+	Op expr.Op
+}
+
+// MetaVars lists the metavariable names templates may use.
+var MetaVars = []string{"A", "B"}
+
+func id(name, simple, mba string) Identity {
+	s := parser.MustParse(simple)
+	return Identity{
+		Name:   name,
+		Simple: s,
+		MBA:    parser.MustParse(mba),
+		Op:     s.Op,
+	}
+}
+
+// Catalog returns the full identity list. The returned slice is fresh;
+// entries share immutable expression templates.
+func Catalog() []Identity {
+	return []Identity{
+		// Addition (Hacker's Delight §2-16, Eyrolles §2.2).
+		id("add-or-nand", "A+B", "(A|B)+B-(~A&B)"),
+		id("add-xor-2and", "A+B", "(A^B)+2*(A&B)"),
+		id("add-or-and", "A+B", "(A|B)+(A&B)"),
+		id("add-not-sub", "A+B", "A-~B-1"),
+		id("add-xor-2b", "A+B", "(A^B)+2*B-2*(~A&B)"),
+		id("add-and-parts", "A+B", "B+(A&~B)+(A&B)"),
+		id("add-2or-xor", "A+B", "2*(A|B)-(A^B)"),
+		// Subtraction.
+		id("sub-not-add", "A-B", "A+~B+1"),
+		id("sub-xor-nand", "A-B", "(A^B)-2*(~A&B)"),
+		id("sub-2and-xor", "A-B", "2*(A&~B)-(A^B)"),
+		id("sub-and-parts", "A-B", "(A&~B)-(~A&B)"),
+		// Exclusive or.
+		id("xor-or-and", "A^B", "(A|B)-(A&B)"),
+		id("xor-add-2and", "A^B", "A+B-2*(A&B)"),
+		id("xor-or-nand", "A^B", "2*(A|B)-A-B"),
+		// Inclusive or.
+		id("or-add-and", "A|B", "A+B-(A&B)"),
+		id("or-andnot-b", "A|B", "(A&~B)+B"),
+		// And.
+		id("and-add-or", "A&B", "A+B-(A|B)"),
+		id("and-ornot", "A&B", "(~A|B)-~A"),
+		// Complement and negation (HAKMEM-style).
+		id("not-neg", "~A", "-A-1"),
+		id("neg-not", "-A", "~A+1"),
+	}
+}
+
+// ByOp indexes the catalog by the simple side's root operator — the
+// shape the generator's rewriting needs.
+func ByOp() map[expr.Op][]Identity {
+	out := map[expr.Op][]Identity{}
+	for _, i := range Catalog() {
+		out[i.Op] = append(out[i.Op], i)
+	}
+	return out
+}
+
+// Instantiate substitutes concrete subexpressions for the
+// metavariables in a template.
+func Instantiate(template *expr.Expr, a, b *expr.Expr) *expr.Expr {
+	env := map[string]*expr.Expr{"A": a}
+	if b != nil {
+		env["B"] = b
+	}
+	return expr.SubstituteVars(template, env)
+}

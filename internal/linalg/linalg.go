@@ -1,0 +1,182 @@
+// Package linalg provides the exact linear algebra over the modular
+// ring Z/2^n that the signature-vector machinery needs: matrix/vector
+// products, Gaussian elimination with odd (invertible) pivots, modular
+// inverses, and the subset-lattice zeta and Möbius transforms that
+// solve the paper's normalized-basis system in O(t·2^t).
+//
+// Z/2^n is not a field — even elements are zero divisors — so Gaussian
+// elimination pivots must be odd. Every basis used by the simplifier
+// (the conjunction basis of Table 4, the disjunction basis of Table 9)
+// is unimodular, so elimination always succeeds on them.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"mbasolver/internal/eval"
+)
+
+// ErrSingular is returned when Gaussian elimination cannot find an
+// invertible (odd) pivot, i.e. the system is singular over Z/2^n.
+var ErrSingular = errors.New("linalg: matrix is singular over Z/2^n")
+
+// InverseOdd returns the multiplicative inverse of a mod 2^width.
+// It panics if a is even (even numbers have no inverse in Z/2^n).
+func InverseOdd(a uint64, width uint) uint64 {
+	if a&1 == 0 {
+		panic("linalg: InverseOdd of even number")
+	}
+	// Newton iteration: x' = x(2 - a·x) doubles the number of correct
+	// low bits each round; 6 rounds reach 64 bits from the 1-bit seed.
+	x := a // odd a is its own inverse mod 8, seeding 3 correct bits
+	for i := 0; i < 6; i++ {
+		x *= 2 - a*x
+	}
+	return x & eval.Mask(width)
+}
+
+// Matrix is a dense row-major matrix with entries in Z/2^width.
+type Matrix struct {
+	Rows, Cols int
+	Width      uint
+	A          []uint64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int, width uint) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Width: width, A: make([]uint64, rows*cols)}
+}
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) uint64 { return m.A[i*m.Cols+j] }
+
+// Set assigns entry (i, j), reducing mod 2^width.
+func (m *Matrix) Set(i, j int, v uint64) { m.A[i*m.Cols+j] = v & eval.Mask(m.Width) }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols, m.Width)
+	copy(c.A, m.A)
+	return c
+}
+
+// MulVec returns m·v mod 2^width. It panics on dimension mismatch.
+func (m *Matrix) MulVec(v []uint64) []uint64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %d cols vs %d", m.Cols, len(v)))
+	}
+	mask := eval.Mask(m.Width)
+	out := make([]uint64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var acc uint64
+		row := m.A[i*m.Cols : (i+1)*m.Cols]
+		for j, a := range row {
+			acc += a * v[j]
+		}
+		out[i] = acc & mask
+	}
+	return out
+}
+
+// Solve solves m·x = b over Z/2^width using Gaussian elimination with
+// odd-pivot selection and returns x. The matrix must be square. It
+// returns ErrSingular when no odd pivot exists in some column (the
+// system may still be solvable in special cases, but none of the bases
+// used by the simplifier hit that).
+func (m *Matrix) Solve(b []uint64) ([]uint64, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("linalg: Solve requires a square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	if len(b) != m.Rows {
+		return nil, fmt.Errorf("linalg: Solve rhs length %d != %d", len(b), m.Rows)
+	}
+	n := m.Rows
+	mask := eval.Mask(m.Width)
+	a := m.Clone()
+	x := make([]uint64, n)
+	copy(x, b)
+	for col := 0; col < n; col++ {
+		// Find the row (>= col) whose entry in this column has the
+		// lowest 2-adic valuation — prefer odd pivots.
+		best, bestVal := -1, 65
+		for r := col; r < n; r++ {
+			v := a.At(r, col)
+			if v == 0 {
+				continue
+			}
+			tz := bits.TrailingZeros64(v)
+			if tz < bestVal {
+				best, bestVal = r, tz
+			}
+		}
+		if best < 0 || bestVal != 0 {
+			return nil, ErrSingular
+		}
+		if best != col {
+			for j := 0; j < n; j++ {
+				vi, vb := a.At(col, j), a.At(best, j)
+				a.Set(col, j, vb)
+				a.Set(best, j, vi)
+			}
+			x[col], x[best] = x[best], x[col]
+		}
+		inv := InverseOdd(a.At(col, col), m.Width)
+		for j := col; j < n; j++ {
+			a.Set(col, j, a.At(col, j)*inv)
+		}
+		x[col] = x[col] * inv & mask
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+			}
+			x[r] = (x[r] - f*x[col]) & mask
+		}
+	}
+	return x, nil
+}
+
+// Zeta applies the subset-lattice zeta transform in place:
+// out[T] = Σ_{S ⊆ T} in[S], all mod 2^width. The slice length must be
+// a power of two (2^t for t variables).
+func Zeta(v []uint64, width uint) {
+	mask := eval.Mask(width)
+	n := len(v)
+	checkPow2(n)
+	for bit := 1; bit < n; bit <<= 1 {
+		for t := 0; t < n; t++ {
+			if t&bit != 0 {
+				v[t] = (v[t] + v[t^bit]) & mask
+			}
+		}
+	}
+}
+
+// Moebius applies the inverse of Zeta in place:
+// out[S] = Σ_{T ⊆ S} (−1)^{|S∖T|} in[T], all mod 2^width.
+func Moebius(v []uint64, width uint) {
+	mask := eval.Mask(width)
+	n := len(v)
+	checkPow2(n)
+	for bit := 1; bit < n; bit <<= 1 {
+		for t := 0; t < n; t++ {
+			if t&bit != 0 {
+				v[t] = (v[t] - v[t^bit]) & mask
+			}
+		}
+	}
+}
+
+func checkPow2(n int) {
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("linalg: length %d is not a power of two", n))
+	}
+}

@@ -1,0 +1,194 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverseOdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []uint{4, 8, 32, 64} {
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() | 1
+			if width < 64 {
+				a &= (1 << width) - 1
+			}
+			inv := InverseOdd(a, width)
+			got := a * inv
+			if width < 64 {
+				got &= (1 << width) - 1
+			}
+			if got != 1 {
+				t.Fatalf("width %d: %d * %d = %d, want 1", width, a, inv, got)
+			}
+		}
+	}
+}
+
+func TestInverseOddPanicsOnEven(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	InverseOdd(2, 8)
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	m := NewMatrix(2, 3, 8)
+	// [1 2 3; 4 5 6] * [1 1 1] = [6 15]
+	vals := [][]uint64{{1, 2, 3}, {4, 5, 6}}
+	for i := range vals {
+		for j, v := range vals[i] {
+			m.Set(i, j, v)
+		}
+	}
+	out := m.MulVec([]uint64{1, 1, 1})
+	if out[0] != 6 || out[1] != 15 {
+		t.Fatalf("MulVec = %v", out)
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	n := 4
+	m := NewMatrix(n, n, 16)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	b := []uint64{3, 1, 4, 1}
+	x, err := m.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("Solve identity = %v", x)
+		}
+	}
+}
+
+func TestSolveRandomUnimodular(t *testing.T) {
+	// Build random integer matrices with odd diagonal (invertible mod
+	// 2^w), solve m·x = b, and verify m·x == b.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(5)
+		width := []uint{8, 16, 32, 64}[rng.Intn(4)]
+		m := NewMatrix(n, n, width)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := rng.Uint64()
+				if i == j {
+					v |= 1
+				}
+				m.Set(i, j, v)
+			}
+		}
+		b := make([]uint64, n)
+		for i := range b {
+			b[i] = rng.Uint64() & ((1 << (width - 1)) | ((1 << (width - 1)) - 1))
+		}
+		x, err := m.Solve(b)
+		if err != nil {
+			// Odd diagonal does not guarantee invertibility; skip
+			// genuinely singular draws.
+			continue
+		}
+		got := m.MulVec(x)
+		for i := range b {
+			want := b[i]
+			if width < 64 {
+				want &= (1 << width) - 1
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d: m·x = %v, want %v", trial, got, b)
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := NewMatrix(2, 2, 8)
+	m.Set(0, 0, 2) // all-even column: no odd pivot
+	m.Set(1, 0, 4)
+	m.Set(0, 1, 1)
+	m.Set(1, 1, 1)
+	if _, err := m.Solve([]uint64{1, 1}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	m := NewMatrix(2, 3, 8)
+	if _, err := m.Solve([]uint64{1, 2}); err == nil {
+		t.Error("non-square accepted")
+	}
+	m2 := NewMatrix(2, 2, 8)
+	if _, err := m2.Solve([]uint64{1}); err == nil {
+		t.Error("wrong rhs length accepted")
+	}
+}
+
+func TestZetaMoebiusInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(4)) // 2..16 entries
+		width := []uint{8, 32, 64}[rng.Intn(3)]
+		v := make([]uint64, n)
+		orig := make([]uint64, n)
+		for i := range v {
+			v[i] = rng.Uint64()
+			if width < 64 {
+				v[i] &= (1 << width) - 1
+			}
+			orig[i] = v[i]
+		}
+		Zeta(v, width)
+		Moebius(v, width)
+		for i := range v {
+			if v[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZetaDefinition(t *testing.T) {
+	// zeta(v)[T] = sum over subsets S of T of v[S].
+	v := []uint64{1, 2, 3, 4} // indices 00,01,10,11
+	Zeta(v, 64)
+	want := []uint64{1, 3, 4, 10}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Zeta = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestMoebiusDefinition(t *testing.T) {
+	// moebius(zeta(e_S)) = e_S, and directly: moebius of the x-column
+	// of the subset lattice.
+	v := []uint64{0, 1, 1, 2} // the signature of x+y (low-bit x)
+	Moebius(v, 64)
+	// c_∅=0, c_{x}=1, c_{y}=1, c_{xy}=0
+	want := []uint64{0, 1, 1, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Moebius = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestCheckPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two length")
+		}
+	}()
+	Zeta(make([]uint64, 3), 8)
+}

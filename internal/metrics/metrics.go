@@ -1,0 +1,186 @@
+// Package metrics implements the MBA complexity metrics of the paper's
+// §3.1 (Table 1): MBA type (linear / polynomial / non-polynomial),
+// number of variables, MBA alternation, MBA length, number of terms and
+// coefficient magnitude. Figure 3 of the paper correlates each metric
+// with solving time; the harness package reproduces that analysis.
+package metrics
+
+import (
+	"mbasolver/internal/expr"
+)
+
+// Kind classifies an MBA expression per the paper's Definitions 1 and 2.
+type Kind uint8
+
+const (
+	// KindLinear: a sum of terms, each a coefficient times a single
+	// bitwise expression (or a constant term).
+	KindLinear Kind = iota
+	// KindPoly: non-linear polynomial MBA — a sum of terms, each a
+	// coefficient times a product of bitwise expressions, with at least
+	// one term of product degree >= 2.
+	KindPoly
+	// KindNonPoly: everything else (bitwise operators applied to
+	// arithmetic results, etc.).
+	KindNonPoly
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindLinear:
+		return "linear"
+	case KindPoly:
+		return "poly"
+	case KindNonPoly:
+		return "nonpoly"
+	}
+	return "unknown"
+}
+
+// Metrics aggregates every complexity metric for one expression.
+type Metrics struct {
+	Kind        Kind
+	NumVars     int
+	Alternation int
+	Length      int // length of the canonical textual rendering
+	NumTerms    int
+	MaxCoeff    uint64 // largest |coefficient| across terms (two's-complement absolute value)
+}
+
+// Measure computes all metrics of e.
+func Measure(e *expr.Expr) Metrics {
+	return Metrics{
+		Kind:        Classify(e),
+		NumVars:     len(expr.Vars(e)),
+		Alternation: Alternation(e),
+		Length:      len(e.String()),
+		NumTerms:    NumTerms(e),
+		MaxCoeff:    MaxCoeff(e),
+	}
+}
+
+// domain returns +1 for arithmetic operators, -1 for bitwise operators
+// and 0 for leaves (which belong to neither domain).
+func domain(op expr.Op) int {
+	switch {
+	case op.IsArith():
+		return 1
+	case op.IsBitwise():
+		return -1
+	}
+	return 0
+}
+
+// Alternation counts the edges of the expression tree that connect an
+// arithmetic operator with a bitwise operator (in either direction),
+// following the paper's definition: in (x&y)+2*z the + contributes one
+// alternation because its left operand is produced by a bitwise
+// operator. Leaves are domain-neutral and never contribute.
+func Alternation(e *expr.Expr) int {
+	count := 0
+	expr.Walk(e, func(n *expr.Expr) {
+		d := domain(n.Op)
+		if d == 0 {
+			return
+		}
+		for _, c := range []*expr.Expr{n.X, n.Y} {
+			if c == nil {
+				continue
+			}
+			if cd := domain(c.Op); cd != 0 && cd != d {
+				count++
+			}
+		}
+	})
+	return count
+}
+
+// NumTerms counts the top-level additive terms of e: the number of
+// leaves of the +/- spine. A single non-additive expression counts as
+// one term.
+func NumTerms(e *expr.Expr) int {
+	switch e.Op {
+	case expr.OpAdd, expr.OpSub:
+		return NumTerms(e.X) + NumTerms(e.Y)
+	case expr.OpNeg:
+		return NumTerms(e.X)
+	}
+	return 1
+}
+
+// MaxCoeff returns the magnitude of the largest constant appearing in
+// e, interpreting constants with the top bit set as negative
+// two's-complement values (so -3 has magnitude 3). Expressions with no
+// constants report 1, the implicit coefficient.
+func MaxCoeff(e *expr.Expr) uint64 {
+	max := uint64(1)
+	expr.Walk(e, func(n *expr.Expr) {
+		if n.Op != expr.OpConst {
+			return
+		}
+		v := n.Val
+		if int64(v) < 0 {
+			v = -v
+		}
+		if v > max {
+			max = v
+		}
+	})
+	return max
+}
+
+// Classify determines the MBA kind of e per Definitions 1 and 2.
+func Classify(e *expr.Expr) Kind {
+	maxDeg, ok := classifySum(e)
+	switch {
+	case !ok:
+		return KindNonPoly
+	case maxDeg >= 2:
+		return KindPoly
+	default:
+		return KindLinear
+	}
+}
+
+// classifySum decomposes e along its +/-/neg spine and reports the
+// maximum product degree across terms, and whether every term is a
+// valid polynomial MBA term (coefficient times product of bitwise
+// expressions).
+func classifySum(e *expr.Expr) (maxDeg int, ok bool) {
+	switch e.Op {
+	case expr.OpAdd, expr.OpSub:
+		dx, okx := classifySum(e.X)
+		dy, oky := classifySum(e.Y)
+		if !okx || !oky {
+			return 0, false
+		}
+		if dy > dx {
+			dx = dy
+		}
+		return dx, true
+	case expr.OpNeg:
+		return classifySum(e.X)
+	}
+	return classifyTerm(e)
+}
+
+// classifyTerm analyzes one term: a product (possibly trivial) of
+// constants and bitwise-pure expressions. It reports the number of
+// bitwise factors (the degree; a plain variable x counts as degree 1
+// since x is itself a bitwise expression).
+func classifyTerm(e *expr.Expr) (deg int, ok bool) {
+	switch e.Op {
+	case expr.OpConst:
+		return 0, true
+	case expr.OpMul:
+		dx, okx := classifyTerm(e.X)
+		dy, oky := classifyTerm(e.Y)
+		return dx + dy, okx && oky
+	case expr.OpNeg:
+		return classifyTerm(e.X)
+	}
+	if expr.IsBitwisePure(e) {
+		return 1, true
+	}
+	return 0, false
+}

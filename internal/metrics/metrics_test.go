@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"testing"
+
+	"mbasolver/internal/parser"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Kind
+	}{
+		{"x", KindLinear},
+		{"x + 2*y + (x&y) - 3*(x^y) + 4", KindLinear}, // paper expression (1)
+		{"2*(x|y) - (~x&y) - (x&~y)", KindLinear},
+		{"x*y", KindPoly},
+		{"x*y + 2*(x&y) + 3*(x&~y)*(x|y) - 5", KindPoly}, // paper expression (4)
+		{"(x&~y)*(~x&y) + (x&y)*(x|y)", KindPoly},
+		{"x*x", KindPoly},
+		{"(x+y)&z", KindNonPoly},
+		{"~(x-1)", KindNonPoly},
+		{"((x&~y) - (~x&y)) | z", KindNonPoly},
+		{"5", KindLinear},
+		{"-x", KindLinear},
+		{"2*3*x", KindLinear},
+		{"x*(y+1)", KindNonPoly}, // y+1 is not a bitwise expression
+	}
+	for _, c := range cases {
+		if got := Classify(parser.MustParse(c.src)); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLinear.String() != "linear" || KindPoly.String() != "poly" || KindNonPoly.String() != "nonpoly" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestAlternation(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"(x&y) + 2*z", 1}, // the paper's own example: one alternation at +
+		{"x + y", 0},       // pure arithmetic
+		{"x & y", 0},       // pure bitwise
+		{"2*(x|y)", 1},     // coefficient times bitwise
+		{"(x&y)*(x|y)", 2}, // product of two bitwise expressions
+		{"~(x+y)", 1},      // bitwise over arithmetic
+		{"~(x&y)", 0},      // bitwise over bitwise
+		{"(x&~y) - (~x&y)", 2},
+		{"x", 0},
+		{"5", 0},
+	}
+	for _, c := range cases {
+		if got := Alternation(parser.MustParse(c.src)); got != c.want {
+			t.Errorf("Alternation(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNumTerms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"x + 2*y + (x&y) - 3*(x^y) + 4", 5},
+		{"x", 1},
+		{"x*y", 1},
+		{"x - y", 2},
+		{"-(x+y)", 2},
+	}
+	for _, c := range cases {
+		if got := NumTerms(parser.MustParse(c.src)); got != c.want {
+			t.Errorf("NumTerms(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMaxCoeff(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"x + 2*y", 2},
+		{"x - 35*(x&y)", 35},
+		{"x + y", 1},
+		{"x + (0-3)*y", 3}, // -3 has magnitude 3
+		{"-1*(x&y) + 7*z", 7},
+	}
+	for _, c := range cases {
+		if got := MaxCoeff(parser.MustParse(c.src)); got != c.want {
+			t.Errorf("MaxCoeff(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	m := Measure(parser.MustParse("x + 2*y + (x&y) - 3*(x^y) + 4"))
+	if m.Kind != KindLinear {
+		t.Errorf("Kind = %v", m.Kind)
+	}
+	if m.NumVars != 2 {
+		t.Errorf("NumVars = %d", m.NumVars)
+	}
+	if m.NumTerms != 5 {
+		t.Errorf("NumTerms = %d", m.NumTerms)
+	}
+	if m.MaxCoeff != 4 {
+		t.Errorf("MaxCoeff = %d", m.MaxCoeff)
+	}
+	if m.Length == 0 || m.Alternation == 0 {
+		t.Errorf("Length/Alternation not measured: %+v", m)
+	}
+}

@@ -1,0 +1,39 @@
+package parser
+
+import (
+	"testing"
+
+	"mbasolver/internal/expr"
+)
+
+// FuzzParse exercises the lexer/parser for panics and checks the
+// print-reparse fixpoint on every accepted input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"x",
+		"2*(x|y) - (~x&y) - (x&~y)",
+		"(x&~y)*(~x&y) + (x&y)*(x|y)",
+		"~(x-1)",
+		"0xdeadbeef ^ 42",
+		"x+-~y",
+		"((((x))))",
+		"18446744073709551615",
+		"a|b^c&d+e*f",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		printed := e.String()
+		e2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form %q of %q does not reparse: %v", printed, src, err)
+		}
+		if !expr.Equal(e, e2) {
+			t.Fatalf("print/reparse changed structure: %q -> %q -> %q", src, printed, e2.String())
+		}
+	})
+}

@@ -1,0 +1,308 @@
+// Package parser implements a lexer and recursive-descent parser for
+// the textual MBA expression syntax used throughout the MBA literature
+// (and by the corpus files of this repository).
+//
+// The grammar follows C operator precedence:
+//
+//	expr   := xor  { "|" xor }
+//	xor    := and  { "^" and }
+//	and    := sum  { "&" sum }
+//	sum    := term { ("+"|"-") term }
+//	term   := unary { "*" unary }
+//	unary  := ("~"|"-") unary | primary
+//	primary:= ident | number | "(" expr ")"
+//
+// Numbers are decimal or 0x-prefixed hexadecimal, reduced mod 2^64.
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"mbasolver/internal/expr"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokOp // one of ~ & | ^ + - *
+	tokLParen
+	tokRParen
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError describes a parse failure with its byte offset in the
+// input string.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case strings.IndexByte("~&|^+-*", c) >= 0:
+		l.pos++
+		return token{tokOp, string(c), start}, nil
+	case c >= '0' && c <= '9':
+		l.pos++
+		if c == '0' && l.pos < len(l.src) && (l.src[l.pos] == 'x' || l.src[l.pos] == 'X') {
+			l.pos++
+			for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos == start+2 {
+				return token{}, &SyntaxError{start, "malformed hexadecimal literal"}
+			}
+		} else {
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+		return token{tokNumber, l.src[start:l.pos], start}, nil
+	case isIdentStart(c):
+		l.pos++
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, l.src[start:l.pos], start}, nil
+	}
+	return token{}, &SyntaxError{start, fmt.Sprintf("unexpected character %q", rune(c))}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+// Parse parses an MBA expression from its textual form.
+func Parse(src string) (*expr.Expr, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, &SyntaxError{p.tok.pos, fmt.Sprintf("unexpected %q after expression", p.tok.text)}
+	}
+	return e, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests, examples
+// and statically known rule tables.
+func MustParse(src string) *expr.Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) acceptOp(ops string) (string, bool) {
+	if p.tok.kind == tokOp && strings.Contains(ops, p.tok.text) {
+		return p.tok.text, true
+	}
+	return "", false
+}
+
+func (p *parser) parseOr() (*expr.Expr, error) {
+	return p.parseLeftAssoc("|", p.parseXor)
+}
+
+func (p *parser) parseXor() (*expr.Expr, error) {
+	return p.parseLeftAssoc("^", p.parseAnd)
+}
+
+func (p *parser) parseAnd() (*expr.Expr, error) {
+	return p.parseLeftAssoc("&", p.parseSum)
+}
+
+func (p *parser) parseSum() (*expr.Expr, error) {
+	return p.parseLeftAssoc("+-", p.parseTerm)
+}
+
+func (p *parser) parseTerm() (*expr.Expr, error) {
+	return p.parseLeftAssoc("*", p.parseUnary)
+}
+
+func (p *parser) parseLeftAssoc(ops string, sub func() (*expr.Expr, error)) (*expr.Expr, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := p.acceptOp(ops)
+		if !ok {
+			return left, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := sub()
+		if err != nil {
+			return nil, err
+		}
+		left = expr.Binary(binOp(op), left, right)
+	}
+}
+
+func binOp(s string) expr.Op {
+	switch s {
+	case "&":
+		return expr.OpAnd
+	case "|":
+		return expr.OpOr
+	case "^":
+		return expr.OpXor
+	case "+":
+		return expr.OpAdd
+	case "-":
+		return expr.OpSub
+	case "*":
+		return expr.OpMul
+	}
+	panic("parser: unknown binary operator " + s)
+}
+
+func (p *parser) parseUnary() (*expr.Expr, error) {
+	if op, ok := p.acceptOp("~-"); ok {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op == "~" {
+			return expr.Not(x), nil
+		}
+		return expr.Neg(x), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (*expr.Expr, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		e := expr.Var(p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Implicit multiplication of the form 2x or 2(x&y) is not in
+		// the grammar; identifiers directly adjacent to another
+		// primary are a syntax error caught by the caller.
+		return e, nil
+	case tokNumber:
+		v, err := parseNumber(p.tok.text)
+		if err != nil {
+			return nil, &SyntaxError{p.tok.pos, err.Error()}
+		}
+		e := expr.Const(v)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, &SyntaxError{p.tok.pos, "expected ')'"}
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokEOF:
+		return nil, &SyntaxError{p.tok.pos, "unexpected end of input"}
+	}
+	return nil, &SyntaxError{p.tok.pos, fmt.Sprintf("unexpected token %q", p.tok.text)}
+}
+
+func parseNumber(s string) (uint64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		return strconv.ParseUint(s[2:], 16, 64)
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		// Values between 2^63 and 2^64-1 are fine; anything larger is
+		// reduced mod 2^64 like C would.
+		if ne, ok := err.(*strconv.NumError); ok && ne.Err == strconv.ErrRange {
+			return reduceMod64(s)
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+func reduceMod64(s string) (uint64, error) {
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("malformed number %q", s)
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}

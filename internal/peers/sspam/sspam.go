@@ -1,0 +1,206 @@
+// Package sspam implements an SSPAM-like baseline: MBA simplification
+// by pattern matching against a finite library of published identities
+// (Eyrolles, Goubin, Videau — "Defeating MBA-based Obfuscation",
+// SPRO'16). Patterns are applied bottom-up to a fixpoint, with
+// commutative-operand retries standing in for SSPAM's Z3-assisted
+// flexible matching.
+//
+// The defining property the paper measures (Table 7): the
+// transformation is sound — every rule is a proven identity — but its
+// coverage is limited to the shapes in the library, so most corpus
+// expressions do not simplify enough for the SMT solvers to finish.
+package sspam
+
+import (
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/identities"
+	"mbasolver/internal/parser"
+)
+
+// Rule is one rewrite: a pattern with metavariables A and B (matching
+// arbitrary subtrees) and its replacement.
+type Rule struct {
+	Name        string
+	Pattern     *expr.Expr
+	Replacement *expr.Expr
+}
+
+// metaVars are the pattern variables; every other name in a pattern
+// matches only itself.
+var metaVars = map[string]bool{"A": true, "B": true, "C": true}
+
+// rule parses a "pattern -> replacement" pair.
+func rule(name, pattern, replacement string) Rule {
+	return Rule{
+		Name:        name,
+		Pattern:     parser.MustParse(pattern),
+		Replacement: parser.MustParse(replacement),
+	}
+}
+
+// DefaultRules is the built-in pattern library: every entry of the
+// shared identity catalog (internal/identities) applied in the
+// MBA→simple direction, plus basic algebraic cleanups. This mirrors
+// the real SSPAM, whose pattern file was assembled from the same
+// published identities.
+func DefaultRules() []Rule {
+	var rules []Rule
+	for _, ident := range identities.Catalog() {
+		rules = append(rules, Rule{
+			Name:        ident.Name,
+			Pattern:     ident.MBA,
+			Replacement: ident.Simple,
+		})
+	}
+	return append(rules, cleanupRules()...)
+}
+
+// cleanupRules are the structural simplifications SSPAM's sympy layer
+// performed.
+func cleanupRules() []Rule {
+	return []Rule{
+		// Structural cleanups.
+		rule("not-not", "~~A", "A"),
+		rule("neg-neg", "-(-A)", "A"),
+		rule("not-neg", "~(-A)", "A-1"),
+		rule("neg-not", "-(~A)", "A+1"),
+		rule("sub-self", "A-A", "0"),
+		rule("xor-self", "A^A", "0"),
+		rule("and-self", "A&A", "A"),
+		rule("or-self", "A|A", "A"),
+		rule("add-zero", "A+0", "A"),
+		rule("sub-zero", "A-0", "A"),
+		rule("mul-one", "1*A", "A"),
+		rule("mul-zero", "0*A", "0"),
+	}
+}
+
+// Simplifier is the pattern-matching engine.
+type Simplifier struct {
+	rules    []Rule
+	maxIters int
+}
+
+// New returns a Simplifier with the default library.
+func New() *Simplifier { return NewWithRules(DefaultRules()) }
+
+// NewWithRules returns a Simplifier over a custom library.
+func NewWithRules(rules []Rule) *Simplifier {
+	return &Simplifier{rules: rules, maxIters: 16}
+}
+
+// Simplify applies the library bottom-up to a fixpoint (bounded).
+func (s *Simplifier) Simplify(e *expr.Expr) *expr.Expr {
+	cur := e
+	for i := 0; i < s.maxIters; i++ {
+		next := s.pass(cur)
+		next = foldConsts(next)
+		if expr.Equal(next, cur) {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// pass applies the first matching rule at every node, bottom-up.
+func (s *Simplifier) pass(e *expr.Expr) *expr.Expr {
+	return expr.Rewrite(e, func(n *expr.Expr) *expr.Expr {
+		for _, r := range s.rules {
+			if binding, ok := match(r.Pattern, n, map[string]*expr.Expr{}); ok {
+				return expr.SubstituteVars(r.Replacement, binding)
+			}
+		}
+		return nil
+	})
+}
+
+// match attempts to unify pattern against subject, extending binding.
+// Commutative operators retry with swapped operands, which covers the
+// operand orders SSPAM's Z3-based matcher would accept.
+func match(pattern, subject *expr.Expr, binding map[string]*expr.Expr) (map[string]*expr.Expr, bool) {
+	switch pattern.Op {
+	case expr.OpVar:
+		if metaVars[pattern.Name] {
+			if bound, ok := binding[pattern.Name]; ok {
+				if expr.Equal(bound, subject) {
+					return binding, true
+				}
+				return nil, false
+			}
+			binding[pattern.Name] = subject
+			return binding, true
+		}
+		if subject.Op == expr.OpVar && subject.Name == pattern.Name {
+			return binding, true
+		}
+		return nil, false
+	case expr.OpConst:
+		if subject.Op == expr.OpConst && subject.Val == pattern.Val {
+			return binding, true
+		}
+		return nil, false
+	}
+	if subject.Op != pattern.Op {
+		return nil, false
+	}
+	if pattern.Op.IsUnary() {
+		return match(pattern.X, subject.X, binding)
+	}
+	// Binary: direct order first.
+	saved := snapshot(binding)
+	if b, ok := match(pattern.X, subject.X, binding); ok {
+		if b2, ok2 := match(pattern.Y, subject.Y, b); ok2 {
+			return b2, true
+		}
+	}
+	restore(binding, saved)
+	if commutative(pattern.Op) {
+		if b, ok := match(pattern.X, subject.Y, binding); ok {
+			if b2, ok2 := match(pattern.Y, subject.X, b); ok2 {
+				return b2, true
+			}
+		}
+		restore(binding, saved)
+	}
+	return nil, false
+}
+
+func commutative(op expr.Op) bool {
+	switch op {
+	case expr.OpAdd, expr.OpMul, expr.OpAnd, expr.OpOr, expr.OpXor:
+		return true
+	}
+	return false
+}
+
+func snapshot(b map[string]*expr.Expr) map[string]*expr.Expr {
+	s := make(map[string]*expr.Expr, len(b))
+	for k, v := range b {
+		s[k] = v
+	}
+	return s
+}
+
+func restore(b map[string]*expr.Expr, s map[string]*expr.Expr) {
+	for k := range b {
+		if _, ok := s[k]; !ok {
+			delete(b, k)
+		}
+	}
+}
+
+// foldConsts performs bottom-up constant folding at width 64 (sound
+// for every narrower width).
+func foldConsts(e *expr.Expr) *expr.Expr {
+	return expr.Rewrite(e, func(n *expr.Expr) *expr.Expr {
+		switch {
+		case n.Op.IsUnary() && n.X.Op == expr.OpConst:
+			return expr.Const(eval.Eval(n, nil, 64))
+		case n.Op.IsBinary() && n.X.Op == expr.OpConst && n.Y.Op == expr.OpConst:
+			return expr.Const(eval.Eval(n, nil, 64))
+		}
+		return nil
+	})
+}

@@ -1,0 +1,111 @@
+package sspam
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+)
+
+func TestKnownPatternsSimplify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(x|y)+y-(~x&y)", "x+y"},
+		{"(x^y)+2*(x&y)", "x+y"},
+		{"x+~y+1", "x-y"},
+		{"(x|y)-(x&y)", "x^y"},
+		{"x+y-2*(x&y)", "x^y"},
+		{"x+y-(x&y)", "x|y"},
+		{"(x&~y)+y", "x|y"},
+		{"x+y-(x|y)", "x&y"},
+		{"~~x", "x"},
+		{"x-x", "0"},
+	}
+	s := New()
+	for _, c := range cases {
+		got := s.Simplify(parser.MustParse(c.in))
+		want := parser.MustParse(c.want)
+		if !expr.Equal(got, want) {
+			t.Errorf("Simplify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNestedPatternApplication(t *testing.T) {
+	// The pattern engine works bottom-up, so a pattern inside an
+	// unrelated context must still fire.
+	s := New()
+	got := s.Simplify(parser.MustParse("z*((x|y)-(x&y))"))
+	want := parser.MustParse("z*(x^y)")
+	if !expr.Equal(got, want) {
+		t.Errorf("nested simplify = %q, want %q", got, want)
+	}
+}
+
+func TestMetaVarsBindCompoundSubtrees(t *testing.T) {
+	// A and B are arbitrary subtrees, not just variables.
+	s := New()
+	got := s.Simplify(parser.MustParse("((x*z)|y)+y-(~(x*z)&y)"))
+	want := parser.MustParse("x*z+y")
+	rng := rand.New(rand.NewSource(1))
+	if eq, _ := eval.ProbablyEqual(rng, got, want, 64, 100); !eq {
+		t.Errorf("compound binding: got %q, want ≡ %q", got, want)
+	}
+}
+
+func TestRulesAreSound(t *testing.T) {
+	// Every rule in the library must be a semantic identity: random
+	// instantiation of the metavariables must keep both sides equal.
+	rng := rand.New(rand.NewSource(2))
+	subs := []string{"x", "y", "x*y", "x+3", "~x", "x-y"}
+	for _, r := range DefaultRules() {
+		for trial := 0; trial < 8; trial++ {
+			env := map[string]*expr.Expr{
+				"A": parser.MustParse(subs[rng.Intn(len(subs))]),
+				"B": parser.MustParse(subs[rng.Intn(len(subs))]),
+				"C": parser.MustParse(subs[rng.Intn(len(subs))]),
+			}
+			lhs := expr.SubstituteVars(r.Pattern, env)
+			rhs := expr.SubstituteVars(r.Replacement, env)
+			if eq, witness := eval.ProbablyEqual(rng, lhs, rhs, 64, 60); !eq {
+				t.Fatalf("rule %s is not an identity: %v vs %v at %v", r.Name, lhs, rhs, witness)
+			}
+		}
+	}
+}
+
+func TestUnknownShapesSurvive(t *testing.T) {
+	// Shapes outside the library stay put — the low-coverage property
+	// the paper's Table 7 measures.
+	s := New()
+	in := parser.MustParse("2*(x|y)-(~x&y)-(x&~y)") // needs signature reasoning
+	got := s.Simplify(in)
+	rng := rand.New(rand.NewSource(3))
+	if eq, _ := eval.ProbablyEqual(rng, got, in, 64, 60); !eq {
+		t.Fatalf("sspam broke semantics: %v -> %v", in, got)
+	}
+}
+
+func TestSimplifyPreservesSemanticsOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var gen func(d int) *expr.Expr
+	ops := []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul, expr.OpAnd, expr.OpOr, expr.OpXor}
+	gen = func(d int) *expr.Expr {
+		if d == 0 || rng.Intn(3) == 0 {
+			if rng.Intn(4) == 0 {
+				return expr.Const(uint64(rng.Intn(5)))
+			}
+			return expr.Var([]string{"x", "y", "z"}[rng.Intn(3)])
+		}
+		return expr.Binary(ops[rng.Intn(len(ops))], gen(d-1), gen(d-1))
+	}
+	s := New()
+	for i := 0; i < 200; i++ {
+		in := gen(3)
+		got := s.Simplify(in)
+		if eq, env := eval.ProbablyEqual(rng, in, got, 64, 40); !eq {
+			t.Fatalf("semantics broken: %v -> %v at %v", in, got, env)
+		}
+	}
+}

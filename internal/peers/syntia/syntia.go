@@ -1,0 +1,303 @@
+// Package syntia implements a Syntia-like baseline (Blazytko et al.,
+// USENIX Security'17): stochastic program synthesis of a simple
+// expression matching the input/output behaviour of a complex MBA
+// expression, using Monte-Carlo tree search over a partial-expression
+// grammar guided by a numeric similarity reward.
+//
+// The defining property the paper measures (Table 7): the output is
+// always simple (low MBA alternation) and synthesis is fast, but the
+// result is only as good as the sampled I/O pairs — on complex MBA the
+// synthesized expression is frequently *not* equivalent to the input
+// (the paper reports 82.9% incorrect), because the candidate only has
+// to fit finitely many samples.
+package syntia
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+)
+
+// Config tunes the synthesis.
+type Config struct {
+	// Samples is the number of I/O pairs drawn from the oracle;
+	// default 20.
+	Samples int
+	// Iterations is the MCTS budget; default 3000.
+	Iterations int
+	// MaxDepth bounds candidate expression depth; default 3.
+	MaxDepth int
+	// UCTExploration is the UCT constant; default 1.2.
+	UCTExploration float64
+	// Width is the bit width of the oracle; default 64.
+	Width uint
+	// Seed drives sampling and rollouts.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Samples == 0 {
+		c.Samples = 20
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 3000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 3
+	}
+	if c.UCTExploration == 0 {
+		c.UCTExploration = 1.2
+	}
+	if c.Width == 0 {
+		c.Width = 64
+	}
+	return c
+}
+
+// Synthesizer synthesizes simple expressions from I/O behaviour.
+type Synthesizer struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns a Synthesizer.
+func New(cfg Config) *Synthesizer {
+	cfg = cfg.withDefaults()
+	return &Synthesizer{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Result reports a synthesis run.
+type Result struct {
+	Expr    *expr.Expr
+	Score   float64 // 1.0 = perfect fit on all samples
+	Perfect bool    // fits every sample exactly
+}
+
+// Synthesize samples the oracle expression and searches for a simple
+// expression with matching behaviour. The result is a guess: a perfect
+// score on the samples does not prove equivalence.
+func (s *Synthesizer) Synthesize(oracle *expr.Expr) Result {
+	vars := expr.Vars(oracle)
+	if len(vars) == 0 {
+		// Constant oracle: evaluate once.
+		v := eval.Eval(oracle, nil, s.cfg.Width)
+		return Result{Expr: expr.Const(v), Score: 1, Perfect: true}
+	}
+	envs := make([]eval.Env, s.cfg.Samples)
+	outs := make([]uint64, s.cfg.Samples)
+	for i := range envs {
+		envs[i] = eval.RandomEnv(s.rng, vars, s.cfg.Width)
+		outs[i] = eval.Eval(oracle, envs[i], s.cfg.Width)
+	}
+	best := s.search(vars, envs, outs)
+	return best
+}
+
+// grammar productions for a hole: a terminal or an operator with new
+// holes. Hole nodes are represented as variables with the reserved
+// name "?".
+const holeName = "?"
+
+func isHole(e *expr.Expr) bool { return e.Op == expr.OpVar && e.Name == holeName }
+
+func hole() *expr.Expr { return expr.Var(holeName) }
+
+// production describes one way to fill a hole.
+type production struct {
+	build func() *expr.Expr
+	arity int
+}
+
+func (s *Synthesizer) productions(vars []string, depthLeft int) []production {
+	var out []production
+	for _, v := range vars {
+		name := v
+		out = append(out, production{build: func() *expr.Expr { return expr.Var(name) }})
+	}
+	for _, c := range []uint64{0, 1, 2} {
+		val := c
+		out = append(out, production{build: func() *expr.Expr { return expr.Const(val) }})
+	}
+	if depthLeft > 0 {
+		unary := []expr.Op{expr.OpNot, expr.OpNeg}
+		for _, op := range unary {
+			o := op
+			out = append(out, production{build: func() *expr.Expr { return expr.Unary(o, hole()) }, arity: 1})
+		}
+		binary := []expr.Op{expr.OpAnd, expr.OpOr, expr.OpXor, expr.OpAdd, expr.OpSub, expr.OpMul}
+		for _, op := range binary {
+			o := op
+			out = append(out, production{build: func() *expr.Expr { return expr.Binary(o, hole(), hole()) }, arity: 2})
+		}
+	}
+	return out
+}
+
+// node is one MCTS tree node: a partial expression (possibly containing
+// holes).
+type node struct {
+	partial  *expr.Expr
+	parent   *node
+	children []*node
+	visits   int
+	reward   float64
+	expanded bool
+}
+
+// search runs UCT-MCTS and returns the best complete candidate seen.
+func (s *Synthesizer) search(vars []string, envs []eval.Env, outs []uint64) Result {
+	root := &node{partial: hole()}
+	best := Result{Expr: expr.Const(0), Score: -1}
+
+	for iter := 0; iter < s.cfg.Iterations; iter++ {
+		// Selection.
+		n := root
+		depth := 0
+		for n.expanded && len(n.children) > 0 {
+			n = s.selectChild(n)
+			depth++
+		}
+		// Expansion.
+		if !n.expanded {
+			s.expand(n, vars, depth)
+		}
+		target := n
+		if len(n.children) > 0 {
+			target = n.children[s.rng.Intn(len(n.children))]
+		}
+		// Rollout: randomly complete the partial expression.
+		candidate := s.rollout(target.partial, vars, s.cfg.MaxDepth-depth)
+		score := s.score(candidate, envs, outs)
+		if score > best.Score || (score == best.Score && candidate.Size() < best.Expr.Size()) {
+			best = Result{Expr: candidate, Score: score, Perfect: score >= 1}
+		}
+		if best.Perfect {
+			break
+		}
+		// Backpropagation.
+		for m := target; m != nil; m = m.parent {
+			m.visits++
+			m.reward += score
+		}
+	}
+	return best
+}
+
+func (s *Synthesizer) selectChild(n *node) *node {
+	bestChild := n.children[0]
+	bestUCT := math.Inf(-1)
+	for _, c := range n.children {
+		var uct float64
+		if c.visits == 0 {
+			uct = math.Inf(1)
+		} else {
+			uct = c.reward/float64(c.visits) +
+				s.cfg.UCTExploration*math.Sqrt(math.Log(float64(n.visits+1))/float64(c.visits))
+		}
+		if uct > bestUCT {
+			bestUCT = uct
+			bestChild = c
+		}
+	}
+	return bestChild
+}
+
+// expand creates children by filling the first hole of the partial
+// expression with each production.
+func (s *Synthesizer) expand(n *node, vars []string, depth int) {
+	n.expanded = true
+	if !hasHole(n.partial) {
+		return
+	}
+	for _, p := range s.productions(vars, s.cfg.MaxDepth-depth) {
+		filled := fillFirstHole(n.partial, p.build())
+		n.children = append(n.children, &node{partial: filled, parent: n})
+	}
+}
+
+func hasHole(e *expr.Expr) bool {
+	found := false
+	expr.Walk(e, func(x *expr.Expr) {
+		if isHole(x) {
+			found = true
+		}
+	})
+	return found
+}
+
+// fillFirstHole replaces the leftmost hole with repl.
+func fillFirstHole(e, repl *expr.Expr) *expr.Expr {
+	done := false
+	var fill func(*expr.Expr) *expr.Expr
+	fill = func(x *expr.Expr) *expr.Expr {
+		if done {
+			return x
+		}
+		if isHole(x) {
+			done = true
+			return repl
+		}
+		if x.Op.IsLeaf() {
+			return x
+		}
+		nx := fill(x.X)
+		var ny *expr.Expr
+		if x.Op.IsBinary() {
+			ny = fill(x.Y)
+		}
+		if nx == x.X && ny == x.Y {
+			return x
+		}
+		c := *x
+		c.X, c.Y = nx, ny
+		return &c
+	}
+	return fill(e)
+}
+
+// rollout randomly completes every hole.
+func (s *Synthesizer) rollout(e *expr.Expr, vars []string, depthLeft int) *expr.Expr {
+	for hasHole(e) {
+		prods := s.productions(vars, depthLeft)
+		p := prods[s.rng.Intn(len(prods))]
+		e = fillFirstHole(e, p.build())
+		if p.arity > 0 {
+			depthLeft--
+		}
+	}
+	return e
+}
+
+// score measures behavioural similarity in [0,1]: 1 when the candidate
+// reproduces every sampled output. Partial credit combines arithmetic
+// closeness and hamming closeness, mirroring Syntia's multi-metric
+// distance.
+func (s *Synthesizer) score(candidate *expr.Expr, envs []eval.Env, outs []uint64) float64 {
+	if hasHole(candidate) {
+		return 0
+	}
+	mask := eval.Mask(s.cfg.Width)
+	total := 0.0
+	for i, env := range envs {
+		got := eval.Eval(candidate, env, s.cfg.Width)
+		want := outs[i]
+		if got == want {
+			total += 1
+			continue
+		}
+		// Hamming similarity.
+		ham := 1 - float64(bits.OnesCount64((got^want)&mask))/float64(s.cfg.Width)
+		// Arithmetic similarity on the absolute difference.
+		diff := got - want
+		if int64(diff) < 0 {
+			diff = -diff
+		}
+		arith := 1 - float64(bits.Len64(diff))/float64(s.cfg.Width)
+		sim := math.Max(ham, arith) * 0.9 // imperfect match caps below 1
+		total += sim
+	}
+	return total / float64(len(envs))
+}

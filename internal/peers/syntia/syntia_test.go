@@ -1,0 +1,100 @@
+package syntia
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/gen"
+	"mbasolver/internal/parser"
+)
+
+func TestSynthesizesSimpleTargets(t *testing.T) {
+	// For behaviours with tiny simple implementations, MCTS should find
+	// a perfect fit on the samples.
+	targets := []string{"x+y", "x&y", "x^y", "x", "~x", "x-y"}
+	for _, src := range targets {
+		s := New(Config{Seed: 7, Iterations: 6000})
+		res := s.Synthesize(parser.MustParse(src))
+		if !res.Perfect {
+			t.Errorf("Synthesize(%q): best score %.3f, want perfect fit (got %v)",
+				src, res.Score, res.Expr)
+			continue
+		}
+		// A perfect fit on samples for these targets should actually be
+		// equivalent (simple behaviours are identifiable from samples).
+		rng := rand.New(rand.NewSource(1))
+		if eq, _ := eval.ProbablyEqual(rng, res.Expr, parser.MustParse(src), 64, 100); !eq {
+			t.Errorf("Synthesize(%q) = %v fits samples but is not equivalent", src, res.Expr)
+		}
+	}
+}
+
+func TestSynthesizedOutputIsSimple(t *testing.T) {
+	// The defining Table 7 property: Syntia's output is always small.
+	obf := parser.MustParse("(x|y)+y-(~x&y)") // == x+y
+	s := New(Config{Seed: 3, Iterations: 6000})
+	res := s.Synthesize(obf)
+	if res.Expr.Size() > 15 {
+		t.Errorf("synthesized expression too large: %v", res.Expr)
+	}
+}
+
+func TestConstantOracle(t *testing.T) {
+	s := New(Config{Seed: 1})
+	res := s.Synthesize(parser.MustParse("7"))
+	if !res.Perfect || !res.Expr.IsConst(7) {
+		t.Errorf("constant oracle: %+v", res)
+	}
+}
+
+func TestSometimesWrongOnComplexMBA(t *testing.T) {
+	// On a corpus of complex samples, some synthesized results must be
+	// non-equivalent — the incorrectness property Table 7 measures. (If
+	// Syntia-sim were always right it would not be a faithful baseline.)
+	g := gen.New(gen.Config{Seed: 11})
+	wrong, perfect := 0, 0
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 12; i++ {
+		sample := g.Poly()
+		s := New(Config{Seed: int64(i), Iterations: 800, Samples: 6})
+		res := s.Synthesize(sample.Obfuscated)
+		if eq, _ := eval.ProbablyEqual(rng, res.Expr, sample.Ground, 64, 80); !eq {
+			wrong++
+		}
+		if res.Perfect {
+			perfect++
+		}
+	}
+	if wrong == 0 {
+		t.Error("expected at least one incorrect synthesis on complex poly MBA")
+	}
+}
+
+func TestHoleMachinery(t *testing.T) {
+	h := hole()
+	if !isHole(h) {
+		t.Fatal("hole not recognized")
+	}
+	e := expr.Add(hole(), expr.Var("x"))
+	filled := fillFirstHole(e, expr.Var("y"))
+	if !expr.Equal(filled, expr.Add(expr.Var("y"), expr.Var("x"))) {
+		t.Fatalf("fillFirstHole = %v", filled)
+	}
+	if hasHole(filled) {
+		t.Fatal("filled expression still reports holes")
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	s := New(Config{Seed: 2, Samples: 4})
+	envs := []eval.Env{{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}}
+	outs := []uint64{1, 2, 3, 4}
+	if got := s.score(parser.MustParse("x"), envs, outs); got != 1 {
+		t.Errorf("perfect candidate score = %v, want 1", got)
+	}
+	if got := s.score(parser.MustParse("x+1"), envs, outs); got >= 1 || got < 0 {
+		t.Errorf("imperfect candidate score = %v, want in [0,1)", got)
+	}
+}

@@ -1,0 +1,161 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+)
+
+func atomize(sub *expr.Expr) Atom { return NewAtom(expr.Canon(sub)) }
+
+func fromSrc(t *testing.T, src string, width uint) *Poly {
+	t.Helper()
+	return FromExpr(parser.MustParse(src), width, atomize)
+}
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §4.4: (x - x&y)*(y - x&y) + (x&y)*(x + y - x&y) = x*y after
+	// expansion and cancellation.
+	p := fromSrc(t, "(x - (x&y))*(y - (x&y)) + (x&y)*(x + y - (x&y))", 64)
+	want := fromSrc(t, "x*y", 64)
+	if !p.Equal(want) {
+		t.Fatalf("expansion = %v, want x*y", p.ToExpr())
+	}
+}
+
+func TestCancellationToZero(t *testing.T) {
+	p := fromSrc(t, "(x+y)*(x-y) - x*x + y*y", 64)
+	if !p.IsZero() {
+		t.Fatalf("should cancel to zero, got %v", p.ToExpr())
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	if v, ok := fromSrc(t, "3+4", 64).IsConst(); !ok || v != 7 {
+		t.Errorf("IsConst(3+4) = %d,%v", v, ok)
+	}
+	if _, ok := fromSrc(t, "x+1", 64).IsConst(); ok {
+		t.Error("x+1 reported constant")
+	}
+	if v, ok := fromSrc(t, "x-x", 64).IsConst(); !ok || v != 0 {
+		t.Errorf("IsConst(x-x) = %d,%v", v, ok)
+	}
+}
+
+func TestDegreesAndTerms(t *testing.T) {
+	p := fromSrc(t, "x*y*z + 2*x - 5", 64)
+	if p.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %d", p.MaxDegree())
+	}
+	if p.NumTerms() != 3 {
+		t.Errorf("NumTerms = %d", p.NumTerms())
+	}
+}
+
+func TestWidthReduction(t *testing.T) {
+	// 256*x vanishes at width 8.
+	p := fromSrc(t, "256*x", 8)
+	if !p.IsZero() {
+		t.Fatalf("256x mod 2^8 should be zero, got %v", p.ToExpr())
+	}
+}
+
+func TestAtomUnification(t *testing.T) {
+	// x&y and y&x must become the same atom after Canon.
+	p := fromSrc(t, "(x&y) - (y&x)", 64)
+	if !p.IsZero() {
+		t.Fatalf("(x&y)-(y&x) should cancel, got %v", p.ToExpr())
+	}
+}
+
+func TestToExprRoundTripSemantics(t *testing.T) {
+	// Property: expansion and re-rendering preserve semantics.
+	srcs := []string{
+		"(x+2)*(y-3)",
+		"(x&y)*(x&y) - x*y",
+		"-(x*(y+z))",
+		"7*x - 2*y*(z+1) + 4",
+		"(x - (x&y))*(y - (x&y)) + (x&y)*(x + y - (x&y))",
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, src := range srcs {
+		in := parser.MustParse(src)
+		out := FromExpr(in, 64, atomize).ToExpr()
+		if eq, env := eval.ProbablyEqual(rng, in, out, 64, 100); !eq {
+			t.Errorf("%q expanded to %q; differs at %v", src, out, env)
+		}
+	}
+}
+
+func TestRingLawsProperty(t *testing.T) {
+	// (a+b)*c == a*c + b*c as polynomials, for random expressions.
+	var genExpr func(rng *rand.Rand, d int) *expr.Expr
+	genExpr = func(rng *rand.Rand, d int) *expr.Expr {
+		if d == 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return expr.Const(uint64(rng.Intn(10)))
+			case 1:
+				return expr.Var("x")
+			default:
+				return expr.And(expr.Var("x"), expr.Var("y"))
+			}
+		}
+		ops := []expr.Op{expr.OpAdd, expr.OpSub, expr.OpMul}
+		return expr.Binary(ops[rng.Intn(3)], genExpr(rng, d-1), genExpr(rng, d-1))
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := FromExpr(genExpr(rng, 2), 64, atomize)
+		b := FromExpr(genExpr(rng, 2), 64, atomize)
+		c := FromExpr(genExpr(rng, 2), 64, atomize)
+		lhs := a.Add(b).Mul(c)
+		rhs := a.Mul(c).Add(b.Mul(c))
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		// a - a == 0 and -(-a) == a.
+		if !a.Sub(a).IsZero() {
+			return false
+		}
+		return a.Neg().Neg().Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	p := fromSrc(t, "x+2", 64).MulConst(3)
+	want := fromSrc(t, "3*x+6", 64)
+	if !p.Equal(want) {
+		t.Fatalf("MulConst = %v", p.ToExpr())
+	}
+}
+
+func TestAtomsListing(t *testing.T) {
+	p := fromSrc(t, "x*(y&z) + (y&z)*(y&z)", 64)
+	atoms := p.Atoms()
+	if len(atoms) != 2 {
+		t.Fatalf("Atoms = %d, want 2 (x and y&z)", len(atoms))
+	}
+}
+
+func TestToExprSignedRendering(t *testing.T) {
+	p := fromSrc(t, "0-x-5", 64)
+	s := p.ToExpr().String()
+	// Must render with subtraction, not giant unsigned constants.
+	if len(s) > 10 {
+		t.Errorf("signed rendering too verbose: %q", s)
+	}
+}
+
+func TestZeroPolyToExpr(t *testing.T) {
+	if got := New(64).ToExpr(); !got.IsConst(0) {
+		t.Errorf("zero poly renders as %v", got)
+	}
+}

@@ -1,0 +1,762 @@
+// Package sat implements a CDCL (conflict-driven clause learning)
+// boolean satisfiability solver in the MiniSat lineage: two-watched-
+// literal propagation, first-UIP conflict analysis with recursive
+// clause minimization, exponential VSIDS variable activities, phase
+// saving, Luby or geometric restarts, and activity/LBD-based learnt
+// clause database reduction.
+//
+// It is the search engine underneath the bitvector solvers in
+// internal/smt, standing in for the SAT cores of Z3, STP and Boolector
+// in the paper's experiments. Resource budgets (conflicts, propagations
+// and a wall-clock deadline) make solving interruptible, which the
+// experiment harness uses to implement the paper's solving timeouts.
+package sat
+
+import (
+	"bufio"
+	"errors"
+	"time"
+)
+
+// Status is the outcome of a Solve call.
+type Status int8
+
+const (
+	// Unknown means the solver exhausted its budget before deciding.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found; see Model.
+	Sat
+	// Unsat means the formula was proved unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Var is a 0-based propositional variable index.
+type Var int32
+
+// Lit is a literal: variable times two, plus one if negated.
+type Lit int32
+
+// MkLit builds a literal from a variable and a sign (true = negated).
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// lbool is a lifted boolean: true, false or undefined.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+// Options tunes the search. The three SMT personalities in
+// internal/smt use different option sets.
+type Options struct {
+	// VarDecay is the VSIDS activity decay factor in (0,1); typical
+	// 0.95. Higher = longer memory.
+	VarDecay float64
+	// ClauseDecay is the learnt clause activity decay; typical 0.999.
+	ClauseDecay float64
+	// RestartLuby selects Luby restarts; otherwise restarts are
+	// geometric with factor RestartInc.
+	RestartLuby bool
+	// RestartBase is the first restart interval in conflicts.
+	RestartBase int
+	// RestartInc is the geometric restart growth factor (>1).
+	RestartInc float64
+	// PhaseSaving re-decides variables with their last assigned
+	// polarity.
+	PhaseSaving bool
+	// DefaultPhase is the polarity used for never-assigned variables
+	// (false = assign false first, the MiniSat default).
+	DefaultPhase bool
+	// LearntsFraction caps the learnt database at this multiple of the
+	// problem clauses before reduction; typical 1.0/3.
+	LearntsFraction float64
+}
+
+// DefaultOptions returns a balanced MiniSat-like configuration.
+func DefaultOptions() Options {
+	return Options{
+		VarDecay:        0.95,
+		ClauseDecay:     0.999,
+		RestartLuby:     true,
+		RestartBase:     100,
+		RestartInc:      2.0,
+		PhaseSaving:     true,
+		DefaultPhase:    false,
+		LearntsFraction: 1.0 / 3.0,
+	}
+}
+
+// Budget bounds a Solve call. Zero fields mean unlimited.
+type Budget struct {
+	Conflicts    int64
+	Propagations int64
+	Deadline     time.Time
+}
+
+// Stats reports the work performed across the solver's lifetime.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learnt       int64
+	Removed      int64
+	MaxLBD       int
+}
+
+type clause struct {
+	lits     []Lit
+	activity float64
+	lbd      int
+	learnt   bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // cached literal; if true the clause is satisfied
+}
+
+// ErrAddAfterUnsat is returned by AddClause once the formula is known
+// unsatisfiable at level 0.
+var ErrAddAfterUnsat = errors.New("sat: clause added to an already-unsat solver")
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	opts Options
+
+	clauses []*clause // problem clauses
+	learnts []*clause
+
+	watches [][]watcher // index: literal
+
+	assign   []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	order    *varHeap
+	phase    []bool
+
+	seen      []byte // conflict analysis scratch
+	analyzeTs []Lit
+	minimizeS []Lit
+
+	okay  bool // false once UNSAT at level 0
+	model []bool
+	stats Stats
+	proof *bufio.Writer // DRAT output; nil when disabled
+	// origClauses records clauses exactly as given to AddClause while
+	// proof logging is enabled; DRAT proofs refute the original
+	// formula, not its normalized form.
+	origClauses [][]Lit
+}
+
+// New returns an empty solver with the given options.
+func New(opts Options) *Solver {
+	if opts.VarDecay == 0 {
+		opts = DefaultOptions()
+	}
+	s := &Solver{
+		opts:   opts,
+		varInc: 1,
+		claInc: 1,
+		okay:   true,
+	}
+	s.order = newVarHeap(&s.activity)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NewVar allocates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assign))
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.phase = append(s.phase, s.opts.DefaultPhase)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a problem clause. It returns ErrAddAfterUnsat if the
+// solver is already unsatisfiable, and silently discards tautologies.
+// Adding an empty (or all-false) clause makes the solver unsat.
+func (s *Solver) AddClause(lits ...Lit) error {
+	if !s.okay {
+		return ErrAddAfterUnsat
+	}
+	if len(s.trailLim) != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	if s.proof != nil {
+		s.origClauses = append(s.origClauses, append([]Lit(nil), lits...))
+	}
+	// Normalize: sort-free dedup, drop false literals, detect
+	// tautology and satisfied clauses.
+	out := lits[:0:0]
+	for _, l := range lits {
+		switch s.value(l) {
+		case lTrue:
+			return nil // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup, taut := false, false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				taut = true
+				break
+			}
+		}
+		if taut {
+			return nil
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.okay = false
+		s.proofAdd(nil)
+		s.proofFlush()
+		return nil
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.okay = false
+			s.proofAdd(nil)
+			s.proofFlush()
+		}
+		return nil
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assign[v] = boolToLbool(!l.Neg())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns the conflicting
+// clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Find a new watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				conflict = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learnt
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int32) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conflict
+
+	for {
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = 1
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		s.seen[p.Var()] = 0
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: remove literals implied by the rest of the clause.
+	s.analyzeTs = s.analyzeTs[:0]
+	for _, l := range learnt {
+		s.analyzeTs = append(s.analyzeTs, l)
+		s.seen[l.Var()] = 1
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		if s.reason[learnt[i].Var()] == nil || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	for _, l := range s.analyzeTs {
+		s.seen[l.Var()] = 0
+	}
+	for _, l := range s.minimizeS {
+		s.seen[l.Var()] = 0
+	}
+	s.minimizeS = s.minimizeS[:0]
+
+	// Find the backtrack level: the highest level among the
+	// non-asserting literals.
+	bt := int32(0)
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		bt = s.level[learnt[1].Var()]
+	}
+	return learnt, bt
+}
+
+// litRedundant checks whether l is implied by the other marked
+// literals (recursive clause minimization, Sörensson & Biere).
+func (s *Solver) litRedundant(l Lit) bool {
+	stack := []Lit{l}
+	top := len(s.minimizeS)
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := s.reason[p.Var()]
+		for _, q := range c.lits[1:] {
+			v := q.Var()
+			if s.seen[v] != 0 || s.level[v] == 0 {
+				continue
+			}
+			if s.reason[v] == nil {
+				// Decision variable not in the clause: l is not
+				// redundant; undo the marks made in this call.
+				for _, m := range s.minimizeS[top:] {
+					s.seen[m.Var()] = 0
+				}
+				s.minimizeS = s.minimizeS[:top]
+				return false
+			}
+			s.seen[v] = 1
+			s.minimizeS = append(s.minimizeS, q)
+			stack = append(stack, q)
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, lc := range s.learnts {
+			lc.activity *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) backtrackTo(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		if s.opts.PhaseSaving {
+			s.phase[v] = !l.Neg()
+		}
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+// computeLBD counts the distinct decision levels in a clause (the
+// "glue" of glucose-style heuristics).
+func (s *Solver) computeLBD(lits []Lit) int {
+	seen := map[int32]bool{}
+	for _, l := range lits {
+		seen[s.level[l.Var()]] = true
+	}
+	return len(seen)
+}
+
+func (s *Solver) pickBranchLit() (Lit, bool) {
+	for {
+		v, ok := s.order.removeMax()
+		if !ok {
+			return 0, false
+		}
+		if s.assign[v] == lUndef {
+			s.stats.Decisions++
+			return MkLit(v, !s.phase[v]), true
+		}
+	}
+}
+
+// reduceDB removes roughly half of the learnt clauses, keeping the
+// most active / lowest-LBD ones. Clauses locked as reasons survive.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Partial selection by activity threshold: compute median
+	// approximation via average.
+	var sum float64
+	for _, c := range s.learnts {
+		sum += c.activity
+	}
+	lim := sum / float64(len(s.learnts))
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		locked := false
+		if r := s.reason[c.lits[0].Var()]; r == c && s.value(c.lits[0]) == lTrue {
+			locked = true
+		}
+		if locked || c.lbd <= 2 || c.activity >= lim {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+		s.proofDelete(c.lits)
+		s.stats.Removed++
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, wl := range []Lit{c.lits[0].Not(), c.lits[1].Not()} {
+		ws := s.watches[wl]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[wl] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// luby returns the i-th element (1-based) of the Luby sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve searches for a satisfying assignment under the optional
+// assumptions, within the budget. It returns Sat, Unsat or Unknown
+// (budget exhausted). After Sat, Model returns the assignment. Unsat
+// under assumptions means the assumptions are inconsistent with the
+// formula (no final-conflict extraction is implemented).
+func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
+	if s.proof != nil && len(assumptions) > 0 {
+		panic("sat: proof logging is not supported with assumptions")
+	}
+	if !s.okay {
+		return Unsat
+	}
+	if c := s.propagate(); c != nil {
+		s.okay = false
+		s.proofAdd(nil)
+		s.proofFlush()
+		return Unsat
+	}
+
+	restartCount := int64(0)
+	conflictBudgetAtStart := s.stats.Conflicts
+	propBudgetAtStart := s.stats.Propagations
+	conflictsSinceRestart := int64(0)
+	restartLimit := s.restartLimit(restartCount)
+	maxLearnts := float64(len(s.clauses))*s.opts.LearntsFraction + 100
+
+	checkBudget := func() bool {
+		if budget.Conflicts > 0 && s.stats.Conflicts-conflictBudgetAtStart >= budget.Conflicts {
+			return false
+		}
+		if budget.Propagations > 0 && s.stats.Propagations-propBudgetAtStart >= budget.Propagations {
+			return false
+		}
+		if !budget.Deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(budget.Deadline) {
+			return false
+		}
+		return true
+	}
+
+	defer s.backtrackTo(0)
+
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflictsSinceRestart++
+			if s.decisionLevel() == 0 {
+				s.okay = false
+				s.proofAdd(nil)
+				s.proofFlush()
+				return Unsat
+			}
+			learnt, bt := s.analyze(conflict)
+			s.proofAdd(learnt)
+			s.backtrackTo(bt)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				if c.lbd > s.stats.MaxLBD {
+					s.stats.MaxLBD = c.lbd
+				}
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= s.opts.VarDecay
+			s.claInc /= s.opts.ClauseDecay
+			if !checkBudget() {
+				return Unknown
+			}
+			continue
+		}
+
+		// No conflict: restart, reduce, or decide.
+		if conflictsSinceRestart >= restartLimit {
+			restartCount++
+			conflictsSinceRestart = 0
+			restartLimit = s.restartLimit(restartCount)
+			s.stats.Restarts++
+			s.backtrackTo(s.assumptionLevel(len(assumptions)))
+			continue
+		}
+		if float64(len(s.learnts)) > maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+			maxLearnts *= 1.1
+		}
+
+		// Place assumptions first.
+		if int(s.decisionLevel()) < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.value(a) {
+			case lTrue:
+				// Already satisfied: open an empty level to keep the
+				// level/assumption indices aligned.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				continue
+			case lFalse:
+				return Unsat
+			}
+			s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			s.uncheckedEnqueue(a, nil)
+			continue
+		}
+
+		l, ok := s.pickBranchLit()
+		if !ok {
+			// All variables assigned: SAT.
+			s.model = make([]bool, len(s.assign))
+			for v := range s.assign {
+				s.model[v] = s.assign[v] == lTrue
+			}
+			s.proofFlush()
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// assumptionLevel clamps restarts so assumption decisions survive.
+func (s *Solver) assumptionLevel(n int) int32 {
+	if int(s.decisionLevel()) < n {
+		return s.decisionLevel()
+	}
+	return int32(n)
+}
+
+func (s *Solver) restartLimit(count int64) int64 {
+	if s.opts.RestartLuby {
+		return luby(count+1) * int64(s.opts.RestartBase)
+	}
+	lim := float64(s.opts.RestartBase)
+	for i := int64(0); i < count; i++ {
+		lim *= s.opts.RestartInc
+	}
+	return int64(lim)
+}
+
+// Model returns the satisfying assignment found by the last Sat result;
+// index by Var.
+func (s *Solver) Model() []bool { return s.model }
+
+// Stats returns cumulative search statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// Okay reports whether the solver is still consistent (no level-0
+// unsat derived).
+func (s *Solver) Okay() bool { return s.okay }

@@ -1,0 +1,294 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func lit(v int, neg bool) Lit { return MkLit(Var(v), neg) }
+
+func newTestSolver(t *testing.T, nvars int) *Solver {
+	t.Helper()
+	s := New(DefaultOptions())
+	for i := 0; i < nvars; i++ {
+		s.NewVar()
+	}
+	return s
+}
+
+func TestLitEncoding(t *testing.T) {
+	l := MkLit(5, true)
+	if l.Var() != 5 || !l.Neg() {
+		t.Fatalf("MkLit(5,true) = %v", l)
+	}
+	if l.Not().Neg() || l.Not().Var() != 5 {
+		t.Fatalf("Not broken: %v", l.Not())
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := newTestSolver(t, 2)
+	s.AddClause(lit(0, false), lit(1, false))
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	m := s.Model()
+	if !m[0] && !m[1] {
+		t.Fatalf("model %v does not satisfy x0|x1", m)
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := newTestSolver(t, 1)
+	s.AddClause(lit(0, false))
+	s.AddClause(lit(0, true))
+	if got := s.Solve(Budget{}); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := newTestSolver(t, 1)
+	s.AddClause()
+	if got := s.Solve(Budget{}); got != Unsat {
+		t.Fatalf("Solve = %v, want unsat", got)
+	}
+	if err := s.AddClause(lit(0, false)); err != ErrAddAfterUnsat {
+		t.Fatalf("AddClause after unsat: %v", err)
+	}
+}
+
+func TestTautologyDiscarded(t *testing.T) {
+	s := newTestSolver(t, 1)
+	s.AddClause(lit(0, false), lit(0, true))
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+}
+
+// pigeonhole encodes PHP(n+1, n): n+1 pigeons into n holes, UNSAT.
+func pigeonhole(s *Solver, pigeons, holes int) {
+	va := func(p, h int) Lit { return MkLit(Var(p*holes+h), false) }
+	for i := 0; i < pigeons*holes; i++ {
+		s.NewVar()
+	}
+	for p := 0; p < pigeons; p++ {
+		cl := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = va(p, h)
+		}
+		s.AddClause(cl...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(va(p1, h).Not(), va(p2, h).Not())
+			}
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 2; holes <= 5; holes++ {
+		s := New(DefaultOptions())
+		pigeonhole(s, holes+1, holes)
+		if got := s.Solve(Budget{}); got != Unsat {
+			t.Fatalf("PHP(%d,%d) = %v, want unsat", holes+1, holes, got)
+		}
+	}
+}
+
+func TestPigeonholeSat(t *testing.T) {
+	s := New(DefaultOptions())
+	pigeonhole(s, 4, 4) // 4 pigeons in 4 holes fits
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("PHP(4,4) = %v, want sat", got)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	s := New(DefaultOptions())
+	pigeonhole(s, 9, 8) // hard enough to burn conflicts
+	if got := s.Solve(Budget{Conflicts: 10}); got != Unknown {
+		t.Fatalf("budgeted Solve = %v, want unknown", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := newTestSolver(t, 3)
+	// (x0 | x1) & (~x0 | x2)
+	s.AddClause(lit(0, false), lit(1, false))
+	s.AddClause(lit(0, true), lit(2, false))
+
+	if got := s.Solve(Budget{}, lit(0, false), lit(2, true)); got != Unsat {
+		t.Fatalf("assume x0 & ~x2 = %v, want unsat", got)
+	}
+	// The solver must remain usable for other assumptions.
+	if got := s.Solve(Budget{}, lit(0, true)); got != Sat {
+		t.Fatalf("assume ~x0 = %v, want sat", got)
+	}
+	m := s.Model()
+	if m[0] || !m[1] {
+		t.Fatalf("model %v violates clauses under ~x0", m)
+	}
+}
+
+// bruteForceSat checks satisfiability of a clause set by enumeration.
+func bruteForceSat(nvars int, clauses [][]Lit) bool {
+	for a := 0; a < 1<<nvars; a++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				bit := a>>int(l.Var())&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 300; round++ {
+		nvars := 3 + rng.Intn(8)
+		nclauses := 2 + rng.Intn(5*nvars)
+		clauses := make([][]Lit, nclauses)
+		for i := range clauses {
+			k := 1 + rng.Intn(3)
+			cl := make([]Lit, k)
+			for j := range cl {
+				cl[j] = MkLit(Var(rng.Intn(nvars)), rng.Intn(2) == 1)
+			}
+			clauses[i] = cl
+		}
+		s := New(DefaultOptions())
+		for i := 0; i < nvars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range clauses {
+			s.AddClause(cl...)
+		}
+		got := s.Solve(Budget{})
+		want := bruteForceSat(nvars, clauses)
+		if (got == Sat) != want {
+			t.Fatalf("round %d: solver=%v bruteforce=%v (vars=%d clauses=%v)",
+				round, got, want, nvars, clauses)
+		}
+		if got == Sat {
+			// Verify the model actually satisfies every clause.
+			m := s.Model()
+			for _, cl := range clauses {
+				sat := false
+				for _, l := range cl {
+					if m[l.Var()] != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("round %d: model %v fails clause %v", round, m, cl)
+				}
+			}
+		}
+	}
+}
+
+func TestGeometricRestarts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RestartLuby = false
+	opts.RestartBase = 50
+	opts.RestartInc = 1.5
+	s := New(opts)
+	pigeonhole(s, 7, 6)
+	if got := s.Solve(Budget{}); got != Unsat {
+		t.Fatalf("geometric-restart solver: %v, want unsat", got)
+	}
+	if s.Stats().Conflicts == 0 {
+		t.Error("expected conflicts to be recorded")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	input := `c example
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	s := New(DefaultOptions())
+	n, err := ParseDIMACS(s, strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("declared %d vars, want 3", n)
+	}
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("Solve = %v, want sat", got)
+	}
+	m := s.Model()
+	// -1 forces x1 false; 1 -2 then forces x2 false; 2 3 forces x3.
+	if m[0] || m[1] || !m[2] {
+		t.Fatalf("model %v, want [false false true]", m)
+	}
+
+	var sb strings.Builder
+	if err := WriteDIMACS(s, &sb); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(DefaultOptions())
+	if _, err := ParseDIMACS(s2, strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("reparsing written DIMACS: %v", err)
+	}
+	if got := s2.Solve(Budget{}); got != Sat {
+		t.Fatalf("round-tripped Solve = %v, want sat", got)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p cnf x 3\n",
+		"p dnf 2 2\n",
+		"p cnf 2 1\n1 z 0\n",
+	} {
+		s := New(DefaultOptions())
+		if _, err := ParseDIMACS(s, strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseDIMACS(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestIncrementalSolving(t *testing.T) {
+	s := newTestSolver(t, 4)
+	s.AddClause(lit(0, false), lit(1, false))
+	if s.Solve(Budget{}) != Sat {
+		t.Fatal("phase 1 should be sat")
+	}
+	// Add more constraints after solving.
+	s.AddClause(lit(0, true))
+	s.AddClause(lit(1, true))
+	if got := s.Solve(Budget{}); got != Unsat {
+		t.Fatalf("phase 2 = %v, want unsat", got)
+	}
+}

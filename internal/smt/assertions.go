@@ -1,0 +1,126 @@
+package smt
+
+import (
+	"time"
+
+	"mbasolver/internal/bitblast"
+	"mbasolver/internal/bv"
+	"mbasolver/internal/core"
+	"mbasolver/internal/sat"
+)
+
+// SatStatus is the outcome of a satisfiability query (as opposed to
+// the equivalence-oriented Status).
+type SatStatus int8
+
+const (
+	// SatUnknown means the budget ran out.
+	SatUnknown SatStatus = iota
+	// Satisfiable with a model.
+	Satisfiable
+	// Unsatisfiable.
+	Unsatisfiable
+)
+
+func (s SatStatus) String() string {
+	switch s {
+	case Satisfiable:
+		return "sat"
+	case Unsatisfiable:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// SatResult reports a satisfiability query.
+type SatResult struct {
+	Status    SatStatus
+	Model     map[string]uint64 // variable values when Satisfiable
+	Elapsed   time.Duration
+	Conflicts int64
+}
+
+// SolveAssertions decides the conjunction of width-1 terms (the
+// SMT-LIB (assert ...) view of a problem) under this personality's
+// preprocessing and search configuration.
+func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult {
+	start := time.Now()
+	rw := bv.NewRewriter(s.level)
+
+	vars := map[string]uint{}
+	rewritten := make([]*bv.Term, 0, len(assertions))
+	for _, a := range assertions {
+		for name, width := range bv.Vars(a) {
+			vars[name] = width
+		}
+		t := a
+		if s.level != bv.RewriteNone {
+			t = rw.Rewrite(a)
+		}
+		if t.Op == bv.Const {
+			if t.Val == 0 {
+				return SatResult{Status: Unsatisfiable, Elapsed: time.Since(start)}
+			}
+			continue // trivially true assertion
+		}
+		rewritten = append(rewritten, t)
+	}
+	if len(rewritten) == 0 {
+		// All assertions rewrote to true: any assignment works.
+		model := map[string]uint64{}
+		for name := range vars {
+			model[name] = 0
+		}
+		return SatResult{Status: Satisfiable, Model: model, Elapsed: time.Since(start)}
+	}
+
+	bl := bitblast.New(s.satOpts)
+	for _, t := range rewritten {
+		out := bl.Blast(t)
+		bl.AssertTrue(out[0])
+	}
+	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts)}
+	if budget.Timeout > 0 {
+		sb.Deadline = start.Add(budget.Timeout)
+	}
+	verdict := bl.S.Solve(sb)
+	res := SatResult{Elapsed: time.Since(start), Conflicts: bl.S.Stats().Conflicts}
+	switch verdict {
+	case sat.Sat:
+		res.Status = Satisfiable
+		res.Model = map[string]uint64{}
+		for name := range vars {
+			if v, ok := bl.Model(name); ok {
+				res.Model[name] = v
+			} else {
+				res.Model[name] = 0 // unconstrained by the circuit
+			}
+		}
+	case sat.Unsat:
+		res.Status = Unsatisfiable
+	default:
+		res.Status = SatUnknown
+	}
+	return res
+}
+
+// SimplifyPredicate runs MBA-Solver over the two sides of an asserted
+// equality or disequality, returning an equivalent predicate with the
+// sides simplified. Terms outside that shape are returned unchanged —
+// the preprocessing is sound exactly because it only substitutes
+// provably equal subterms (paper Theorem 1).
+func SimplifyPredicate(t *bv.Term) *bv.Term {
+	if t.Op != bv.Eq && t.Op != bv.Ne {
+		return t
+	}
+	la, oka := bv.ToExpr(t.Args[0])
+	lb, okb := bv.ToExpr(t.Args[1])
+	if !oka || !okb {
+		return t
+	}
+	width := t.Args[0].Width
+	s := core.New(core.Options{Width: width})
+	sa := bv.FromExpr(s.Simplify(la), width)
+	sb := bv.FromExpr(s.Simplify(lb), width)
+	return bv.Predicate(t.Op, sa, sb)
+}

@@ -1,0 +1,77 @@
+package smt
+
+import (
+	"testing"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/parser"
+)
+
+func TestSolveAssertionsTrivial(t *testing.T) {
+	s := NewZ3Sim()
+	// No assertions: trivially satisfiable.
+	res := s.SolveAssertions(nil, Budget{})
+	if res.Status != Satisfiable {
+		t.Fatalf("empty query = %v", res.Status)
+	}
+	// A constant-false assertion.
+	res = s.SolveAssertions([]*bv.Term{bv.NewConst(0, 1)}, Budget{})
+	if res.Status != Unsatisfiable {
+		t.Fatalf("false assertion = %v", res.Status)
+	}
+	// A constant-true assertion with a free variable: model must still
+	// mention the variable.
+	x := bv.NewVar("x", 8)
+	tru := bv.Predicate(bv.Eq, x, x)
+	res = s.SolveAssertions([]*bv.Term{tru}, Budget{})
+	if res.Status != Satisfiable {
+		t.Fatalf("tautology = %v", res.Status)
+	}
+	if _, ok := res.Model["x"]; !ok {
+		t.Error("model missing unconstrained variable")
+	}
+}
+
+func TestSolveAssertionsConjunction(t *testing.T) {
+	s := NewBoolectorSim()
+	x := bv.NewVar("x", 8)
+	y := bv.NewVar("y", 8)
+	sum := bv.Binary(bv.Add, x, y)
+	a1 := bv.Predicate(bv.Eq, sum, bv.NewConst(10, 8))
+	a2 := bv.Predicate(bv.Eq, bv.Binary(bv.Xor, x, y), bv.NewConst(10, 8))
+	res := s.SolveAssertions([]*bv.Term{a1, a2}, Budget{})
+	if res.Status != Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	xv, yv := res.Model["x"], res.Model["y"]
+	if (xv+yv)&0xff != 10 || xv^yv != 10 {
+		t.Errorf("model x=%d y=%d violates constraints", xv, yv)
+	}
+}
+
+func TestSimplifyPredicateReducesSides(t *testing.T) {
+	lhs := bv.FromExpr(parser.MustParse("(x|y)+y-(~x&y)"), 8)
+	rhs := bv.FromExpr(parser.MustParse("x+y"), 8)
+	p := bv.Predicate(bv.Eq, lhs, rhs)
+	simplified := SimplifyPredicate(p)
+	if simplified.Op != bv.Eq {
+		t.Fatalf("predicate op changed: %v", simplified.Op)
+	}
+	if bv.Size(simplified) >= bv.Size(p) {
+		t.Errorf("no reduction: %d -> %d nodes", bv.Size(p), bv.Size(simplified))
+	}
+	// The simplified predicate must be a tautology, decidable
+	// instantly.
+	res := NewZ3Sim().SolveAssertions([]*bv.Term{bv.Predicate(bv.Ne, simplified.Args[0], simplified.Args[1])}, Budget{Conflicts: 100})
+	if res.Status != Unsatisfiable {
+		t.Errorf("simplified disequality = %v, want unsat", res.Status)
+	}
+}
+
+func TestSimplifyPredicatePassesThroughNonPredicates(t *testing.T) {
+	x := bv.NewVar("x", 8)
+	lt := bv.Predicate(bv.Ult, x, bv.NewConst(4, 8))
+	if got := SimplifyPredicate(lt); got != lt {
+		t.Error("bvult predicate should pass through unchanged")
+	}
+}

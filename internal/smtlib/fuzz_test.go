@@ -1,0 +1,32 @@
+package smtlib
+
+import "testing"
+
+// FuzzParse exercises the s-expression reader and the term translator
+// for panics on arbitrary input.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		figure1Script,
+		"(set-logic QF_BV)(declare-const x (_ BitVec 8))(assert (= x #x2a))(check-sat)",
+		"(assert (let ((t (_ bv1 4))) (= t t)))",
+		"; comment\n(check-sat)",
+		"(declare-fun x () Bool)(assert x)",
+		"(assert (bvadd",
+		"(_ bv1",
+		"|quoted symbol| \"string\"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Every accepted assertion must be a width-1 term.
+		for _, a := range script.Assertions {
+			if a.Width != 1 {
+				t.Fatalf("accepted non-boolean assertion of width %d", a.Width)
+			}
+		}
+	})
+}

@@ -1,0 +1,564 @@
+// Package smtlib implements a reader and writer for the QF_BV subset
+// of the SMT-LIB v2 language that MBA equations need: bitvector sorts,
+// the bitwise/arithmetic operators, equality/disequality/bvult
+// predicates, boolean connectives over them, and let bindings.
+//
+// It makes the in-tree solver personalities usable as drop-in
+// command-line SMT solvers (cmd/mbasmt) and allows exporting any MBA
+// equivalence query for cross-checking against external solvers — the
+// interface through which the original paper drove Z3, STP and
+// Boolector.
+package smtlib
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"mbasolver/internal/bv"
+)
+
+// Script is a parsed SMT-LIB script: declared constants and the
+// asserted formulas (implicitly conjoined). (push)/(pop) frames are
+// resolved during parsing — Assertions holds exactly the assertions
+// live at the end of the script, so popped frames are discarded.
+type Script struct {
+	Logic      string
+	Decls      map[string]uint // name -> bit width
+	Assertions []*bv.Term      // width-1 terms
+	// CheckSat records whether the script requested (check-sat).
+	CheckSat bool
+	// ProduceModels records (set-option :produce-models true) /
+	// (get-model).
+	ProduceModels bool
+
+	// frames records the assertion-stack heights opened by (push).
+	frames []int
+}
+
+// ParseError reports a malformed script.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("smtlib: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// --- S-expression reader ---
+
+type sexpr struct {
+	atom string   // leaf token (empty for lists)
+	list []*sexpr // nil for atoms
+	pos  int
+}
+
+func (s *sexpr) isAtom() bool { return s.list == nil }
+
+type reader struct {
+	src string
+	pos int
+}
+
+func (r *reader) error(msg string) error {
+	return &ParseError{Pos: r.pos, Msg: msg}
+}
+
+func (r *reader) skipWS() {
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch {
+		case c == ';': // comment to end of line
+			for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+				r.pos++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			r.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (r *reader) next() (*sexpr, error) {
+	r.skipWS()
+	if r.pos >= len(r.src) {
+		return nil, io.EOF
+	}
+	start := r.pos
+	switch c := r.src[r.pos]; {
+	case c == '(':
+		r.pos++
+		list := []*sexpr{} // non-nil: () must not look like an atom
+		for {
+			r.skipWS()
+			if r.pos >= len(r.src) {
+				return nil, r.error("unterminated list")
+			}
+			if r.src[r.pos] == ')' {
+				r.pos++
+				return &sexpr{list: list, pos: start}, nil
+			}
+			item, err := r.next()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, item)
+		}
+	case c == ')':
+		return nil, r.error("unexpected ')'")
+	case c == '|': // quoted symbol
+		end := strings.IndexByte(r.src[r.pos+1:], '|')
+		if end < 0 {
+			return nil, r.error("unterminated quoted symbol")
+		}
+		tok := r.src[r.pos+1 : r.pos+1+end]
+		r.pos += end + 2
+		return &sexpr{atom: tok, pos: start}, nil
+	case c == '"': // string literal (kept verbatim, quotes stripped)
+		end := strings.IndexByte(r.src[r.pos+1:], '"')
+		if end < 0 {
+			return nil, r.error("unterminated string")
+		}
+		tok := r.src[r.pos+1 : r.pos+1+end]
+		r.pos += end + 2
+		return &sexpr{atom: tok, pos: start}, nil
+	default:
+		for r.pos < len(r.src) && !isDelim(r.src[r.pos]) {
+			r.pos++
+		}
+		return &sexpr{atom: r.src[start:r.pos], pos: start}, nil
+	}
+}
+
+func isDelim(c byte) bool {
+	return c == '(' || c == ')' || c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';'
+}
+
+// --- Script parsing ---
+
+// Parse reads an SMT-LIB script.
+func Parse(src string) (*Script, error) {
+	r := &reader{src: src}
+	script := &Script{Decls: map[string]uint{}}
+	for {
+		form, err := r.next()
+		if err == io.EOF {
+			return script, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := script.command(form); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (s *Script) command(form *sexpr) error {
+	if form.isAtom() || len(form.list) == 0 || !form.list[0].isAtom() {
+		return &ParseError{form.pos, "expected a command list"}
+	}
+	head := form.list[0].atom
+	args := form.list[1:]
+	switch head {
+	case "set-logic":
+		if len(args) == 1 && args[0].isAtom() {
+			s.Logic = args[0].atom
+		}
+	case "set-info", "set-option", "exit":
+		if head == "set-option" && len(args) == 2 &&
+			args[0].isAtom() && args[0].atom == ":produce-models" &&
+			args[1].isAtom() && args[1].atom == "true" {
+			s.ProduceModels = true
+		}
+	case "get-model":
+		s.ProduceModels = true
+	case "declare-const":
+		if len(args) != 2 || !args[0].isAtom() {
+			return &ParseError{form.pos, "declare-const wants (declare-const name sort)"}
+		}
+		w, err := parseSort(args[1])
+		if err != nil {
+			return err
+		}
+		s.Decls[args[0].atom] = w
+	case "declare-fun":
+		if len(args) != 3 || !args[0].isAtom() || args[1].isAtom() || len(args[1].list) != 0 {
+			return &ParseError{form.pos, "only 0-ary declare-fun is supported"}
+		}
+		w, err := parseSort(args[2])
+		if err != nil {
+			return err
+		}
+		s.Decls[args[0].atom] = w
+	case "assert":
+		if len(args) != 1 {
+			return &ParseError{form.pos, "assert wants one term"}
+		}
+		t, err := s.term(args[0], map[string]*bv.Term{})
+		if err != nil {
+			return err
+		}
+		if t.Width != 1 {
+			return &ParseError{form.pos, "asserted term is not boolean"}
+		}
+		s.Assertions = append(s.Assertions, t)
+	case "check-sat":
+		s.CheckSat = true
+	case "push", "pop":
+		n := 1
+		if len(args) == 1 && args[0].isAtom() {
+			if _, err := fmt.Sscanf(args[0].atom, "%d", &n); err != nil || n < 0 {
+				return &ParseError{form.pos, "push/pop wants a non-negative count"}
+			}
+		} else if len(args) > 1 {
+			return &ParseError{form.pos, "push/pop wants at most one argument"}
+		}
+		if head == "push" {
+			for i := 0; i < n; i++ {
+				s.frames = append(s.frames, len(s.Assertions))
+			}
+			return nil
+		}
+		if n > len(s.frames) {
+			return &ParseError{form.pos, "pop below the assertion stack"}
+		}
+		if n > 0 {
+			height := s.frames[len(s.frames)-n]
+			s.frames = s.frames[:len(s.frames)-n]
+			s.Assertions = s.Assertions[:height]
+		}
+	default:
+		return &ParseError{form.pos, fmt.Sprintf("unsupported command %q", head)}
+	}
+	return nil
+}
+
+func parseSort(form *sexpr) (uint, error) {
+	// (_ BitVec N) or Bool.
+	if form.isAtom() {
+		if form.atom == "Bool" {
+			return 1, nil
+		}
+		return 0, &ParseError{form.pos, fmt.Sprintf("unsupported sort %q", form.atom)}
+	}
+	if len(form.list) == 3 && form.list[0].isAtom() && form.list[0].atom == "_" &&
+		form.list[1].isAtom() && form.list[1].atom == "BitVec" && form.list[2].isAtom() {
+		var w uint
+		if _, err := fmt.Sscanf(form.list[2].atom, "%d", &w); err != nil || w == 0 || w > 64 {
+			return 0, &ParseError{form.pos, "BitVec width must be 1..64"}
+		}
+		return w, nil
+	}
+	return 0, &ParseError{form.pos, "unsupported sort"}
+}
+
+// term translates an SMT-LIB term under let bindings.
+func (s *Script) term(form *sexpr, lets map[string]*bv.Term) (*bv.Term, error) {
+	if form.isAtom() {
+		return s.atomTerm(form, lets)
+	}
+	if len(form.list) == 0 {
+		return nil, &ParseError{form.pos, "empty term"}
+	}
+	// (_ bvN W) literals.
+	if form.list[0].isAtom() && form.list[0].atom == "_" {
+		return parseUnderscoreLiteral(form)
+	}
+	if !form.list[0].isAtom() {
+		return nil, &ParseError{form.pos, "expected operator symbol"}
+	}
+	op := form.list[0].atom
+	args := form.list[1:]
+
+	if op == "let" {
+		return s.letTerm(form, args, lets)
+	}
+
+	terms := make([]*bv.Term, len(args))
+	for i, a := range args {
+		t, err := s.term(a, lets)
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = t
+	}
+	return applyOp(op, terms, form.pos)
+}
+
+func (s *Script) letTerm(form *sexpr, args []*sexpr, lets map[string]*bv.Term) (*bv.Term, error) {
+	if len(args) != 2 || args[0].isAtom() {
+		return nil, &ParseError{form.pos, "let wants bindings and a body"}
+	}
+	inner := make(map[string]*bv.Term, len(lets)+len(args[0].list))
+	for k, v := range lets {
+		inner[k] = v
+	}
+	for _, b := range args[0].list {
+		if b.isAtom() || len(b.list) != 2 || !b.list[0].isAtom() {
+			return nil, &ParseError{b.pos, "malformed let binding"}
+		}
+		// SMT-LIB lets are parallel: bind against the OUTER scope.
+		t, err := s.term(b.list[1], lets)
+		if err != nil {
+			return nil, err
+		}
+		inner[b.list[0].atom] = t
+	}
+	return s.term(args[1], inner)
+}
+
+func (s *Script) atomTerm(form *sexpr, lets map[string]*bv.Term) (*bv.Term, error) {
+	a := form.atom
+	if t, ok := lets[a]; ok {
+		return t, nil
+	}
+	if w, ok := s.Decls[a]; ok {
+		return bv.NewVar(a, w), nil
+	}
+	switch {
+	case a == "true":
+		return bv.NewConst(1, 1), nil
+	case a == "false":
+		return bv.NewConst(0, 1), nil
+	case strings.HasPrefix(a, "#x"):
+		var v uint64
+		if _, err := fmt.Sscanf(a[2:], "%x", &v); err != nil {
+			return nil, &ParseError{form.pos, "bad hex literal " + a}
+		}
+		return bv.NewConst(v, uint(4*len(a[2:]))), nil
+	case strings.HasPrefix(a, "#b"):
+		var v uint64
+		for _, c := range a[2:] {
+			if c != '0' && c != '1' {
+				return nil, &ParseError{form.pos, "bad binary literal " + a}
+			}
+			v = v<<1 | uint64(c-'0')
+		}
+		return bv.NewConst(v, uint(len(a[2:]))), nil
+	}
+	return nil, &ParseError{form.pos, fmt.Sprintf("unknown symbol %q", a)}
+}
+
+func parseUnderscoreLiteral(form *sexpr) (*bv.Term, error) {
+	// (_ bv42 8)
+	if len(form.list) != 3 || !form.list[1].isAtom() || !form.list[2].isAtom() ||
+		!strings.HasPrefix(form.list[1].atom, "bv") {
+		return nil, &ParseError{form.pos, "unsupported indexed identifier"}
+	}
+	var v uint64
+	var w uint
+	if _, err := fmt.Sscanf(form.list[1].atom[2:], "%d", &v); err != nil {
+		return nil, &ParseError{form.pos, "bad bv literal"}
+	}
+	if _, err := fmt.Sscanf(form.list[2].atom, "%d", &w); err != nil || w == 0 || w > 64 {
+		return nil, &ParseError{form.pos, "bad bv width"}
+	}
+	return bv.NewConst(v, w), nil
+}
+
+func applyOp(op string, args []*bv.Term, pos int) (*bv.Term, error) {
+	if len(args) == 0 {
+		return nil, &ParseError{pos, op + " wants arguments"}
+	}
+	// Width agreement is a sort error in SMT-LIB; report it instead of
+	// letting the term constructors panic.
+	for _, t := range args[1:] {
+		if t.Width != args[0].Width {
+			return nil, &ParseError{pos, fmt.Sprintf(
+				"%s: operand widths disagree (%d vs %d)", op, args[0].Width, t.Width)}
+		}
+	}
+	unary := func() (*bv.Term, error) {
+		if len(args) != 1 {
+			return nil, &ParseError{pos, op + " wants one argument"}
+		}
+		return args[0], nil
+	}
+	leftFold := func(k bv.Op) (*bv.Term, error) {
+		if len(args) < 2 {
+			return nil, &ParseError{pos, op + " wants two or more arguments"}
+		}
+		acc := args[0]
+		for _, t := range args[1:] {
+			acc = bv.Binary(k, acc, t)
+		}
+		return acc, nil
+	}
+	switch op {
+	case "bvnot":
+		a, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		return bv.Unary(bv.Not, a), nil
+	case "bvneg":
+		a, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		return bv.Unary(bv.Neg, a), nil
+	case "bvand":
+		return leftFold(bv.And)
+	case "bvor":
+		return leftFold(bv.Or)
+	case "bvxor":
+		return leftFold(bv.Xor)
+	case "bvadd":
+		return leftFold(bv.Add)
+	case "bvsub":
+		return leftFold(bv.Sub)
+	case "bvmul":
+		return leftFold(bv.Mul)
+	case "=":
+		if len(args) != 2 {
+			return nil, &ParseError{pos, "= wants two arguments"}
+		}
+		return bv.Predicate(bv.Eq, args[0], args[1]), nil
+	case "distinct":
+		if len(args) != 2 {
+			return nil, &ParseError{pos, "distinct wants two arguments"}
+		}
+		return bv.Predicate(bv.Ne, args[0], args[1]), nil
+	case "bvult":
+		if len(args) != 2 {
+			return nil, &ParseError{pos, "bvult wants two arguments"}
+		}
+		return bv.Predicate(bv.Ult, args[0], args[1]), nil
+	case "not":
+		a, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		if a.Width != 1 {
+			return nil, &ParseError{pos, "not wants a boolean"}
+		}
+		return bv.Unary(bv.Not, a), nil
+	case "and":
+		return boolFold(bv.And, args, pos, op)
+	case "or":
+		return boolFold(bv.Or, args, pos, op)
+	case "xor":
+		return boolFold(bv.Xor, args, pos, op)
+	}
+	return nil, &ParseError{pos, fmt.Sprintf("unsupported operator %q", op)}
+}
+
+func boolFold(k bv.Op, args []*bv.Term, pos int, op string) (*bv.Term, error) {
+	if len(args) < 2 {
+		return nil, &ParseError{pos, op + " wants two or more arguments"}
+	}
+	acc := args[0]
+	for _, t := range args[1:] {
+		if t.Width != 1 || acc.Width != 1 {
+			return nil, &ParseError{pos, op + " wants booleans"}
+		}
+		acc = bv.Binary(k, acc, t)
+	}
+	return acc, nil
+}
+
+// --- Writer ---
+
+// WriteQuery emits a full SMT-LIB script asserting each term (width-1)
+// with declarations for every free variable, ending in (check-sat).
+func WriteQuery(w io.Writer, assertions []*bv.Term, logic string) error {
+	if logic == "" {
+		logic = "QF_BV"
+	}
+	decls := map[string]uint{}
+	for _, a := range assertions {
+		for name, width := range bv.Vars(a) {
+			decls[name] = width
+		}
+	}
+	names := make([]string, 0, len(decls))
+	for n := range decls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if _, err := fmt.Fprintf(w, "(set-logic %s)\n", logic); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "(declare-const %s (_ BitVec %d))\n", n, decls[n]); err != nil {
+			return err
+		}
+	}
+	for _, a := range assertions {
+		if _, err := fmt.Fprintf(w, "(assert %s)\n", TermString(a)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "(check-sat)")
+	return err
+}
+
+// TermString renders a term in SMT-LIB syntax.
+func TermString(t *bv.Term) string {
+	var b strings.Builder
+	writeTerm(&b, t)
+	return b.String()
+}
+
+func writeTerm(b *strings.Builder, t *bv.Term) {
+	switch t.Op {
+	case bv.Const:
+		fmt.Fprintf(b, "(_ bv%d %d)", t.Val, t.Width)
+		return
+	case bv.Var:
+		b.WriteString(t.Name)
+		return
+	}
+	b.WriteByte('(')
+	b.WriteString(smtOpName(t))
+	for _, a := range t.Args {
+		b.WriteByte(' ')
+		writeTerm(b, a)
+	}
+	b.WriteByte(')')
+}
+
+func smtOpName(t *bv.Term) string {
+	switch t.Op {
+	case bv.Not:
+		if t.Width == 1 {
+			return "not"
+		}
+		return "bvnot"
+	case bv.Neg:
+		return "bvneg"
+	case bv.And:
+		if t.Width == 1 {
+			return "and"
+		}
+		return "bvand"
+	case bv.Or:
+		if t.Width == 1 {
+			return "or"
+		}
+		return "bvor"
+	case bv.Xor:
+		if t.Width == 1 {
+			return "xor"
+		}
+		return "bvxor"
+	case bv.Add:
+		return "bvadd"
+	case bv.Sub:
+		return "bvsub"
+	case bv.Mul:
+		return "bvmul"
+	case bv.Eq:
+		return "="
+	case bv.Ne:
+		return "distinct"
+	case bv.Ult:
+		return "bvult"
+	}
+	return "?"
+}

@@ -1,0 +1,249 @@
+package smtlib
+
+import (
+	"strings"
+	"testing"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/smt"
+)
+
+const figure1Script = `
+; the paper's Figure 1 query, as Z3's Python interface would pose it
+(set-logic QF_BV)
+(declare-const x (_ BitVec 8))
+(declare-const y (_ BitVec 8))
+(assert (distinct (bvmul x y)
+                  (bvadd (bvmul (bvand x (bvnot y)) (bvand (bvnot x) y))
+                         (bvmul (bvand x y) (bvor x y)))))
+(check-sat)
+`
+
+func TestParseFigure1(t *testing.T) {
+	script, err := Parse(figure1Script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.Logic != "QF_BV" {
+		t.Errorf("logic = %q", script.Logic)
+	}
+	if len(script.Decls) != 2 || script.Decls["x"] != 8 || script.Decls["y"] != 8 {
+		t.Errorf("decls = %v", script.Decls)
+	}
+	if len(script.Assertions) != 1 || !script.CheckSat {
+		t.Fatalf("assertions=%d checkSat=%v", len(script.Assertions), script.CheckSat)
+	}
+	// The identity's negation must be UNSAT.
+	res := smt.NewBoolectorSim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Unsatisfiable {
+		t.Errorf("figure-1 negation = %v, want unsat", res.Status)
+	}
+}
+
+func TestParseSatWithModel(t *testing.T) {
+	script, err := Parse(`
+(declare-const a (_ BitVec 4))
+(declare-const b (_ BitVec 4))
+(assert (= (bvadd a b) (_ bv7 4)))
+(assert (bvult a b))
+(check-sat)
+(get-model)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !script.ProduceModels {
+		t.Error("get-model not recorded")
+	}
+	res := smt.NewZ3Sim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	a, b := res.Model["a"], res.Model["b"]
+	if (a+b)&0xf != 7 || a >= b {
+		t.Errorf("model a=%d b=%d violates constraints", a, b)
+	}
+}
+
+func TestParseLetBindings(t *testing.T) {
+	script, err := Parse(`
+(declare-const x (_ BitVec 8))
+(assert (let ((t (bvadd x (_ bv1 8)))) (distinct t x)))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smt.NewBoolectorSim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable { // x+1 != x always, so any x works
+		t.Errorf("status = %v", res.Status)
+	}
+}
+
+func TestParallelLetScoping(t *testing.T) {
+	// In SMT-LIB, let bindings are parallel: inner t on the right-hand
+	// side refers to the OUTER t.
+	script, err := Parse(`
+(declare-const t (_ BitVec 4))
+(assert (let ((t (bvadd t (_ bv1 4)))) (= t (_ bv3 4))))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smt.NewZ3Sim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if res.Model["t"] != 2 { // t+1 == 3
+		t.Errorf("model t=%d, want 2", res.Model["t"])
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	script, err := Parse(`
+(declare-const x (_ BitVec 8))
+(assert (= x #x2a))
+(assert (= x (_ bv42 8)))
+(assert (= x #b00101010))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smt.NewBoolectorSim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable || res.Model["x"] != 42 {
+		t.Errorf("status=%v model=%v", res.Status, res.Model)
+	}
+}
+
+func TestBooleanConnectives(t *testing.T) {
+	script, err := Parse(`
+(declare-const x (_ BitVec 4))
+(assert (or (= x (_ bv1 4)) (= x (_ bv2 4))))
+(assert (not (= x (_ bv1 4))))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smt.NewSTPSim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable || res.Model["x"] != 2 {
+		t.Errorf("status=%v model=%v", res.Status, res.Model)
+	}
+}
+
+func TestUnsatConjunction(t *testing.T) {
+	script, err := Parse(`
+(declare-const x (_ BitVec 4))
+(assert (bvult x (_ bv3 4)))
+(assert (bvult (_ bv5 4) x))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := smt.NewZ3Sim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Unsatisfiable {
+		t.Errorf("status = %v, want unsat", res.Status)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"(assert)",
+		"(declare-const x Int)",
+		"(declare-const x (_ BitVec 0))",
+		"(declare-const x (_ BitVec 128))",
+		"(frobnicate)",
+		"(assert (= x y))",                            // undeclared symbols
+		"(assert (bvfoo #b1 #b1))",                    // unknown operator
+		"(assert (= #b1",                              // unterminated
+		"(declare-fun f ((_ BitVec 4)) (_ BitVec 4))", // non-0-ary
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	if _, err := Parse("; only a comment\n  \t\n(check-sat)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteQueryRoundTrip(t *testing.T) {
+	a := bv.FromExpr(parser.MustParse("x*y"), 8)
+	b := bv.FromExpr(parser.MustParse("(x&~y)*(~x&y) + (x&y)*(x|y)"), 8)
+	q := bv.Predicate(bv.Ne, a, b)
+
+	var sb strings.Builder
+	if err := WriteQuery(&sb, []*bv.Term{q}, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"(set-logic QF_BV)", "(declare-const x (_ BitVec 8))", "(check-sat)", "distinct", "bvmul"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("written query missing %q:\n%s", want, out)
+		}
+	}
+
+	// The written script must parse back and solve identically (unsat:
+	// it is an identity).
+	script, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	res := smt.NewBoolectorSim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Unsatisfiable {
+		t.Errorf("round-tripped query = %v, want unsat", res.Status)
+	}
+}
+
+func TestDeclareFunZeroAry(t *testing.T) {
+	script, err := Parse(`
+(declare-fun x () (_ BitVec 8))
+(assert (= x (_ bv5 8)))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if script.Decls["x"] != 8 {
+		t.Errorf("decls = %v", script.Decls)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	script, err := Parse(`
+(declare-const x (_ BitVec 4))
+(assert (bvult x (_ bv8 4)))
+(push 1)
+(assert (= x (_ bv15 4)))
+(pop 1)
+(assert (bvult (_ bv2 4) x))
+(check-sat)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(script.Assertions) != 2 {
+		t.Fatalf("got %d live assertions, want 2 (popped frame discarded)", len(script.Assertions))
+	}
+	res := smt.NewZ3Sim().SolveAssertions(script.Assertions, smt.Budget{})
+	if res.Status != smt.Satisfiable {
+		t.Fatalf("status = %v", res.Status)
+	}
+	x := res.Model["x"]
+	if x >= 8 || x <= 2 {
+		t.Errorf("model x=%d violates the live constraints", x)
+	}
+}
+
+func TestPopBelowStackRejected(t *testing.T) {
+	if _, err := Parse("(pop 1)"); err == nil {
+		t.Fatal("pop below stack accepted")
+	}
+}

@@ -1,0 +1,294 @@
+// Package symexec implements a small symbolic executor for internal/vm
+// programs — the client workload that motivates the paper (§1):
+// symbolic execution abstracts program behaviour as formulas and asks
+// an SMT solver about path feasibility, so MBA-obfuscated predicates
+// stall the whole analysis. The executor optionally runs MBA-Solver
+// over every path-condition conjunct before querying the solver,
+// turning stuck explorations into instant ones (the paper's pipeline,
+// applied end to end).
+package symexec
+
+import (
+	"fmt"
+	"strings"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/core"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/smt"
+	"mbasolver/internal/vm"
+)
+
+// Branch is one path-condition conjunct: the branch condition
+// expression and the direction taken (Zero = the jz/jnz condition
+// register was zero).
+type Branch struct {
+	Cond *expr.Expr
+	Zero bool
+	PC   int
+}
+
+func (b Branch) String() string {
+	rel := "!= 0"
+	if b.Zero {
+		rel = "== 0"
+	}
+	return fmt.Sprintf("pc%d: (%s) %s", b.PC, b.Cond, rel)
+}
+
+// Path is one fully explored execution path.
+type Path struct {
+	Branches []Branch
+	// Result is the symbolic halt value (nil if the path was pruned).
+	Result *expr.Expr
+	// Inputs is a satisfying assignment for the path condition.
+	Inputs map[string]uint64
+	// Feasible reports the solver's verdict; infeasible and unknown
+	// paths carry no inputs.
+	Feasible bool
+	// Unknown is set when the solver exhausted its budget on this
+	// path's condition.
+	Unknown bool
+}
+
+func (p Path) String() string {
+	var b strings.Builder
+	for i, br := range p.Branches {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(br.String())
+	}
+	return b.String()
+}
+
+// Config tunes an exploration.
+type Config struct {
+	// MaxPaths bounds the number of completed paths; default 64.
+	MaxPaths int
+	// MaxDepth bounds branch decisions per path; default 32.
+	MaxDepth int
+	// Solver decides path feasibility; default btorsim.
+	Solver *smt.Solver
+	// Budget bounds each feasibility query.
+	Budget smt.Budget
+	// Simplify runs MBA-Solver over every conjunct before solving —
+	// the paper's preprocessing, applied to symbolic execution.
+	Simplify bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPaths == 0 {
+		c.MaxPaths = 64
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 32
+	}
+	if c.Solver == nil {
+		c.Solver = smt.NewBoolectorSim()
+	}
+	return c
+}
+
+// Stats reports exploration effort.
+type Stats struct {
+	Queries    int
+	Timeouts   int
+	Infeasible int
+	Steps      int
+}
+
+// Executor explores a program symbolically.
+type Executor struct {
+	cfg   Config
+	prog  *vm.Program
+	simp  *core.Simplifier
+	stats Stats
+}
+
+// New returns an Executor for the program.
+func New(prog *vm.Program, cfg Config) (*Executor, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ex := &Executor{cfg: cfg, prog: prog}
+	if cfg.Simplify {
+		ex.simp = core.New(core.Options{Width: prog.Width})
+	}
+	return ex, nil
+}
+
+// Stats returns the accumulated counters.
+func (ex *Executor) Stats() Stats { return ex.stats }
+
+// state is one frontier entry of the exploration.
+type state struct {
+	pc       int
+	regs     []*expr.Expr
+	branches []Branch
+	depth    int
+}
+
+func (s *state) clone() *state {
+	c := &state{pc: s.pc, depth: s.depth}
+	c.regs = append([]*expr.Expr(nil), s.regs...)
+	c.branches = append([]Branch(nil), s.branches...)
+	return c
+}
+
+// Explore runs the symbolic execution and returns the completed paths
+// (feasible ones carry satisfying inputs).
+func (ex *Executor) Explore() []Path {
+	init := &state{regs: make([]*expr.Expr, ex.prog.NumRegs)}
+	for i := range init.regs {
+		init.regs[i] = expr.Const(0)
+	}
+	frontier := []*state{init}
+	var paths []Path
+
+	for len(frontier) > 0 && len(paths) < ex.cfg.MaxPaths {
+		s := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		done, next := ex.step(s, &paths)
+		if done {
+			continue
+		}
+		frontier = append(frontier, next...)
+	}
+	return paths
+}
+
+// step advances one state to its next branch, completion or prune
+// point, returning successor states.
+func (ex *Executor) step(s *state, paths *[]Path) (done bool, next []*state) {
+	for {
+		ex.stats.Steps++
+		if s.pc < 0 || s.pc >= len(ex.prog.Instrs) || ex.stats.Steps > vm.StepLimit {
+			return true, nil // fell off or runaway: prune
+		}
+		in := ex.prog.Instrs[s.pc]
+		switch in.Op {
+		case vm.OpConst:
+			s.regs[in.Dst] = expr.Const(in.Imm)
+		case vm.OpInput:
+			s.regs[in.Dst] = expr.Var(in.Name)
+		case vm.OpMov:
+			s.regs[in.Dst] = s.regs[in.A]
+		case vm.OpAdd:
+			s.regs[in.Dst] = expr.Add(s.regs[in.A], s.regs[in.B])
+		case vm.OpSub:
+			s.regs[in.Dst] = expr.Sub(s.regs[in.A], s.regs[in.B])
+		case vm.OpMul:
+			s.regs[in.Dst] = expr.Mul(s.regs[in.A], s.regs[in.B])
+		case vm.OpAnd:
+			s.regs[in.Dst] = expr.And(s.regs[in.A], s.regs[in.B])
+		case vm.OpOr:
+			s.regs[in.Dst] = expr.Or(s.regs[in.A], s.regs[in.B])
+		case vm.OpXor:
+			s.regs[in.Dst] = expr.Xor(s.regs[in.A], s.regs[in.B])
+		case vm.OpNot:
+			s.regs[in.Dst] = expr.Not(s.regs[in.A])
+		case vm.OpNeg:
+			s.regs[in.Dst] = expr.Neg(s.regs[in.A])
+		case vm.OpJmp:
+			s.pc = in.Target
+			continue
+		case vm.OpJz, vm.OpJnz:
+			return false, ex.fork(s, in)
+		case vm.OpHalt:
+			ex.complete(s, s.regs[in.A], paths)
+			return true, nil
+		}
+		s.pc++
+	}
+}
+
+// fork splits a state at a conditional branch into the taken and
+// fall-through successors, pruning infeasible sides.
+func (ex *Executor) fork(s *state, in vm.Instr) []*state {
+	if s.depth >= ex.cfg.MaxDepth {
+		return nil
+	}
+	cond := s.regs[in.A]
+	if ex.simp != nil {
+		cond = ex.simp.Simplify(cond)
+	}
+	// Constant conditions need no solver.
+	if cond.Op == expr.OpConst {
+		t := s.clone()
+		t.depth++
+		zeroTaken := (cond.Val == 0) == (in.Op == vm.OpJz)
+		if zeroTaken {
+			t.pc = in.Target
+		} else {
+			t.pc++
+		}
+		return []*state{t}
+	}
+
+	var out []*state
+	for _, zero := range []bool{true, false} {
+		br := Branch{Cond: cond, Zero: zero, PC: s.pc}
+		candidate := append(append([]Branch(nil), s.branches...), br)
+		feasible, _, unknown := ex.checkFeasible(candidate)
+		if !feasible && !unknown {
+			ex.stats.Infeasible++
+			continue
+		}
+		t := s.clone()
+		t.depth++
+		t.branches = candidate
+		takenOnZero := in.Op == vm.OpJz
+		if zero == takenOnZero {
+			t.pc = in.Target
+		} else {
+			t.pc++
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// complete records a finished path with its feasibility verdict and a
+// model.
+func (ex *Executor) complete(s *state, result *expr.Expr, paths *[]Path) {
+	feasible, model, unknown := ex.checkFeasible(s.branches)
+	p := Path{
+		Branches: s.branches,
+		Result:   result,
+		Feasible: feasible,
+		Unknown:  unknown,
+		Inputs:   model,
+	}
+	*paths = append(*paths, p)
+}
+
+// checkFeasible asks the solver whether the conjunction of branch
+// constraints is satisfiable.
+func (ex *Executor) checkFeasible(branches []Branch) (feasible bool, model map[string]uint64, unknown bool) {
+	if len(branches) == 0 {
+		return true, map[string]uint64{}, false
+	}
+	ex.stats.Queries++
+	assertions := make([]*bv.Term, 0, len(branches))
+	for _, br := range branches {
+		t := bv.FromExpr(br.Cond, ex.prog.Width)
+		zero := bv.NewConst(0, ex.prog.Width)
+		if br.Zero {
+			assertions = append(assertions, bv.Predicate(bv.Eq, t, zero))
+		} else {
+			assertions = append(assertions, bv.Predicate(bv.Ne, t, zero))
+		}
+	}
+	res := ex.cfg.Solver.SolveAssertions(assertions, ex.cfg.Budget)
+	switch res.Status {
+	case smt.Satisfiable:
+		return true, res.Model, false
+	case smt.Unsatisfiable:
+		return false, nil, false
+	default:
+		ex.stats.Timeouts++
+		return false, nil, true
+	}
+}

@@ -1,0 +1,132 @@
+package truthtable
+
+import (
+	"sync"
+
+	"mbasolver/internal/expr"
+)
+
+// minSynth caches, per variable count, a table from boolean-function
+// truth table (bitmask over 2^t assignments) to a minimal-size
+// bitwise-pure expression computing it. It is used by the final-step
+// optimization (paper §4.5): a signature equal to a·column(f) folds
+// back into the single bitwise expression a·f, e.g.
+// x+y-2*(x&y) → x^y.
+type minSynth struct {
+	vars []string
+	best map[uint64]*expr.Expr
+}
+
+var (
+	synthMu    sync.Mutex
+	synthCache = map[int]*minSynth{}
+)
+
+// sizeCap bounds the BFS: expressions with more than sizeCap nodes are
+// not enumerated. All 1- and 2-variable functions are found well below
+// the cap; for 3 variables all 256 functions are reachable within it;
+// for 4 variables some functions are deliberately left unsynthesized
+// (MinimalBoolExpr then returns nil and the caller keeps the linear
+// normal form, which is what the paper's MBA-Solver does too).
+func sizeCap(nvars int) int {
+	switch {
+	case nvars <= 2:
+		return 8
+	case nvars == 3:
+		return 12
+	default:
+		return 7
+	}
+}
+
+// MinimalBoolExpr returns a minimal-size bitwise-pure expression over
+// vars whose truth table equals tt (bit a = value on assignment a), or
+// nil if none was found within the synthesis budget. Results are
+// memoized per variable count; vars must be the canonical sorted
+// variable list used when computing tt.
+func MinimalBoolExpr(tt uint64, vars []string) *expr.Expr {
+	if len(vars) == 0 || len(vars) > 4 {
+		return nil
+	}
+	synthMu.Lock()
+	ms, ok := synthCache[len(vars)]
+	if !ok {
+		ms = newMinSynth(len(vars))
+		synthCache[len(vars)] = ms
+	}
+	synthMu.Unlock()
+	e := ms.best[tt&ttMask(len(vars))]
+	if e == nil {
+		return nil
+	}
+	// Rename the canonical placeholder variables to the caller's.
+	env := make(map[string]*expr.Expr, len(vars))
+	for i, v := range ms.vars {
+		env[v] = expr.Var(vars[i])
+	}
+	return expr.SubstituteVars(e, env)
+}
+
+func ttMask(nvars int) uint64 {
+	return (uint64(1) << (1 << nvars)) - 1
+}
+
+type sizedExpr struct {
+	tt uint64
+	e  *expr.Expr
+}
+
+func newMinSynth(nvars int) *minSynth {
+	vars := make([]string, nvars)
+	for i := range vars {
+		vars[i] = string(rune('a' + i))
+	}
+	mask := ttMask(nvars)
+	ms := &minSynth{vars: vars, best: map[uint64]*expr.Expr{}}
+
+	// bySize[s] holds the functions first reached with exactly s nodes,
+	// each with one representative expression.
+	maxSize := sizeCap(nvars)
+	bySize := make([][]sizedExpr, maxSize+1)
+
+	add := func(size int, tt uint64, e *expr.Expr) {
+		if _, seen := ms.best[tt]; seen {
+			return
+		}
+		ms.best[tt] = e
+		bySize[size] = append(bySize[size], sizedExpr{tt, e})
+	}
+
+	for i, v := range vars {
+		var tt uint64
+		for a := 0; a < 1<<nvars; a++ {
+			if a&(1<<i) != 0 {
+				tt |= 1 << a
+			}
+		}
+		add(1, tt, expr.Var(v))
+	}
+
+	total := int(mask) + 1
+	for size := 2; size <= maxSize && len(ms.best) < total; size++ {
+		// Unary: ~e for every e of size-1.
+		for _, se := range bySize[size-1] {
+			add(size, ^se.tt&mask, expr.Not(se.e))
+		}
+		// Binary: sizes l + r + 1 = size.
+		for l := 1; l <= size-2; l++ {
+			r := size - 1 - l
+			if r < 1 || r > maxSize {
+				continue
+			}
+			for _, a := range bySize[l] {
+				for _, b := range bySize[r] {
+					add(size, a.tt&b.tt, expr.And(a.e, b.e))
+					add(size, a.tt|b.tt, expr.Or(a.e, b.e))
+					add(size, a.tt^b.tt, expr.Xor(a.e, b.e))
+				}
+			}
+		}
+	}
+	return ms
+}

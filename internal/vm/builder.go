@@ -1,0 +1,164 @@
+package vm
+
+import (
+	"fmt"
+
+	"mbasolver/internal/expr"
+)
+
+// Builder assembles programs instruction by instruction, allocating
+// registers and back-patching branch targets.
+type Builder struct {
+	prog    Program
+	nextReg int
+	inputs  map[string]int // input name -> register holding it
+}
+
+// NewBuilder returns a Builder for the given register width.
+func NewBuilder(width uint) *Builder {
+	return &Builder{
+		prog:   Program{Width: width},
+		inputs: map[string]int{},
+	}
+}
+
+// Reg allocates a fresh register.
+func (b *Builder) Reg() int {
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Input returns the register holding the named input, emitting the
+// load on first use.
+func (b *Builder) Input(name string) int {
+	if r, ok := b.inputs[name]; ok {
+		return r
+	}
+	r := b.Reg()
+	b.emit(Instr{Op: OpInput, Dst: r, Name: name})
+	b.inputs[name] = r
+	return r
+}
+
+// Const emits a constant load and returns its register.
+func (b *Builder) Const(v uint64) int {
+	r := b.Reg()
+	b.emit(Instr{Op: OpConst, Dst: r, Imm: v})
+	return r
+}
+
+// Binary emits Dst = a op b into a fresh register.
+func (b *Builder) Binary(op OpCode, a, c int) int {
+	if op < OpAdd || op > OpXor {
+		panic("vm: Binary wants an ALU binary opcode")
+	}
+	r := b.Reg()
+	b.emit(Instr{Op: op, Dst: r, A: a, B: c})
+	return r
+}
+
+// Unary emits Dst = op a into a fresh register.
+func (b *Builder) Unary(op OpCode, a int) int {
+	if op != OpNot && op != OpNeg {
+		panic("vm: Unary wants not or neg")
+	}
+	r := b.Reg()
+	b.emit(Instr{Op: op, Dst: r, A: a})
+	return r
+}
+
+// Label returns the current program counter for use as a branch target.
+func (b *Builder) Label() int { return len(b.prog.Instrs) }
+
+// Jz emits a conditional branch with a placeholder target; patch it
+// with SetTarget.
+func (b *Builder) Jz(reg int) int {
+	b.emit(Instr{Op: OpJz, A: reg, Target: -1})
+	return len(b.prog.Instrs) - 1
+}
+
+// Jnz emits a conditional branch with a placeholder target.
+func (b *Builder) Jnz(reg int) int {
+	b.emit(Instr{Op: OpJnz, A: reg, Target: -1})
+	return len(b.prog.Instrs) - 1
+}
+
+// Jmp emits an unconditional branch with a placeholder target.
+func (b *Builder) Jmp() int {
+	b.emit(Instr{Op: OpJmp, Target: -1})
+	return len(b.prog.Instrs) - 1
+}
+
+// SetTarget back-patches the branch at index pc to jump to target.
+func (b *Builder) SetTarget(pc, target int) {
+	b.prog.Instrs[pc].Target = target
+}
+
+// Mov emits dst = src for existing registers (used to close loops).
+func (b *Builder) Mov(dst, src int) {
+	b.emit(Instr{Op: OpMov, Dst: dst, A: src})
+}
+
+// Halt emits the terminating instruction returning reg.
+func (b *Builder) Halt(reg int) {
+	b.emit(Instr{Op: OpHalt, A: reg})
+}
+
+func (b *Builder) emit(in Instr) {
+	b.prog.Instrs = append(b.prog.Instrs, in)
+}
+
+// CompileExpr lowers an MBA expression into straight-line code and
+// returns the register holding its value. Variables become inputs.
+func (b *Builder) CompileExpr(e *expr.Expr) int {
+	switch e.Op {
+	case expr.OpVar:
+		return b.Input(e.Name)
+	case expr.OpConst:
+		return b.Const(e.Val)
+	case expr.OpNot:
+		return b.Unary(OpNot, b.CompileExpr(e.X))
+	case expr.OpNeg:
+		return b.Unary(OpNeg, b.CompileExpr(e.X))
+	}
+	a := b.CompileExpr(e.X)
+	c := b.CompileExpr(e.Y)
+	var op OpCode
+	switch e.Op {
+	case expr.OpAdd:
+		op = OpAdd
+	case expr.OpSub:
+		op = OpSub
+	case expr.OpMul:
+		op = OpMul
+	case expr.OpAnd:
+		op = OpAnd
+	case expr.OpOr:
+		op = OpOr
+	case expr.OpXor:
+		op = OpXor
+	default:
+		panic(fmt.Sprintf("vm: cannot compile operator %v", e.Op))
+	}
+	return b.Binary(op, a, c)
+}
+
+// Build finalizes the program. It panics if any branch target is
+// unpatched and validates the result.
+func (b *Builder) Build() (*Program, error) {
+	p := b.prog
+	p.NumRegs = b.nextReg
+	if p.NumRegs == 0 {
+		p.NumRegs = 1
+	}
+	for pc, in := range p.Instrs {
+		if in.Op.IsBranch() && in.Target < 0 {
+			return nil, fmt.Errorf("vm: branch at %d has no target", pc)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,228 @@
+// Package vm defines a miniature register machine whose programs
+// exercise MBA expressions the way obfuscated binaries do: straight-
+// line arithmetic/bitwise computation over n-bit registers plus
+// conditional branches on register values. It exists as the substrate
+// for internal/symexec, the symbolic-execution client that motivates
+// the paper (§1: symbolic execution engines such as KLEE or the
+// backward-bounded DSE of Bardin et al. stall when MBA-obfuscated
+// predicates reach the SMT solver).
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"mbasolver/internal/eval"
+)
+
+// OpCode enumerates instructions.
+type OpCode uint8
+
+const (
+	// OpConst loads Imm into Dst.
+	OpConst OpCode = iota
+	// OpInput loads the Name-th program input into Dst.
+	OpInput
+	// OpMov copies register A to Dst.
+	OpMov
+	// Binary ALU operations: Dst = A op B.
+	OpAdd
+	OpSub
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	// Unary ALU operations: Dst = op A.
+	OpNot
+	OpNeg
+	// OpJmp jumps unconditionally to Target.
+	OpJmp
+	// OpJz jumps to Target when register A is zero.
+	OpJz
+	// OpJnz jumps to Target when register A is nonzero.
+	OpJnz
+	// OpHalt stops execution; register A is the program result.
+	OpHalt
+)
+
+func (op OpCode) String() string {
+	names := [...]string{
+		"const", "input", "mov", "add", "sub", "mul", "and", "or", "xor",
+		"not", "neg", "jmp", "jz", "jnz", "halt",
+	}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsALU reports whether the opcode computes a value into Dst.
+func (op OpCode) IsALU() bool { return op <= OpNeg }
+
+// IsBranch reports whether the opcode may transfer control.
+func (op OpCode) IsBranch() bool { return op == OpJmp || op == OpJz || op == OpJnz }
+
+// Instr is one instruction. Fields are used according to the opcode:
+// Dst/A/B are register indices, Imm an immediate, Name an input name
+// (OpInput), Target a program counter (branches).
+type Instr struct {
+	Op     OpCode
+	Dst    int
+	A, B   int
+	Imm    uint64
+	Name   string
+	Target int
+}
+
+func (i Instr) String() string {
+	switch i.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %#x", i.Dst, i.Imm)
+	case OpInput:
+		return fmt.Sprintf("r%d = input %s", i.Dst, i.Name)
+	case OpMov:
+		return fmt.Sprintf("r%d = r%d", i.Dst, i.A)
+	case OpNot, OpNeg:
+		return fmt.Sprintf("r%d = %s r%d", i.Dst, i.Op, i.A)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", i.Target)
+	case OpJz:
+		return fmt.Sprintf("jz r%d, %d", i.A, i.Target)
+	case OpJnz:
+		return fmt.Sprintf("jnz r%d, %d", i.A, i.Target)
+	case OpHalt:
+		return fmt.Sprintf("halt r%d", i.A)
+	}
+	return fmt.Sprintf("r%d = %s r%d, r%d", i.Dst, i.Op, i.A, i.B)
+}
+
+// Program is an instruction sequence; execution starts at 0.
+type Program struct {
+	Instrs []Instr
+	// NumRegs is the register file size; registers start at zero.
+	NumRegs int
+	// Width is the register width in bits (1..64).
+	Width uint
+}
+
+// Validate checks structural sanity: register indices and branch
+// targets in range, width valid, halt reachable fall-through.
+func (p *Program) Validate() error {
+	if p.Width == 0 || p.Width > 64 {
+		return fmt.Errorf("vm: invalid width %d", p.Width)
+	}
+	if p.NumRegs <= 0 {
+		return fmt.Errorf("vm: invalid register count %d", p.NumRegs)
+	}
+	checkReg := func(pc, r int) error {
+		if r < 0 || r >= p.NumRegs {
+			return fmt.Errorf("vm: instruction %d references register %d out of %d", pc, r, p.NumRegs)
+		}
+		return nil
+	}
+	for pc, in := range p.Instrs {
+		switch {
+		case in.Op.IsALU():
+			if err := checkReg(pc, in.Dst); err != nil {
+				return err
+			}
+			if in.Op != OpConst && in.Op != OpInput {
+				if err := checkReg(pc, in.A); err != nil {
+					return err
+				}
+			}
+			if in.Op >= OpAdd && in.Op <= OpXor {
+				if err := checkReg(pc, in.B); err != nil {
+					return err
+				}
+			}
+		case in.Op.IsBranch():
+			if in.Target < 0 || in.Target > len(p.Instrs) {
+				return fmt.Errorf("vm: instruction %d branches to %d out of %d", pc, in.Target, len(p.Instrs))
+			}
+			if in.Op != OpJmp {
+				if err := checkReg(pc, in.A); err != nil {
+					return err
+				}
+			}
+		case in.Op == OpHalt:
+			if err := checkReg(pc, in.A); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for pc, in := range p.Instrs {
+		fmt.Fprintf(&b, "%3d: %s\n", pc, in)
+	}
+	return b.String()
+}
+
+// StepLimit bounds concrete execution so buggy programs terminate.
+const StepLimit = 1 << 20
+
+// Run executes the program concretely with the named inputs. It
+// returns the halt value. Falling off the end or exceeding StepLimit
+// is an error.
+func (p *Program) Run(inputs map[string]uint64) (uint64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	mask := eval.Mask(p.Width)
+	regs := make([]uint64, p.NumRegs)
+	pc := 0
+	for steps := 0; steps < StepLimit; steps++ {
+		if pc < 0 || pc >= len(p.Instrs) {
+			return 0, fmt.Errorf("vm: fell off the program at pc %d", pc)
+		}
+		in := p.Instrs[pc]
+		switch in.Op {
+		case OpConst:
+			regs[in.Dst] = in.Imm & mask
+		case OpInput:
+			regs[in.Dst] = inputs[in.Name] & mask
+		case OpMov:
+			regs[in.Dst] = regs[in.A]
+		case OpAdd:
+			regs[in.Dst] = (regs[in.A] + regs[in.B]) & mask
+		case OpSub:
+			regs[in.Dst] = (regs[in.A] - regs[in.B]) & mask
+		case OpMul:
+			regs[in.Dst] = (regs[in.A] * regs[in.B]) & mask
+		case OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+		case OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+		case OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+		case OpNot:
+			regs[in.Dst] = ^regs[in.A] & mask
+		case OpNeg:
+			regs[in.Dst] = -regs[in.A] & mask
+		case OpJmp:
+			pc = in.Target
+			continue
+		case OpJz:
+			if regs[in.A] == 0 {
+				pc = in.Target
+				continue
+			}
+		case OpJnz:
+			if regs[in.A] != 0 {
+				pc = in.Target
+				continue
+			}
+		case OpHalt:
+			return regs[in.A], nil
+		default:
+			return 0, fmt.Errorf("vm: unknown opcode %v at pc %d", in.Op, pc)
+		}
+		pc++
+	}
+	return 0, fmt.Errorf("vm: step limit exceeded")
+}

@@ -1,0 +1,157 @@
+package vm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/parser"
+)
+
+// buildExprProgram compiles an expression into a program that halts
+// with its value.
+func buildExprProgram(t *testing.T, src string, width uint) *Program {
+	t.Helper()
+	b := NewBuilder(width)
+	r := b.CompileExpr(parser.MustParse(src))
+	b.Halt(r)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCompileExprMatchesEval: compiled programs agree with the
+// expression evaluator on random inputs — the VM's core soundness
+// property.
+func TestCompileExprMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	srcs := []string{
+		"x+y", "x*y - (x&~y)", "~(x-1)", "(x|y)+y-(~x&y)",
+		"2*(x|y) - (~x&y) - (x&~y)",
+		"(x&~y)*(~x&y) + (x&y)*(x|y)",
+	}
+	for _, src := range srcs {
+		for _, width := range []uint{8, 32, 64} {
+			p := buildExprProgram(t, src, width)
+			e := parser.MustParse(src)
+			for round := 0; round < 20; round++ {
+				in := map[string]uint64{"x": rng.Uint64(), "y": rng.Uint64()}
+				want := eval.Eval(e, eval.Env(in), width)
+				got, err := p.Run(in)
+				if err != nil {
+					t.Fatalf("%q: %v", src, err)
+				}
+				if got != want {
+					t.Fatalf("%q width %d: vm=%#x eval=%#x (%v)", src, width, got, want, in)
+				}
+			}
+		}
+	}
+}
+
+func TestBranching(t *testing.T) {
+	// if (x == 7) return 1 else return 0
+	b := NewBuilder(8)
+	x := b.Input("x")
+	seven := b.Const(7)
+	diff := b.Binary(OpSub, x, seven)
+	jz := b.Jz(diff)
+	zero := b.Const(0)
+	b.Halt(zero)
+	thenLabel := b.Label()
+	one := b.Const(1)
+	b.Halt(one)
+	b.SetTarget(jz, thenLabel)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Run(map[string]uint64{"x": 7}); got != 1 {
+		t.Errorf("x=7 -> %d, want 1", got)
+	}
+	if got, _ := p.Run(map[string]uint64{"x": 9}); got != 0 {
+		t.Errorf("x=9 -> %d, want 0", got)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	// Sum 1..x by looping: r1 = acc, r2 = counter.
+	b := NewBuilder(16)
+	x := b.Input("x")
+	acc := b.Const(0)
+	top := b.Label()
+	exit := b.Jz(x)
+	// acc += x; x -= 1 (registers are SSA-ish via Mov back)
+	newAcc := b.Binary(OpAdd, acc, x)
+	b.Mov(acc, newAcc)
+	one := b.Const(1)
+	newX := b.Binary(OpSub, x, one)
+	b.Mov(x, newX)
+	j := b.Jmp()
+	b.SetTarget(j, top)
+	end := b.Label()
+	b.Halt(acc)
+	b.SetTarget(exit, end)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Run(map[string]uint64{"x": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", got)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	cases := []Program{
+		{Width: 0, NumRegs: 1, Instrs: []Instr{{Op: OpHalt}}},
+		{Width: 8, NumRegs: 0, Instrs: []Instr{{Op: OpHalt}}},
+		{Width: 8, NumRegs: 1, Instrs: []Instr{{Op: OpAdd, Dst: 0, A: 0, B: 5}}},
+		{Width: 8, NumRegs: 1, Instrs: []Instr{{Op: OpJmp, Target: 99}}},
+		{Width: 8, NumRegs: 1, Instrs: []Instr{{Op: OpHalt, A: 3}}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	// Program that falls off the end.
+	p := &Program{Width: 8, NumRegs: 1, Instrs: []Instr{{Op: OpConst, Dst: 0, Imm: 1}}}
+	if _, err := p.Run(nil); err == nil {
+		t.Error("fall-off accepted")
+	}
+	// Infinite loop hits the step limit.
+	loop := &Program{Width: 8, NumRegs: 1, Instrs: []Instr{{Op: OpJmp, Target: 0}}}
+	if _, err := loop.Run(nil); err == nil {
+		t.Error("infinite loop accepted")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(8)
+	r := b.Const(1)
+	b.Jz(r) // never patched
+	b.Halt(r)
+	if _, err := b.Build(); err == nil {
+		t.Error("unpatched branch accepted")
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	p := buildExprProgram(t, "x+1", 8)
+	s := p.String()
+	for _, want := range []string{"input x", "const 0x1", "add", "halt"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package mbasolver is a Go implementation of MBA-Solver (Xu et al.,
+// PLDI 2021): a semantics-preserving simplifier for Mixed
+// Bitwise-Arithmetic (MBA) expressions that boosts SMT solver
+// performance on MBA equations, together with the full experimental
+// stack of the paper — bitvector SMT solvers built on an in-tree CDCL
+// SAT engine, an MBA corpus generator, peer-tool baselines and an
+// experiment harness.
+//
+// The package is the stable public API; the machinery lives under
+// internal/. Quick start:
+//
+//	e := mbasolver.MustParse("2*(x|y) - (~x&y) - (x&~y)")
+//	simplified := mbasolver.Simplify(e) // x+y
+//	verdict := mbasolver.CheckEquivalence(e, simplified, 8)
+package mbasolver
+
+import (
+	"math/rand"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/core"
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/smt"
+)
+
+// Expression is an immutable MBA expression over n-bit integers.
+type Expression struct {
+	e *expr.Expr
+}
+
+// Parse parses the C-syntax textual form (operators ~ & | ^ + - *,
+// decimal or 0x hex constants, C precedence).
+func Parse(src string) (Expression, error) {
+	e, err := parser.Parse(src)
+	if err != nil {
+		return Expression{}, err
+	}
+	return Expression{e}, nil
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(src string) Expression {
+	return Expression{parser.MustParse(src)}
+}
+
+// String renders the expression with minimal parentheses.
+func (x Expression) String() string { return x.e.String() }
+
+// IsZero reports whether the expression is the literal constant 0.
+func (x Expression) IsZero() bool { return x.e != nil && x.e.IsConst(0) }
+
+// Vars returns the sorted variable names.
+func (x Expression) Vars() []string { return expr.Vars(x.e) }
+
+// Eval evaluates the expression at the given bit width (1..64); the
+// env maps variable names to values, unbound variables read as 0.
+func (x Expression) Eval(env map[string]uint64, width uint) uint64 {
+	return eval.Eval(x.e, eval.Env(env), width)
+}
+
+// Equal reports structural equality.
+func (x Expression) Equal(y Expression) bool { return expr.Equal(x.e, y.e) }
+
+// Metrics reports the paper's complexity metrics for the expression.
+type Metrics struct {
+	// Kind is "linear", "poly" or "nonpoly" (paper Definitions 1–2).
+	Kind string
+	// NumVars is the number of distinct variables.
+	NumVars int
+	// Alternation counts operators connecting the bitwise and
+	// arithmetic domains — the paper's dominant hardness metric.
+	Alternation int
+	// Length is the textual length of the canonical rendering.
+	Length int
+	// NumTerms counts top-level additive terms.
+	NumTerms int
+	// MaxCoeff is the largest constant magnitude.
+	MaxCoeff uint64
+}
+
+// Metrics computes the complexity metrics of the expression.
+func (x Expression) Metrics() Metrics {
+	m := metrics.Measure(x.e)
+	return Metrics{
+		Kind:        m.Kind.String(),
+		NumVars:     m.NumVars,
+		Alternation: m.Alternation,
+		Length:      m.Length,
+		NumTerms:    m.NumTerms,
+		MaxCoeff:    m.MaxCoeff,
+	}
+}
+
+// Options configures a Simplifier; the zero value gives the defaults
+// (width 64, conjunction basis, all optimizations on).
+type Options struct {
+	// Width is the ring width (1..64); simplification at width n is
+	// sound for all widths <= n. Default 64.
+	Width uint
+	// UseDisjunctionBasis switches normalization to the paper's
+	// Table 9 alternative basis {x, y, x|y, -1}.
+	UseDisjunctionBasis bool
+	// DisableFinalOptimization, DisableCSE and DisableLookupTable turn
+	// off the respective §4.5 optimizations (for ablations).
+	DisableFinalOptimization bool
+	DisableCSE               bool
+	DisableLookupTable       bool
+}
+
+// Simplifier is a reusable MBA-Solver instance; reuse amortizes the
+// signature look-up table. Not safe for concurrent use.
+type Simplifier struct {
+	s *core.Simplifier
+}
+
+// NewSimplifier returns a Simplifier with the given options.
+func NewSimplifier(opts Options) *Simplifier {
+	basis := core.BasisConjunction
+	if opts.UseDisjunctionBasis {
+		basis = core.BasisDisjunction
+	}
+	return &Simplifier{core.New(core.Options{
+		Width:           opts.Width,
+		Basis:           basis,
+		DisableFinalOpt: opts.DisableFinalOptimization,
+		DisableCSE:      opts.DisableCSE,
+		DisableTable:    opts.DisableLookupTable,
+	})}
+}
+
+// Simplify returns an equivalent expression with reduced MBA
+// alternation.
+func (s *Simplifier) Simplify(x Expression) Expression {
+	return Expression{s.s.Simplify(x.e)}
+}
+
+// Simplify runs MBA-Solver with default options on one expression.
+func Simplify(x Expression) Expression {
+	return NewSimplifier(Options{}).Simplify(x)
+}
+
+// Verdict is the outcome of an equivalence check.
+type Verdict struct {
+	// Equivalent is true when the expressions were proven equal for
+	// all inputs at the checked width.
+	Equivalent bool
+	// Timeout is true when the solver exhausted its budget; in that
+	// case Equivalent is meaningless.
+	Timeout bool
+	// Witness is a distinguishing assignment when not equivalent.
+	Witness map[string]uint64
+	// Elapsed is the solving time.
+	Elapsed time.Duration
+}
+
+// CheckEquivalence decides a == b at the given width with the
+// btorsim solver personality and a generous default budget, after
+// running both sides through MBA-Solver (the paper's recommended
+// pipeline). Use CheckEquivalenceRaw to skip simplification.
+func CheckEquivalence(a, b Expression, width uint) Verdict {
+	s := NewSimplifier(Options{})
+	return CheckEquivalenceRaw(s.Simplify(a), s.Simplify(b), width)
+}
+
+// CheckEquivalenceRaw decides a == b without pre-simplification.
+func CheckEquivalenceRaw(a, b Expression, width uint) Verdict {
+	res := smt.NewBoolectorSim().CheckEquiv(a.e, b.e, width, smt.Budget{
+		Timeout:   30 * time.Second,
+		Conflicts: 2_000_000,
+	})
+	return Verdict{
+		Equivalent: res.Status == smt.Equivalent,
+		Timeout:    res.Status == smt.Timeout,
+		Witness:    res.Witness,
+		Elapsed:    res.Elapsed,
+	}
+}
+
+// ProbablyEqual tests a == b on random inputs (fast, no proof): it
+// returns false with a witness when a counterexample is found.
+func ProbablyEqual(a, b Expression, width uint, rounds int) (bool, map[string]uint64) {
+	rng := rand.New(rand.NewSource(1))
+	ok, env := eval.ProbablyEqual(rng, a.e, b.e, width, rounds)
+	return ok, map[string]uint64(env)
+}
+
+// ToBitvector lowers an expression to the internal bitvector term IR
+// at the given width, for integration with the smtlib writer and the
+// solver personalities. The returned term shares no state with the
+// expression. The second result is false only for nil expressions.
+func ToBitvector(x Expression, width uint) (*bv.Term, bool) {
+	if x.e == nil {
+		return nil, false
+	}
+	return bv.FromExpr(x.e, width), true
+}
+
+// RenameVars returns a copy of the expression with every variable name
+// prefixed (used to namespace independent proof obligations in one
+// SMT-LIB script).
+func (x Expression) RenameVars(prefix string) Expression {
+	env := map[string]*expr.Expr{}
+	for _, v := range expr.Vars(x.e) {
+		env[v] = expr.Var(prefix + v)
+	}
+	return Expression{expr.SubstituteVars(x.e, env)}
+}

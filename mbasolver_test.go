@@ -1,0 +1,156 @@
+package mbasolver
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAndString(t *testing.T) {
+	e, err := Parse("2*(x|y) - (~x&y) - (x&~y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.String(); got != "2*(x|y)-(~x&y)-(x&~y)" {
+		t.Errorf("String = %q", got)
+	}
+	if _, err := Parse("x +"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestSimplifyFacade(t *testing.T) {
+	e := MustParse("2*(x|y) - (~x&y) - (x&~y)")
+	s := Simplify(e)
+	if s.String() != "x+y" {
+		t.Errorf("Simplify = %q", s)
+	}
+	if !s.Equal(MustParse("x+y")) {
+		t.Error("Equal broken")
+	}
+}
+
+func TestMetricsFacade(t *testing.T) {
+	m := MustParse("(x&~y)*(~x&y) + (x&y)*(x|y)").Metrics()
+	if m.Kind != "poly" || m.NumVars != 2 || m.Alternation != 4 {
+		t.Errorf("Metrics = %+v", m)
+	}
+}
+
+func TestEvalFacade(t *testing.T) {
+	e := MustParse("x*y + 1")
+	if got := e.Eval(map[string]uint64{"x": 3, "y": 5}, 8); got != 16 {
+		t.Errorf("Eval = %d", got)
+	}
+	vars := e.Vars()
+	if len(vars) != 2 || vars[0] != "x" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestCheckEquivalenceFacade(t *testing.T) {
+	a := MustParse("x*y")
+	b := MustParse("(x&~y)*(~x&y) + (x&y)*(x|y)")
+	v := CheckEquivalence(a, b, 8)
+	if !v.Equivalent || v.Timeout {
+		t.Errorf("CheckEquivalence = %+v", v)
+	}
+	v = CheckEquivalence(a, MustParse("x+y"), 8)
+	if v.Equivalent {
+		t.Error("x*y == x+y accepted")
+	}
+	if len(v.Witness) == 0 {
+		t.Error("no witness returned")
+	}
+}
+
+func TestProbablyEqualFacade(t *testing.T) {
+	ok, _ := ProbablyEqual(MustParse("x+y"), MustParse("y+x"), 64, 100)
+	if !ok {
+		t.Error("x+y vs y+x rejected")
+	}
+	ok, w := ProbablyEqual(MustParse("x"), MustParse("y"), 64, 100)
+	if ok {
+		t.Error("x vs y accepted")
+	}
+	if len(w) == 0 {
+		t.Error("no witness")
+	}
+}
+
+func TestSimplifierOptions(t *testing.T) {
+	for _, opts := range []Options{
+		{},
+		{Width: 8},
+		{UseDisjunctionBasis: true},
+		{DisableFinalOptimization: true},
+		{DisableCSE: true},
+		{DisableLookupTable: true},
+	} {
+		s := NewSimplifier(opts)
+		in := MustParse("(x|y) + y - (~x&y)")
+		out := s.Simplify(in)
+		if ok, w := ProbablyEqual(in, out, 64, 200); !ok {
+			t.Errorf("opts %+v broke semantics: %v at %v", opts, out, w)
+		}
+	}
+}
+
+func TestObfuscatorFacade(t *testing.T) {
+	o := NewObfuscator(3)
+	for _, id := range []Identity{o.Linear(), o.Poly(), o.NonPoly()} {
+		if ok, w := ProbablyEqual(id.Obfuscated, id.Ground, 64, 100); !ok {
+			t.Errorf("%s identity broken at %v", id.Kind, w)
+		}
+	}
+	corpus := o.Corpus(4)
+	if len(corpus) != 12 {
+		t.Fatalf("Corpus = %d entries", len(corpus))
+	}
+	kinds := map[string]int{}
+	for _, id := range corpus {
+		kinds[id.Kind]++
+	}
+	if kinds["linear"] != 4 || kinds["poly"] != 4 || kinds["nonpoly"] != 4 {
+		t.Errorf("kind layout: %v", kinds)
+	}
+}
+
+func TestCorpusSaveLoadFacade(t *testing.T) {
+	o := NewObfuscator(4)
+	ids := o.Corpus(2)
+	var sb strings.Builder
+	if err := SaveCorpus(&sb, ids); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(ids) {
+		t.Fatalf("loaded %d of %d", len(loaded), len(ids))
+	}
+	for i := range ids {
+		if loaded[i].Kind != ids[i].Kind {
+			t.Errorf("entry %d kind %q != %q", i, loaded[i].Kind, ids[i].Kind)
+		}
+	}
+}
+
+// TestReservedTempPrefix documents the _t/_v name reservation of the
+// simplifier internals: expressions using them still simplify soundly.
+func TestReservedTempPrefix(t *testing.T) {
+	in := MustParse("(a|b) + b - (~a&b)")
+	out := Simplify(in)
+	if out.String() != "a+b" {
+		t.Errorf("Simplify over arbitrary names = %q", out)
+	}
+}

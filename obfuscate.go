@@ -1,0 +1,110 @@
+package mbasolver
+
+import (
+	"io"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/metrics"
+)
+
+// Identity is one MBA identity equation: Obfuscated == Ground for all
+// inputs at every width up to 64.
+type Identity struct {
+	// Kind is "linear", "poly" or "nonpoly".
+	Kind string
+	// Obfuscated is the complex side.
+	Obfuscated Expression
+	// Ground is the simple side.
+	Ground Expression
+	// Hard marks non-poly samples generated beyond MBA-Solver's
+	// normalization model.
+	Hard bool
+}
+
+// Obfuscator generates MBA identities — usable both as an obfuscation
+// engine (take Ground, emit Obfuscated) and as a benchmark corpus
+// generator (the paper's §3.1 dataset).
+type Obfuscator struct {
+	g *gen.Generator
+}
+
+// NewObfuscator returns a deterministic generator for the seed.
+func NewObfuscator(seed int64) *Obfuscator {
+	return &Obfuscator{gen.New(gen.Config{Seed: seed})}
+}
+
+// Linear returns a random linear MBA identity.
+func (o *Obfuscator) Linear() Identity { return wrap(o.g.Linear()) }
+
+// Poly returns a random polynomial MBA identity.
+func (o *Obfuscator) Poly() Identity { return wrap(o.g.Poly()) }
+
+// NonPoly returns a random non-polynomial MBA identity.
+func (o *Obfuscator) NonPoly() Identity { return wrap(o.g.NonPoly()) }
+
+// Corpus returns n identities of each category (3n total), the layout
+// of the paper's 3,000-equation corpus for n=1000.
+func (o *Obfuscator) Corpus(n int) []Identity {
+	samples := o.g.Corpus(n)
+	out := make([]Identity, len(samples))
+	for i, s := range samples {
+		out[i] = wrap(s)
+	}
+	return out
+}
+
+func wrap(s gen.Sample) Identity {
+	return Identity{
+		Kind:       s.Kind.String(),
+		Obfuscated: Expression{s.Obfuscated},
+		Ground:     Expression{s.Ground},
+		Hard:       s.Hard,
+	}
+}
+
+func unwrap(ids []Identity) []gen.Sample {
+	out := make([]gen.Sample, len(ids))
+	for i, id := range ids {
+		var k metrics.Kind
+		switch id.Kind {
+		case "poly":
+			k = metrics.KindPoly
+		case "nonpoly":
+			k = metrics.KindNonPoly
+		}
+		out[i] = gen.Sample{
+			ID:         i + 1,
+			Kind:       k,
+			Obfuscated: id.Obfuscated.e,
+			Ground:     id.Ground.e,
+			Hard:       id.Hard,
+		}
+	}
+	return out
+}
+
+// SaveCorpus writes identities in the corpus text format.
+func SaveCorpus(w io.Writer, ids []Identity) error {
+	return gen.Save(w, unwrap(ids))
+}
+
+// LoadCorpus reads identities written by SaveCorpus.
+func LoadCorpus(r io.Reader) ([]Identity, error) {
+	samples, err := gen.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Identity, len(samples))
+	for i, s := range samples {
+		out[i] = wrap(s)
+	}
+	return out, nil
+}
+
+// Obfuscate rewrites an expression into a provably equivalent, more
+// complex MBA form (Tigress-style rule rewriting plus a linear
+// scramble). layers controls how many rewrite rounds are applied;
+// 2..6 is typical.
+func (o *Obfuscator) Obfuscate(e Expression, layers int) Expression {
+	return Expression{o.g.Obfuscate(e.e, layers)}
+}

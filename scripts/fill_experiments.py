@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Splices cmd/mbabench output into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/fill_experiments.py experiments_output.txt
+"""
+import re
+import sys
+
+MARKERS = {
+    "MEASURED_TABLE1": "Table 1:",
+    "MEASURED_TABLE2": "Table 2:",
+    "MEASURED_FIGURE3": "Figure 3:",
+    "MEASURED_FIGURE4": "Figure 4:",
+    "MEASURED_TABLE6": "Table 6:",
+    "MEASURED_FIGURE6": "Figure 6:",
+    "MEASURED_TABLE7": "Table 7:",
+    "MEASURED_TABLE8": "Table 8:",
+}
+
+HEADINGS = [
+    "Table 1:", "Table 2:", "Figure 3:", "Figure 3 plot:", "Figure 4:",
+    "Figure 4 plot:", "Table 6:", "Figure 6:", "Figure 6 plot:",
+    "Table 7:", "Table 8:", "Ablation:",
+]
+
+
+def split_sections(text):
+    sections = {}
+    current = None
+    buf = []
+    for line in text.splitlines():
+        head = next((h for h in HEADINGS if line.startswith(h)), None)
+        if head:
+            if current:
+                sections.setdefault(current, []).append("\n".join(buf).rstrip())
+            current = head
+            buf = [line]
+        elif current:
+            buf.append(line)
+    if current:
+        sections.setdefault(current, []).append("\n".join(buf).rstrip())
+    return {k: "\n\n".join(v) for k, v in sections.items()}
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "experiments_output.txt"
+    with open(out_path) as f:
+        sections = split_sections(f.read())
+    with open("EXPERIMENTS.md") as f:
+        doc = f.read()
+    for marker, heading in MARKERS.items():
+        body = sections.get(heading, "(not captured)")
+        # Attach the companion plot when present.
+        plot = sections.get(heading.replace(":", " plot:"))
+        if plot:
+            body = body + "\n\n" + plot
+        doc = doc.replace(marker, "```\n" + body + "\n```")
+    with open("EXPERIMENTS.md", "w") as f:
+        f.write(doc)
+    print("EXPERIMENTS.md filled from", out_path)
+
+
+if __name__ == "__main__":
+    main()

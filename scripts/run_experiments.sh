@@ -1,0 +1,22 @@
+#!/bin/sh
+# Regenerates every experiment behind EXPERIMENTS.md. Takes tens of
+# minutes on a small machine; tune -n/-conflicts for quicker passes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+N=${N:-50}
+CONFLICTS=${CONFLICTS:-10000}
+WIDTH=${WIDTH:-8}
+SEED=${SEED:-1}
+OUT=${OUT:-experiments_output.txt}
+
+echo "== corpus regeneration (validated)"
+go run ./cmd/mbagen -n 1000 -seed "$SEED" -check -o testdata/corpus_3000.txt
+
+echo "== experiments: n=$N conflicts=$CONFLICTS width=$WIDTH -> $OUT"
+go run ./cmd/mbabench -exp all -n "$N" -conflicts "$CONFLICTS" -width "$WIDTH" \
+    -seed "$SEED" -csv outcomes_baseline.csv | tee "$OUT"
+
+echo "== benchmarks -> bench_output.txt"
+go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
