@@ -5,12 +5,15 @@
 //
 //	mbabench [-exp all|table1|table2|figure3|figure4|table6|table7|figure6|table8]
 //	         [-n 100] [-seed 1] [-width 8] [-conflicts 30000] [-timeout 0]
-//	         [-corpus file]
+//	         [-corpus file] [-portfolio]
 //
 // -n is the per-category corpus size (the paper uses 1000; the default
 // of 100 finishes in minutes on a laptop). -conflicts is the per-query
 // CDCL budget standing in for the paper's 1-hour wall-clock timeout;
 // -timeout adds a wall-clock bound per query (seconds, 0 = none).
+// -portfolio adds a virtual solver column racing all three
+// personalities per query with first-verdict-wins cancellation — the
+// analogue of the paper's virtual best solver.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 
 	"mbasolver/internal/gen"
 	"mbasolver/internal/harness"
+	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
 )
 
@@ -34,6 +38,7 @@ func main() {
 	timeout := flag.Float64("timeout", 0, "per-query wall-clock budget in seconds (0 = none)")
 	corpusFile := flag.String("corpus", "", "load corpus from file instead of generating")
 	csvOut := flag.String("csv", "", "also export raw per-query outcomes as CSV to this file")
+	usePortfolio := flag.Bool("portfolio", false, "add a virtual solver column racing all personalities per query")
 	flag.Parse()
 
 	var samples []gen.Sample
@@ -57,11 +62,15 @@ func main() {
 			Conflicts: *conflicts,
 			Timeout:   time.Duration(*timeout * float64(time.Second)),
 		},
+		Portfolio: *usePortfolio,
 	}
 	solvers := smt.All()
 	names := make([]string, len(solvers))
 	for i, s := range solvers {
 		names[i] = s.Name()
+	}
+	if *usePortfolio {
+		names = append(names, portfolio.Name)
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }

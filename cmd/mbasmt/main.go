@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	mbasmt [-solver z3sim|stpsim|btorsim] [-conflicts N] [-timeout SECONDS]
-//	       [-simplify] [file.smt2]
+//	mbasmt [-solver z3sim|stpsim|btorsim] [-portfolio] [-conflicts N]
+//	       [-timeout SECONDS] [-simplify] [file.smt2]
 //
 // Reads the script from the file (or stdin), prints sat/unsat/unknown,
 // and a model when the script asked for one. With -simplify, asserted
 // disequalities between bitvector terms are first run through
 // MBA-Solver — the paper's preprocessing pipeline as a solver flag.
+// With -portfolio, all three personalities race on the query and the
+// first definitive verdict wins (losers are cancelled); the winning
+// engine is reported on stderr.
 package main
 
 import (
@@ -22,12 +25,14 @@ import (
 	"time"
 
 	"mbasolver/internal/bv"
+	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
 	"mbasolver/internal/smtlib"
 )
 
 func main() {
 	solverName := flag.String("solver", "btorsim", "personality: z3sim, stpsim or btorsim")
+	usePortfolio := flag.Bool("portfolio", false, "race all personalities, first definitive verdict wins")
 	conflicts := flag.Int64("conflicts", 0, "CDCL conflict budget (0 = unlimited)")
 	timeout := flag.Float64("timeout", 0, "wall-clock budget in seconds (0 = unlimited)")
 	simplify := flag.Bool("simplify", false, "run MBA-Solver preprocessing on asserted (dis)equalities")
@@ -65,10 +70,24 @@ func main() {
 		assertions = preprocess(assertions)
 	}
 
-	res := solver.SolveAssertions(assertions, smt.Budget{
+	budget := smt.Budget{
 		Conflicts: *conflicts,
 		Timeout:   time.Duration(*timeout * float64(time.Second)),
-	})
+	}
+	var res smt.SatResult
+	if *usePortfolio {
+		pres := portfolio.SolveAssertions(smt.All(), assertions, budget)
+		res = pres.SatResult
+		if pres.Winner != "" {
+			fmt.Fprintf(os.Stderr, "; portfolio winner: %s (%v", pres.Winner, res.Elapsed)
+			for _, e := range pres.Engines {
+				fmt.Fprintf(os.Stderr, "; %s=%s/%dc", e.Solver, e.Verdict, e.Conflicts)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+	} else {
+		res = solver.SolveAssertions(assertions, budget)
+	}
 	fmt.Println(res.Status)
 	if res.Status == smt.Satisfiable && script.ProduceModels {
 		fmt.Println("(model")

@@ -16,6 +16,8 @@ package bitblast
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"mbasolver/internal/bv"
 	"mbasolver/internal/sat"
@@ -29,6 +31,12 @@ type Blaster struct {
 	cache   map[*bv.Term][]sat.Lit
 	gates   map[[3]int64]sat.Lit // structural gate hash: op,a,b -> output
 	trueLit sat.Lit
+
+	stop      *atomic.Bool // optional cancellation flag, checked while encoding
+	deadline  time.Time    // optional wall-clock bound on encoding
+	stopped   bool         // a Blast call was interrupted by stop/deadline
+	nodeCount int          // term nodes encoded since the last budget check
+	gateCount int          // gate literals allocated since the last budget check
 }
 
 // gate operator tags for the structural hash.
@@ -77,11 +85,97 @@ func (b *Blaster) VarBits(name string, width uint) []sat.Lit {
 	return bits
 }
 
+// SetStop installs a cancellation flag consulted periodically while
+// encoding. When the flag is raised mid-Blast, Blast returns nil and
+// Stopped reports true; the Blaster must then be discarded (the
+// partially encoded circuit is not usable for further queries). The
+// same flag is typically also passed to Solve via sat.Budget.Stop, so
+// one signal cancels both phases of a query.
+func (b *Blaster) SetStop(stop *atomic.Bool) { b.stop = stop }
+
+// SetDeadline installs a wall-clock bound on encoding: a Blast call
+// that overruns it aborts and returns nil, exactly like a raised stop
+// flag. Large widths blast O(width^2) multiplier gates per node, so
+// without this a query could exceed its whole budget before the SAT
+// search ever looks at the clock.
+func (b *Blaster) SetDeadline(d time.Time) { b.deadline = d }
+
+// Stopped reports whether a Blast call was interrupted by the stop
+// flag or the encoding deadline.
+func (b *Blaster) Stopped() bool { return b.stopped }
+
+// Solve runs the underlying SAT solver on the asserted circuit. A
+// Blaster whose encoding was interrupted reports Unknown without
+// searching, and the stop flag installed with SetStop is threaded into
+// the budget so solving stays cancellable end-to-end.
+func (b *Blaster) Solve(budget sat.Budget) sat.Status {
+	if b.stopped {
+		return sat.Unknown
+	}
+	if budget.Stop == nil {
+		budget.Stop = b.stop
+	}
+	return b.S.Solve(budget)
+}
+
+// stopBlast unwinds an in-progress Blast recursion after the stop flag
+// or deadline was observed.
+type stopBlast struct{}
+
+// Budget-check cadence for encoding: the stop flag is consulted every
+// blastNodeCheckPeriod term nodes and the deadline every
+// blastGateCheckPeriod allocated gate literals (gates are the actual
+// unit of encoding work; a single wide multiplication node can expand
+// to thousands of them).
+const (
+	blastNodeCheckPeriod = 64
+	blastGateCheckPeriod = 512
+)
+
+// interrupted reports whether encoding should abort now.
+func (b *Blaster) interrupted() bool {
+	if b.stop != nil && b.stop.Load() {
+		return true
+	}
+	return !b.deadline.IsZero() && time.Now().After(b.deadline)
+}
+
+// bounded reports whether any encoding budget is installed.
+func (b *Blaster) bounded() bool { return b.stop != nil || !b.deadline.IsZero() }
+
 // Blast encodes the term and returns its bit literals (LSB first;
-// width-1 predicates return a single literal).
-func (b *Blaster) Blast(t *bv.Term) []sat.Lit {
+// width-1 predicates return a single literal). It returns nil if a
+// stop flag installed with SetStop was raised — or a deadline from
+// SetDeadline expired — mid-encoding.
+func (b *Blaster) Blast(t *bv.Term) (out []sat.Lit) {
+	if !b.bounded() {
+		return b.blast(t)
+	}
+	if b.stopped || b.interrupted() {
+		b.stopped = true
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(stopBlast); !ok {
+				panic(r)
+			}
+			b.stopped = true
+			out = nil
+		}
+	}()
+	return b.blast(t)
+}
+
+func (b *Blaster) blast(t *bv.Term) []sat.Lit {
 	if out, ok := b.cache[t]; ok {
 		return out
+	}
+	if b.bounded() {
+		b.nodeCount++
+		if b.nodeCount%blastNodeCheckPeriod == 0 && b.interrupted() {
+			panic(stopBlast{})
+		}
 	}
 	var out []sat.Lit
 	switch t.Op {
@@ -97,14 +191,14 @@ func (b *Blaster) Blast(t *bv.Term) []sat.Lit {
 	case bv.Var:
 		out = b.VarBits(t.Name, t.Width)
 	case bv.Not:
-		x := b.Blast(t.Args[0])
+		x := b.blast(t.Args[0])
 		out = make([]sat.Lit, len(x))
 		for i, l := range x {
 			out[i] = l.Not()
 		}
 	case bv.Neg:
 		// -x = ~x + 1.
-		x := b.Blast(t.Args[0])
+		x := b.blast(t.Args[0])
 		nx := make([]sat.Lit, len(x))
 		for i, l := range x {
 			nx[i] = l.Not()
@@ -116,7 +210,7 @@ func (b *Blaster) Blast(t *bv.Term) []sat.Lit {
 		one[0] = b.True()
 		out = b.adder(nx, one, b.False())
 	case bv.And, bv.Or, bv.Xor:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = make([]sat.Lit, len(x))
 		for i := range x {
 			switch t.Op {
@@ -129,27 +223,27 @@ func (b *Blaster) Blast(t *bv.Term) []sat.Lit {
 			}
 		}
 	case bv.Add:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = b.adder(x, y, b.False())
 	case bv.Sub:
 		// x - y = x + ~y + 1.
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		ny := make([]sat.Lit, len(y))
 		for i, l := range y {
 			ny[i] = l.Not()
 		}
 		out = b.adder(x, ny, b.True())
 	case bv.Mul:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = b.multiplier(x, y)
 	case bv.Eq:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = []sat.Lit{b.equality(x, y)}
 	case bv.Ne:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = []sat.Lit{b.equality(x, y).Not()}
 	case bv.Ult:
-		x, y := b.Blast(t.Args[0]), b.Blast(t.Args[1])
+		x, y := b.blast(t.Args[0]), b.blast(t.Args[1])
 		out = []sat.Lit{b.ult(x, y)}
 	default:
 		panic(fmt.Sprintf("bitblast: unsupported op %v", t.Op))
@@ -161,8 +255,18 @@ func (b *Blaster) Blast(t *bv.Term) []sat.Lit {
 // AssertTrue constrains a single literal to hold.
 func (b *Blaster) AssertTrue(l sat.Lit) { b.S.AddClause(l) }
 
-// freshLit allocates a new gate output literal.
-func (b *Blaster) freshLit() sat.Lit { return sat.MkLit(b.S.NewVar(), false) }
+// freshLit allocates a new gate output literal. Gate allocation is the
+// unit of encoding work, so the encoding budget is re-checked here
+// every blastGateCheckPeriod gates.
+func (b *Blaster) freshLit() sat.Lit {
+	if b.bounded() {
+		b.gateCount++
+		if b.gateCount%blastGateCheckPeriod == 0 && b.interrupted() {
+			panic(stopBlast{})
+		}
+	}
+	return sat.MkLit(b.S.NewVar(), false)
+}
 
 // gateKey builds the structural hash key, commutative-normalized.
 func gateKey(op int64, a, c sat.Lit) [3]int64 {

@@ -1,0 +1,73 @@
+package bitblast
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/sat"
+)
+
+// deepMulTerm builds a chain of multiplications, expensive to encode.
+func deepMulTerm(depth int, width uint) *bv.Term {
+	t := bv.NewVar("x", width)
+	for i := 0; i < depth; i++ {
+		t = bv.Binary(bv.Mul, t, bv.Binary(bv.Add, t, bv.NewConst(uint64(i+1), width)))
+	}
+	return t
+}
+
+func TestBlastStopPreRaised(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	b := New(sat.DefaultOptions())
+	b.SetStop(&stop)
+	if out := b.Blast(deepMulTerm(4, 32)); out != nil {
+		t.Fatalf("Blast with raised stop returned %d literals, want nil", len(out))
+	}
+	if !b.Stopped() {
+		t.Fatal("Stopped() = false after interrupted Blast")
+	}
+	if got := b.Solve(sat.Budget{}); got != sat.Unknown {
+		t.Fatalf("Solve on stopped blaster = %v, want unknown", got)
+	}
+}
+
+func TestBlastStopMidEncoding(t *testing.T) {
+	var stop atomic.Bool
+	b := New(sat.DefaultOptions())
+	b.SetStop(&stop)
+	// Encode one small term first so the node counter is warm, then
+	// raise the flag and encode something large.
+	if out := b.Blast(bv.Binary(bv.Add, bv.NewVar("x", 8), bv.NewVar("y", 8))); out == nil {
+		t.Fatal("unexpected nil for small term with lowered stop")
+	}
+	stop.Store(true)
+	if out := b.Blast(deepMulTerm(16, 64)); out != nil {
+		t.Fatal("Blast ignored stop raised before large term")
+	}
+	if !b.Stopped() {
+		t.Fatal("Stopped() = false after interrupted Blast")
+	}
+}
+
+func TestBlasterSolvePassesStopThrough(t *testing.T) {
+	var stop atomic.Bool
+	b := New(sat.DefaultOptions())
+	b.SetStop(&stop)
+	// Multiplier commutativity (x*y != y*x is unsat) is a classic
+	// hard CDCL instance: the two adder trees differ structurally, so
+	// refutation needs real search, not level-0 propagation. With the
+	// flag raised after blasting, Solve must come back unknown.
+	x, y := bv.NewVar("x", 16), bv.NewVar("y", 16)
+	q := bv.Predicate(bv.Ne, bv.Binary(bv.Mul, x, y), bv.Binary(bv.Mul, y, x))
+	out := b.Blast(q)
+	if out == nil {
+		t.Fatal("Blast returned nil with lowered stop")
+	}
+	b.AssertTrue(out[0])
+	stop.Store(true)
+	if got := b.Solve(sat.Budget{}); got != sat.Unknown {
+		t.Fatalf("Solve with raised stop = %v, want unknown", got)
+	}
+}

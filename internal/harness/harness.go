@@ -17,6 +17,7 @@ import (
 	"mbasolver/internal/expr"
 	"mbasolver/internal/gen"
 	"mbasolver/internal/metrics"
+	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
 )
 
@@ -31,6 +32,11 @@ type Config struct {
 	Budget smt.Budget
 	// Parallelism is the worker count; default NumCPU.
 	Parallelism int
+	// Portfolio adds a fourth virtual solver column (portfolio.Name)
+	// that races all personalities per query with first-verdict-wins
+	// cancellation — the experimental analogue of the paper's virtual
+	// best solver.
+	Portfolio bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,17 +119,28 @@ func SimplifyAll(samples []gen.Sample, parallelism int) map[int]*expr.Expr {
 	return out
 }
 
-// runQueries fans (sample × solver) queries over a worker pool.
+// runQueries fans (sample × solver) queries over a worker pool. With
+// cfg.Portfolio an extra virtual-solver query racing all personalities
+// runs per sample. Each worker writes its Outcome to a pre-assigned
+// slot of the result slice, so the returned order is deterministic
+// across runs regardless of goroutine completion order (exported
+// tables and CSVs must be byte-stable for identical inputs); the final
+// sort then fixes the ordering contract to (sample ID, solver name).
 func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 	sides func(gen.Sample) (*expr.Expr, *expr.Expr)) []Outcome {
 
 	type job struct {
-		sample gen.Sample
-		solver *smt.Solver
+		slot      int
+		sample    gen.Sample
+		portfolio bool
+		solver    *smt.Solver
+	}
+	perSample := len(solvers)
+	if cfg.Portfolio {
+		perSample++
 	}
 	jobs := make(chan job)
-	results := make([]Outcome, 0, len(samples)*len(solvers))
-	var mu sync.Mutex
+	results := make([]Outcome, len(samples)*perSample)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
@@ -131,28 +148,39 @@ func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 			defer wg.Done()
 			for j := range jobs {
 				lhs, rhs := sides(j.sample)
-				res := j.solver.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
 				o := Outcome{
 					Sample:  j.sample,
-					Solver:  j.solver.Name(),
-					Status:  res.Status,
-					Elapsed: res.Elapsed,
 					Metrics: metrics.Measure(lhs),
 				}
-				mu.Lock()
-				results = append(results, o)
-				mu.Unlock()
+				if j.portfolio {
+					res := portfolio.CheckEquiv(solvers, lhs, rhs, cfg.Width, cfg.Budget)
+					o.Solver = portfolio.Name
+					o.Status = res.Status
+					o.Elapsed = res.Elapsed
+				} else {
+					res := j.solver.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
+					o.Solver = j.solver.Name()
+					o.Status = res.Status
+					o.Elapsed = res.Elapsed
+				}
+				results[j.slot] = o
 			}
 		}()
 	}
+	slot := 0
 	for _, s := range samples {
 		for _, sv := range solvers {
-			jobs <- job{s, sv}
+			jobs <- job{slot: slot, sample: s, solver: sv}
+			slot++
+		}
+		if cfg.Portfolio {
+			jobs <- job{slot: slot, sample: s, portfolio: true}
+			slot++
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	sort.Slice(results, func(i, j int) bool {
+	sort.SliceStable(results, func(i, j int) bool {
 		if results[i].Sample.ID != results[j].Sample.ID {
 			return results[i].Sample.ID < results[j].Sample.ID
 		}

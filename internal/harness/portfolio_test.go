@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/portfolio"
+	"mbasolver/internal/smt"
+)
+
+// TestPortfolioColumn: with Config.Portfolio a fourth virtual-solver
+// outcome appears per sample, never doing worse than the single
+// engines on solved queries, and the table renderer accepts it as a
+// regular column.
+func TestPortfolioColumn(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 41})
+	samples := []gen.Sample{g.Linear(), g.Linear(), g.Poly()}
+	solvers := smt.All()
+	cfg := Config{Width: 6, Budget: smt.Budget{Conflicts: 2000}, Parallelism: 2, Portfolio: true}
+	outs := RunBaseline(samples, solvers, cfg)
+	if len(outs) != len(samples)*(len(solvers)+1) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(samples)*(len(solvers)+1))
+	}
+	perSample := map[int]map[string]Outcome{}
+	for _, o := range outs {
+		if perSample[o.Sample.ID] == nil {
+			perSample[o.Sample.ID] = map[string]Outcome{}
+		}
+		perSample[o.Sample.ID][o.Solver] = o
+	}
+	for id, bySolver := range perSample {
+		po, ok := bySolver[portfolio.Name]
+		if !ok {
+			t.Fatalf("sample %d: no portfolio outcome", id)
+		}
+		anySolved := false
+		for _, s := range solvers {
+			if bySolver[s.Name()].Solved() {
+				anySolved = true
+			}
+		}
+		// Virtual best: if any engine solved it, the portfolio (same
+		// budget, racing all engines) must too.
+		if anySolved && !po.Solved() {
+			t.Errorf("sample %d: an engine solved it but the portfolio did not (%v)", id, po.Status)
+		}
+	}
+
+	names := append(solverNames(solvers), portfolio.Name)
+	tab := SolverTable("Table 2 + virtual best", outs, names)
+	if !strings.Contains(tab, portfolio.Name) {
+		t.Errorf("SolverTable missing portfolio column:\n%s", tab)
+	}
+}
+
+// TestRunQueriesDeterministicOrder: identical inputs must yield
+// identically ordered outcomes across runs — exported tables and CSVs
+// depend on it.
+func TestRunQueriesDeterministicOrder(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 42})
+	samples := g.Corpus(2)
+	cfg := Config{Width: 6, Budget: smt.Budget{Conflicts: 300}, Parallelism: 8, Portfolio: true}
+	key := func(outs []Outcome) [][2]any {
+		ks := make([][2]any, len(outs))
+		for i, o := range outs {
+			ks[i] = [2]any{o.Sample.ID, o.Solver}
+		}
+		return ks
+	}
+	first := key(RunBaseline(samples, smt.All(), cfg))
+	for run := 0; run < 3; run++ {
+		if got := key(RunBaseline(samples, smt.All(), cfg)); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d ordering differs:\n%v\nvs\n%v", run, got, first)
+		}
+	}
+}
+
+// TestSimplifyAllParallel: SimplifyAll under heavy parallelism returns
+// one simplified expression per sample — race-detector coverage for
+// the worker pool.
+func TestSimplifyAllParallel(t *testing.T) {
+	g := gen.New(gen.Config{Seed: 43})
+	samples := g.Corpus(4)
+	out := SimplifyAll(samples, 8)
+	if len(out) != len(samples) {
+		t.Fatalf("SimplifyAll returned %d results for %d samples", len(out), len(samples))
+	}
+	for _, s := range samples {
+		if out[s.ID] == nil {
+			t.Errorf("sample %d: nil simplification", s.ID)
+		}
+	}
+}

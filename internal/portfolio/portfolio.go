@@ -1,0 +1,205 @@
+// Package portfolio races several SMT solver personalities on the same
+// query and returns the first definitive verdict, cancelling the
+// losers. This is the shape real MBA verification pipelines use under
+// per-query wall-clock budgets (the paper's experiments run Z3, STP
+// and Boolector side by side and report a virtual best solver): engines
+// have complementary strengths, so the portfolio's solved set is the
+// union of the individual solved sets at roughly the cost of the
+// fastest engine per query.
+//
+// Cancellation is cooperative and cheap: each engine gets a private
+// atomic stop flag threaded through smt.Budget into the bit-blaster
+// and the CDCL search loop, which observe it within milliseconds. A
+// caller-supplied smt.Budget.Stop cancels the whole portfolio the same
+// way.
+package portfolio
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/smt"
+)
+
+// Name is the conventional solver-column name for portfolio results in
+// experiment tables, mirroring the paper's virtual-best-solver rows.
+const Name = "portfolio"
+
+// Engine reports one personality's run inside a portfolio query.
+type Engine struct {
+	Solver       string        // personality name
+	Verdict      string        // that engine's own outcome
+	Elapsed      time.Duration // that engine's own wall clock
+	Conflicts    int64
+	Propagations int64
+	Rewritten    bool // verdict reached by word-level rewriting alone
+	Cancelled    bool // stopped without a verdict because the race was over
+	Won          bool // first definitive verdict
+}
+
+// Result is a portfolio equivalence verdict. The embedded smt.Result
+// is the winning engine's (with Elapsed replaced by the portfolio's
+// total wall clock); Engines holds per-engine statistics for
+// observability, and Winner names the engine that produced the
+// verdict ("" when every engine timed out).
+type Result struct {
+	smt.Result
+	Winner  string
+	Engines []Engine
+}
+
+// SatResult is the portfolio analogue of smt.SatResult for
+// satisfiability queries over asserted terms.
+type SatResult struct {
+	smt.SatResult
+	Winner  string
+	Engines []Engine
+}
+
+// race runs fn once per solver concurrently, each under a private stop
+// flag, cancels everyone as soon as some run's result is definitive,
+// and returns all results plus the winning index (-1 if none). A
+// non-nil parent flag cancels the whole race when raised.
+func race[T any](n int, parent *atomic.Bool, fn func(i int, stop *atomic.Bool) T,
+	definitive func(T) bool) ([]T, int, []*atomic.Bool) {
+
+	stops := make([]*atomic.Bool, n)
+	type done struct {
+		i int
+		r T
+	}
+	ch := make(chan done, n)
+	for i := 0; i < n; i++ {
+		stops[i] = new(atomic.Bool)
+		go func(i int) { ch <- done{i, fn(i, stops[i])} }(i)
+	}
+	cancelAll := func() {
+		for _, s := range stops {
+			s.Store(true)
+		}
+	}
+
+	// Propagate external cancellation while the race runs.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	if parent != nil {
+		go func() {
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-watcherDone:
+					return
+				case <-tick.C:
+					if parent.Load() {
+						cancelAll()
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	results := make([]T, n)
+	winner := -1
+	for k := 0; k < n; k++ {
+		d := <-ch
+		results[d.i] = d.r
+		if winner == -1 && definitive(d.r) {
+			winner = d.i
+			cancelAll()
+		}
+	}
+	return results, winner, stops
+}
+
+// CheckTermEquiv races the solvers on one term-equivalence query. The
+// first Equivalent/NotEquivalent verdict wins and the remaining
+// engines are cancelled; if every engine exhausts the budget the
+// result is Timeout. budget.Stop, when set, cancels the entire
+// portfolio.
+func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) Result {
+	start := time.Now()
+	if len(solvers) == 0 {
+		return Result{Result: smt.Result{Status: smt.Timeout}}
+	}
+
+	results, winner, stops := race(len(solvers), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.Result {
+			b := budget
+			b.Stop = stop
+			return solvers[i].CheckTermEquiv(ta, tb, b)
+		},
+		func(r smt.Result) bool {
+			return r.Status == smt.Equivalent || r.Status == smt.NotEquivalent
+		})
+
+	out := Result{Engines: make([]Engine, len(solvers))}
+	for i, r := range results {
+		out.Engines[i] = Engine{
+			Solver:       solvers[i].Name(),
+			Verdict:      r.Status.String(),
+			Elapsed:      r.Elapsed,
+			Conflicts:    r.Conflicts,
+			Propagations: r.Propagations,
+			Rewritten:    r.Rewritten,
+			Cancelled:    r.Status == smt.Timeout && stops[i].Load(),
+			Won:          i == winner,
+		}
+	}
+	if winner >= 0 {
+		out.Result = results[winner]
+		out.Winner = solvers[winner].Name()
+	} else {
+		out.Status = smt.Timeout
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// CheckEquiv is CheckTermEquiv over expressions at the given width.
+func CheckEquiv(solvers []*smt.Solver, a, b *expr.Expr, width uint, budget smt.Budget) Result {
+	return CheckTermEquiv(solvers, bv.FromExpr(a, width), bv.FromExpr(b, width), budget)
+}
+
+// SolveAssertions races the solvers on the conjunction of asserted
+// width-1 terms; the first sat/unsat verdict wins.
+func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Budget) SatResult {
+	start := time.Now()
+	if len(solvers) == 0 {
+		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
+	}
+
+	results, winner, stops := race(len(solvers), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.SatResult {
+			b := budget
+			b.Stop = stop
+			return solvers[i].SolveAssertions(assertions, b)
+		},
+		func(r smt.SatResult) bool {
+			return r.Status == smt.Satisfiable || r.Status == smt.Unsatisfiable
+		})
+
+	out := SatResult{Engines: make([]Engine, len(solvers))}
+	for i, r := range results {
+		out.Engines[i] = Engine{
+			Solver:       solvers[i].Name(),
+			Verdict:      r.Status.String(),
+			Elapsed:      r.Elapsed,
+			Conflicts:    r.Conflicts,
+			Propagations: r.Propagations,
+			Cancelled:    r.Status == smt.SatUnknown && stops[i].Load(),
+			Won:          i == winner,
+		}
+	}
+	if winner >= 0 {
+		out.SatResult = results[winner]
+		out.Winner = solvers[winner].Name()
+	} else {
+		out.Status = smt.SatUnknown
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}

@@ -15,6 +15,7 @@ package sat
 import (
 	"bufio"
 	"errors"
+	"sync/atomic"
 	"time"
 )
 
@@ -125,7 +126,27 @@ type Budget struct {
 	Conflicts    int64
 	Propagations int64
 	Deadline     time.Time
+	// Stop is an optional external cancellation flag. When another
+	// goroutine sets it, Solve returns Unknown within a bounded amount
+	// of search work (at most one conflict, one restart or
+	// propsPerBudgetCheck propagations), leaving the solver consistent
+	// and reusable. The flag is only ever read by the solver.
+	Stop *atomic.Bool
 }
+
+// Budget-check cadence constants. The search loop calls checkBudget
+// after every conflict and every restart, and additionally after every
+// propsPerBudgetCheck propagations so that conflict-free (or
+// conflict-starved) search phases still observe deadlines and
+// cancellation. The Stop flag and the conflict/propagation counters are
+// consulted on every check; the wall clock is only sampled every
+// deadlineCheckPeriod checks, which bounds time.Now() overhead while
+// keeping the worst-case deadline overshoot to a few milliseconds of
+// search.
+const (
+	propsPerBudgetCheck = 4096
+	deadlineCheckPeriod = 16
+)
 
 // Stats reports the work performed across the solver's lifetime.
 type Stats struct {
@@ -635,17 +656,41 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 	restartLimit := s.restartLimit(restartCount)
 	maxLearnts := float64(len(s.clauses))*s.opts.LearntsFraction + 100
 
+	// checkBudget runs on every conflict, every restart, and every
+	// propsPerBudgetCheck propagations. checks is a monotonic counter
+	// local to this Solve call, so the deadline is sampled every
+	// deadlineCheckPeriod-th check regardless of where the cumulative
+	// conflict count started (the old Conflicts%64 gate could skip the
+	// deadline forever on conflict-starved queries).
+	checks := int64(0)
+	lastCheckProps := s.stats.Propagations
 	checkBudget := func() bool {
+		checks++
+		lastCheckProps = s.stats.Propagations
+		if budget.Stop != nil && budget.Stop.Load() {
+			return false
+		}
 		if budget.Conflicts > 0 && s.stats.Conflicts-conflictBudgetAtStart >= budget.Conflicts {
 			return false
 		}
 		if budget.Propagations > 0 && s.stats.Propagations-propBudgetAtStart >= budget.Propagations {
 			return false
 		}
-		if !budget.Deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(budget.Deadline) {
+		if !budget.Deadline.IsZero() && checks%deadlineCheckPeriod == 0 && time.Now().After(budget.Deadline) {
 			return false
 		}
 		return true
+	}
+	bounded := budget.Stop != nil || budget.Conflicts > 0 ||
+		budget.Propagations > 0 || !budget.Deadline.IsZero()
+
+	// A budget that is already exhausted on entry (expired deadline,
+	// raised stop flag) must not buy any search at all.
+	if budget.Stop != nil && budget.Stop.Load() {
+		return Unknown
+	}
+	if !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
+		return Unknown
 	}
 
 	defer s.backtrackTo(0)
@@ -685,13 +730,27 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 			continue
 		}
 
-		// No conflict: restart, reduce, or decide.
+		// No conflict: long propagation phases must still observe the
+		// budget — a query can propagate millions of literals between
+		// conflicts (or produce none at all before the first decision
+		// settles), so deadlines and cancellation are re-checked every
+		// propsPerBudgetCheck propagations, not only per conflict.
+		if bounded && s.stats.Propagations-lastCheckProps >= propsPerBudgetCheck {
+			if !checkBudget() {
+				return Unknown
+			}
+		}
+
+		// Restart, reduce, or decide.
 		if conflictsSinceRestart >= restartLimit {
 			restartCount++
 			conflictsSinceRestart = 0
 			restartLimit = s.restartLimit(restartCount)
 			s.stats.Restarts++
 			s.backtrackTo(s.assumptionLevel(len(assumptions)))
+			if !checkBudget() {
+				return Unknown
+			}
 			continue
 		}
 		if float64(len(s.learnts)) > maxLearnts+float64(len(s.trail)) {

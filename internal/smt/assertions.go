@@ -34,10 +34,11 @@ func (s SatStatus) String() string {
 
 // SatResult reports a satisfiability query.
 type SatResult struct {
-	Status    SatStatus
-	Model     map[string]uint64 // variable values when Satisfiable
-	Elapsed   time.Duration
-	Conflicts int64
+	Status       SatStatus
+	Model        map[string]uint64 // variable values when Satisfiable
+	Elapsed      time.Duration
+	Conflicts    int64
+	Propagations int64
 }
 
 // SolveAssertions decides the conjunction of width-1 terms (the
@@ -74,17 +75,35 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 		return SatResult{Status: Satisfiable, Model: model, Elapsed: time.Since(start)}
 	}
 
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+	}
 	bl := bitblast.New(s.satOpts)
+	if budget.Stop != nil {
+		bl.SetStop(budget.Stop)
+	}
+	if !deadline.IsZero() {
+		bl.SetDeadline(deadline)
+	}
 	for _, t := range rewritten {
 		out := bl.Blast(t)
+		if out == nil {
+			// Cancelled (or out of time) mid-encoding.
+			return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+		}
 		bl.AssertTrue(out[0])
 	}
-	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts)}
-	if budget.Timeout > 0 {
-		sb.Deadline = start.Add(budget.Timeout)
+	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	verdict := bl.Solve(sb)
+	res := SatResult{
+		Elapsed:      time.Since(start),
+		Conflicts:    bl.S.Stats().Conflicts,
+		Propagations: bl.S.Stats().Propagations,
 	}
-	verdict := bl.S.Solve(sb)
-	res := SatResult{Elapsed: time.Since(start), Conflicts: bl.S.Stats().Conflicts}
 	switch verdict {
 	case sat.Sat:
 		res.Status = Satisfiable

@@ -17,6 +17,7 @@
 package smt
 
 import (
+	"sync/atomic"
 	"time"
 
 	"mbasolver/internal/bitblast"
@@ -54,15 +55,24 @@ type Budget struct {
 	// Conflicts bounds the CDCL conflict count, giving deterministic
 	// "solving effort" limits for reproducible benchmarks.
 	Conflicts int64
+	// Stop is an optional external cancellation flag: raising it makes
+	// the query return Timeout within milliseconds, whether it is
+	// rewriting, bit-blasting or searching. The portfolio solver uses
+	// it to cancel losing engines.
+	Stop *atomic.Bool
 }
+
+// stopped reports whether the external cancellation flag is raised.
+func (b Budget) stopped() bool { return b.Stop != nil && b.Stop.Load() }
 
 // Result reports one equivalence query.
 type Result struct {
-	Status    Status
-	Witness   map[string]uint64 // distinguishing input when NotEquivalent
-	Elapsed   time.Duration
-	Conflicts int64 // CDCL conflicts spent
-	Rewritten bool  // verdict reached by word-level rewriting alone
+	Status       Status
+	Witness      map[string]uint64 // distinguishing input when NotEquivalent
+	Elapsed      time.Duration
+	Conflicts    int64 // CDCL conflicts spent
+	Propagations int64 // CDCL propagations spent
+	Rewritten    bool  // verdict reached by word-level rewriting alone
 }
 
 // Solver is one SMT solver personality. Solvers are stateless between
@@ -133,6 +143,11 @@ func (s *Solver) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result {
 func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	start := time.Now()
 	width := ta.Width
+	origA, origB := ta, tb
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
 
 	rw := bv.NewRewriter(s.level)
 	if s.level != bv.RewriteNone {
@@ -148,6 +163,9 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 			return Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
 		}
 	}
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
 
 	query := bv.Predicate(bv.Ne, ta, tb)
 	query = rw.Rewrite(query)
@@ -159,23 +177,34 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 			res.Status = Equivalent
 		} else {
 			res.Status = NotEquivalent
-			res.Witness = map[string]uint64{}
+			// The fold proves the sides differ but carries no model;
+			// probe the original terms for a concrete distinguishing
+			// input so callers can always replay the counterexample.
+			res.Witness = findWitness(origA, origB)
 		}
 		return res
 	}
 
 	bl := bitblast.New(s.satOpts)
+	if budget.Stop != nil {
+		bl.SetStop(budget.Stop)
+	}
+	if !deadline.IsZero() {
+		bl.SetDeadline(deadline)
+	}
 	out := bl.Blast(query)
+	if out == nil {
+		// Cancelled (or out of time) mid-encoding.
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
 	bl.AssertTrue(out[0])
 
-	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts)}
-	if budget.Timeout > 0 {
-		sb.Deadline = start.Add(budget.Timeout)
-	}
-	verdict := bl.S.Solve(sb)
+	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	verdict := bl.Solve(sb)
 	res := Result{
-		Elapsed:   time.Since(start),
-		Conflicts: bl.S.Stats().Conflicts,
+		Elapsed:      time.Since(start),
+		Conflicts:    bl.S.Stats().Conflicts,
+		Propagations: bl.S.Stats().Propagations,
 	}
 	switch verdict {
 	case sat.Unsat:
@@ -186,6 +215,14 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		for name := range bv.Vars(query) {
 			if v, ok := bl.Model(name); ok {
 				res.Witness[name] = v
+			}
+		}
+		// Variables the rewriter eliminated are unconstrained by the
+		// circuit; pin them to zero so the witness covers every
+		// variable of the original query and replays cleanly.
+		for name := range termVars(origA, origB) {
+			if _, ok := res.Witness[name]; !ok {
+				res.Witness[name] = 0
 			}
 		}
 	default:

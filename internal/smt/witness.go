@@ -1,0 +1,81 @@
+package smt
+
+import (
+	"sort"
+
+	"mbasolver/internal/bv"
+)
+
+// termVars returns the union of the variables of both sides.
+func termVars(ta, tb *bv.Term) map[string]uint {
+	vars := bv.Vars(ta)
+	for name, w := range bv.Vars(tb) {
+		vars[name] = w
+	}
+	return vars
+}
+
+// findWitness searches for a concrete input on which the two terms
+// evaluate differently, for NotEquivalent verdicts reached by
+// rewriting alone (which proves the sides differ but yields no model).
+// It probes a deterministic sequence of assignments — the constant
+// corners first, then pseudo-random points — and returns the first
+// distinguishing one. The sides are known non-equivalent, so on
+// non-degenerate queries a random point distinguishes them with high
+// probability; if none of the probes does, an empty (all-zeros, via
+// replay semantics) map is returned rather than nil.
+func findWitness(ta, tb *bv.Term) map[string]uint64 {
+	vars := termVars(ta, tb)
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	width := ta.Width
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
+	}
+
+	env := make(map[string]uint64, len(names))
+	try := func(value func(i int) uint64) map[string]uint64 {
+		for i, name := range names {
+			env[name] = value(i) & mask
+		}
+		if bv.Eval(ta, env) != bv.Eval(tb, env) {
+			out := make(map[string]uint64, len(env))
+			for k, v := range env {
+				out[k] = v
+			}
+			return out
+		}
+		return nil
+	}
+
+	// Corners: all zeros, all ones, one, alternating bits.
+	for _, c := range []uint64{0, ^uint64(0), 1, 0xaaaaaaaaaaaaaaaa, 0x5555555555555555} {
+		if w := try(func(int) uint64 { return c }); w != nil {
+			return w
+		}
+	}
+	// Deterministic pseudo-random probes (splitmix64).
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	for round := 0; round < 256; round++ {
+		vals := make([]uint64, len(names))
+		for i := range vals {
+			vals[i] = next()
+		}
+		if w := try(func(i int) uint64 { return vals[i] }); w != nil {
+			return w
+		}
+	}
+	return map[string]uint64{}
+}

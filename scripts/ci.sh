@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Pre-merge check: vet, build, and the full test suite under the race
+# detector (the portfolio solver and the experiment harness are heavily
+# concurrent; -race is not optional here).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
