@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mbasmt [-solver z3sim|stpsim|btorsim] [-portfolio] [-conflicts N]
-//	       [-timeout SECONDS] [-simplify] [file.smt2]
+//	       [-timeout SECONDS] [-simplify] [-json] [file.smt2]
 //
 // Reads the script from the file (or stdin), prints sat/unsat/unknown,
 // and a model when the script asked for one. With -simplify, asserted
@@ -13,10 +13,14 @@
 // MBA-Solver — the paper's preprocessing pipeline as a solver flag.
 // With -portfolio, all three personalities race on the query and the
 // first definitive verdict wins (losers are cancelled); the winning
-// engine is reported on stderr.
+// engine is reported on stderr. With -json the result is emitted as a
+// single JSON object using the shared mbaserved response schema
+// (status, model, solver, per-engine stats) instead of the SMT-LIB
+// text forms.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +30,7 @@ import (
 
 	"mbasolver/internal/bv"
 	"mbasolver/internal/portfolio"
+	"mbasolver/internal/service"
 	"mbasolver/internal/smt"
 	"mbasolver/internal/smtlib"
 )
@@ -36,6 +41,7 @@ func main() {
 	conflicts := flag.Int64("conflicts", 0, "CDCL conflict budget (0 = unlimited)")
 	timeout := flag.Float64("timeout", 0, "wall-clock budget in seconds (0 = unlimited)")
 	simplify := flag.Bool("simplify", false, "run MBA-Solver preprocessing on asserted (dis)equalities")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (mbaserved response schema)")
 	flag.Parse()
 
 	var solver *smt.Solver
@@ -75,9 +81,13 @@ func main() {
 		Timeout:   time.Duration(*timeout * float64(time.Second)),
 	}
 	var res smt.SatResult
+	var engines []service.EngineStats
+	answeredBy := *solverName
 	if *usePortfolio {
 		pres := portfolio.SolveAssertions(smt.All(), assertions, budget)
 		res = pres.SatResult
+		engines = service.EnginesOf(pres.Engines)
+		answeredBy = pres.Winner
 		if pres.Winner != "" {
 			fmt.Fprintf(os.Stderr, "; portfolio winner: %s (%v", pres.Winner, res.Elapsed)
 			for _, e := range pres.Engines {
@@ -87,6 +97,19 @@ func main() {
 		}
 	} else {
 		res = solver.SolveAssertions(assertions, budget)
+	}
+	if *jsonOut {
+		out := service.SatResponseOf(res, answeredBy)
+		out.Engines = engines
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		if res.Status == smt.SatUnknown {
+			os.Exit(2)
+		}
+		return
 	}
 	fmt.Println(res.Status)
 	if res.Status == smt.Satisfiable && script.ProduceModels {

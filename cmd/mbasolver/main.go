@@ -3,23 +3,31 @@
 //
 // Usage:
 //
-//	mbasolver [-width N] [-basis conj|disj] [-verify] [-metrics] EXPR...
+//	mbasolver [-width N] [-basis conj|disj] [-verify] [-metrics] [-json] EXPR...
 //	echo "2*(x|y) - (~x&y) - (x&~y)" | mbasolver
 //
 // Each expression is printed as "input  =>  simplified". With -metrics
 // the complexity metrics before and after are reported; with -verify
 // the equivalence of input and output is proven at the given width.
+// With -json each result is emitted as one JSON object per line using
+// the same response schema mbaserved serves on /v1/simplify, so
+// scripted consumers can switch between CLI and service transparently.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"mbasolver"
 	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/service"
 	"mbasolver/internal/smtlib"
 )
 
@@ -29,6 +37,7 @@ func main() {
 	verify := flag.Bool("verify", false, "prove input == output with the SMT solver")
 	showMetrics := flag.Bool("metrics", false, "print complexity metrics before and after")
 	smt2 := flag.String("smt2", "", "write the input==output queries as an SMT-LIB script to this file ('-' for stdout)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per input (mbaserved /v1/simplify schema)")
 	flag.Parse()
 
 	opts := mbasolver.Options{Width: *width}
@@ -58,6 +67,8 @@ func main() {
 	}
 
 	var smtQueries []*bv.Term
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
 	exit := 0
 	for _, src := range inputs {
 		e, err := mbasolver.Parse(src)
@@ -66,8 +77,25 @@ func main() {
 			exit = 1
 			continue
 		}
+		start := time.Now()
 		simplified := s.Simplify(e)
-		fmt.Printf("%s  =>  %s\n", e, simplified)
+		elapsed := time.Since(start)
+		var verdict *mbasolver.Verdict
+		if *verify {
+			v := mbasolver.CheckEquivalenceRaw(e, simplified, *width)
+			verdict = &v
+			if !v.Equivalent && !v.Timeout {
+				exit = 1
+			}
+		}
+		if *jsonOut {
+			if err := enc.Encode(jsonResponse(e, simplified, *width, *basis, elapsed, verdict)); err != nil {
+				fmt.Fprintln(os.Stderr, "mbasolver:", err)
+				exit = 1
+			}
+		} else {
+			fmt.Printf("%s  =>  %s\n", e, simplified)
+		}
 		if *smt2 != "" {
 			// Namespace the variables per query so that asserting all
 			// disequalities in one script is UNSAT if and only if every
@@ -78,23 +106,21 @@ func main() {
 			out, _ := mbasolver.ToBitvector(simplified.RenameVars(prefix), *width)
 			smtQueries = append(smtQueries, bv.Predicate(bv.Ne, in, out))
 		}
-		if *showMetrics {
+		if *showMetrics && !*jsonOut {
 			mb, ma := e.Metrics(), simplified.Metrics()
 			fmt.Printf("  before: kind=%s vars=%d alternation=%d length=%d terms=%d\n",
 				mb.Kind, mb.NumVars, mb.Alternation, mb.Length, mb.NumTerms)
 			fmt.Printf("  after:  kind=%s vars=%d alternation=%d length=%d terms=%d\n",
 				ma.Kind, ma.NumVars, ma.Alternation, ma.Length, ma.NumTerms)
 		}
-		if *verify {
-			v := mbasolver.CheckEquivalenceRaw(e, simplified, *width)
+		if verdict != nil && !*jsonOut {
 			switch {
-			case v.Timeout:
-				fmt.Printf("  verify: timeout after %v\n", v.Elapsed)
-			case v.Equivalent:
-				fmt.Printf("  verify: equivalent at width %d (%v)\n", *width, v.Elapsed)
+			case verdict.Timeout:
+				fmt.Printf("  verify: timeout after %v\n", verdict.Elapsed)
+			case verdict.Equivalent:
+				fmt.Printf("  verify: equivalent at width %d (%v)\n", *width, verdict.Elapsed)
 			default:
-				fmt.Printf("  verify: NOT EQUIVALENT, witness %v\n", v.Witness)
-				exit = 1
+				fmt.Printf("  verify: NOT EQUIVALENT, witness %v\n", verdict.Witness)
 			}
 		}
 	}
@@ -118,4 +144,53 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// jsonResponse assembles the mbaserved /v1/simplify response schema
+// for one CLI simplification, so -json output is byte-compatible with
+// the service.
+func jsonResponse(in, out mbasolver.Expression, width uint, basis string,
+	elapsed time.Duration, verdict *mbasolver.Verdict) service.SimplifyResponse {
+
+	resp := service.SimplifyResponse{
+		Input:      in.String(),
+		Simplified: out.String(),
+		Width:      width,
+		Basis:      basis,
+		Before:     wireMetrics(in.Metrics()),
+		After:      wireMetrics(out.Metrics()),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if ast, err := parser.Parse(in.String()); err == nil {
+		resp.Hash = expr.HashString(ast)
+	}
+	if verdict != nil {
+		sv := &service.SolveResponse{
+			Width:     width,
+			Solver:    "btorsim",
+			Witness:   verdict.Witness,
+			ElapsedMS: float64(verdict.Elapsed) / float64(time.Millisecond),
+		}
+		switch {
+		case verdict.Timeout:
+			sv.Status = "timeout"
+		case verdict.Equivalent:
+			sv.Status = "equivalent"
+		default:
+			sv.Status = "not-equivalent"
+		}
+		resp.Verify = sv
+	}
+	return resp
+}
+
+func wireMetrics(m mbasolver.Metrics) service.ExprMetrics {
+	return service.ExprMetrics{
+		Kind:        m.Kind,
+		NumVars:     m.NumVars,
+		Alternation: m.Alternation,
+		Length:      m.Length,
+		NumTerms:    m.NumTerms,
+		MaxCoeff:    m.MaxCoeff,
+	}
 }

@@ -1,0 +1,74 @@
+package expr
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Digest is a collision-resistant canonical hash of an expression tree.
+// Two expressions receive the same digest exactly when their canonical
+// forms (see Canon) are structurally equal, so x&y and y&x collide on
+// purpose while x-y and y-x do not. Digests are stable across processes
+// and across print/re-parse round trips, which makes them usable as
+// persistent cache keys — the service layer keys its verdict and
+// simplification caches on them.
+type Digest [sha256.Size]byte
+
+// String returns the lowercase hex rendering of the digest.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns the first 16 hex characters — enough for log lines and
+// metrics labels while staying readable.
+func (d Digest) Short() string { return hex.EncodeToString(d[:8]) }
+
+// Hash computes the canonical digest of e. The tree is canonicalized
+// first, then serialized with an unambiguous length-prefixed binary
+// encoding (no reliance on variable-name character sets) and hashed
+// with SHA-256.
+func Hash(e *Expr) Digest {
+	h := sha256.New()
+	var scratch [9]byte
+	hashTerm(h, Canon(e), &scratch)
+	var d Digest
+	h.Sum(d[:0])
+	return d
+}
+
+// HashString is Hash rendered as hex, for callers that want a plain
+// string key.
+func HashString(e *Expr) string { return Hash(e).String() }
+
+// hashWriter is the subset of hash.Hash the serializer needs.
+type hashWriter interface{ Write(p []byte) (int, error) }
+
+// hashTerm serializes one node: a tag byte, then the payload. Variable
+// names are length-prefixed so "ab"+"c" and "a"+"bc" cannot alias;
+// constants are fixed-width little-endian; children follow in order,
+// with a distinct tag for nil (absent operand), so the encoding is
+// prefix-free and injective on canonical trees.
+func hashTerm(h hashWriter, e *Expr, scratch *[9]byte) {
+	if e == nil {
+		scratch[0] = 0xff
+		h.Write(scratch[:1])
+		return
+	}
+	switch e.Op {
+	case OpVar:
+		scratch[0] = byte(OpVar)
+		binary.LittleEndian.PutUint64(scratch[1:], uint64(len(e.Name)))
+		h.Write(scratch[:9])
+		h.Write([]byte(e.Name))
+	case OpConst:
+		scratch[0] = byte(OpConst)
+		binary.LittleEndian.PutUint64(scratch[1:], e.Val)
+		h.Write(scratch[:9])
+	default:
+		scratch[0] = byte(e.Op)
+		h.Write(scratch[:1])
+		hashTerm(h, e.X, scratch)
+		if e.Op.IsBinary() {
+			hashTerm(h, e.Y, scratch)
+		}
+	}
+}

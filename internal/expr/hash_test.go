@@ -1,0 +1,159 @@
+// Hash tests live in the external test package so they can exercise
+// the print → parse round trip through internal/parser without an
+// import cycle.
+package expr_test
+
+import (
+	"testing"
+
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+)
+
+// TestHashDeterministic: hashing the same tree twice, and hashing an
+// independently constructed structurally equal tree, yields identical
+// digests.
+func TestHashDeterministic(t *testing.T) {
+	build := func() *expr.Expr {
+		return expr.Sub(
+			expr.Mul(expr.Const(2), expr.Or(expr.Var("x"), expr.Var("y"))),
+			expr.Add(expr.And(expr.Not(expr.Var("x")), expr.Var("y")),
+				expr.And(expr.Var("x"), expr.Not(expr.Var("y")))),
+		)
+	}
+	a, b := build(), build()
+	if expr.Hash(a) != expr.Hash(a) {
+		t.Fatal("hash of the same tree is not stable")
+	}
+	if expr.Hash(a) != expr.Hash(b) {
+		t.Fatal("structurally equal trees hash differently")
+	}
+}
+
+// TestHashReparseStable: the digest survives a print → parse round
+// trip (the service receives expressions as text, so cache keys must
+// not depend on pointer identity or construction history).
+func TestHashReparseStable(t *testing.T) {
+	srcs := []string{
+		"2*(x|y) - (~x&y) - (x&~y)",
+		"(x&~y)*(~x&y) + (x&y)*(x|y)",
+		"x*y + 3",
+		"~(x ^ y) + -z",
+		"0x1f & (a + b*c)",
+		"-(x - y)",
+	}
+	for _, src := range srcs {
+		e := parser.MustParse(src)
+		r := parser.MustParse(e.String())
+		if expr.Hash(e) != expr.Hash(r) {
+			t.Errorf("%q: digest changed across print/re-parse\n  printed %q", src, e.String())
+		}
+	}
+}
+
+// TestHashCommutativeInvariance: operand order of commutative
+// operators does not affect the digest, while non-commutative operand
+// order does.
+func TestHashCommutativeInvariance(t *testing.T) {
+	same := [][2]string{
+		{"x & y", "y & x"},
+		{"x | y", "y | x"},
+		{"x ^ y", "y ^ x"},
+		{"x + y", "y + x"},
+		{"x * y", "y * x"},
+		{"(a&b) + (c|d)", "(c|d) + (a&b)"},
+		{"~~x", "x"},
+		{"-(-x)", "x"},
+	}
+	for _, p := range same {
+		a, b := parser.MustParse(p[0]), parser.MustParse(p[1])
+		if expr.Hash(a) != expr.Hash(b) {
+			t.Errorf("%q and %q should share a digest", p[0], p[1])
+		}
+	}
+	diff := [][2]string{
+		{"x - y", "y - x"},
+		{"x & y", "x | y"},
+		{"x + 1", "x + 2"},
+		{"x", "y"},
+	}
+	for _, p := range diff {
+		a, b := parser.MustParse(p[0]), parser.MustParse(p[1])
+		if expr.Hash(a) == expr.Hash(b) {
+			t.Errorf("%q and %q must not share a digest", p[0], p[1])
+		}
+	}
+}
+
+// TestHashNoAliasing: the length-prefixed encoding keeps structurally
+// different trees apart even when a naive string concatenation would
+// collide.
+func TestHashNoAliasing(t *testing.T) {
+	pairs := [][2]*expr.Expr{
+		{expr.And(expr.Var("ab"), expr.Var("c")), expr.And(expr.Var("a"), expr.Var("bc"))},
+		{expr.Var("x1"), expr.Var("x")},
+		{expr.Const(1), expr.Var("1")},
+		{expr.And(expr.Var("a"), expr.And(expr.Var("b"), expr.Var("c"))),
+			expr.And(expr.And(expr.Var("a"), expr.Var("b")), expr.Var("c"))},
+	}
+	for _, p := range pairs {
+		if expr.Hash(p[0]) == expr.Hash(p[1]) {
+			t.Errorf("%s and %s must not share a digest", p[0].Key(), p[1].Key())
+		}
+	}
+}
+
+// TestHashCollisionFree: across a generated corpus of distinct
+// canonical forms, every digest is unique (SHA-256 collisions would be
+// astronomically unlikely; this guards the serialization, not the hash
+// function).
+func TestHashCollisionFree(t *testing.T) {
+	exprs := map[string]*expr.Expr{}
+	vars := []string{"x", "y", "z"}
+	// Enumerate small trees systematically: all binary ops over leaves,
+	// plus one more layer of nesting.
+	var leaves []*expr.Expr
+	for _, v := range vars {
+		leaves = append(leaves, expr.Var(v))
+	}
+	for _, c := range []uint64{0, 1, 2, 255, ^uint64(0)} {
+		leaves = append(leaves, expr.Const(c))
+	}
+	ops := []expr.Op{expr.OpAnd, expr.OpOr, expr.OpXor, expr.OpAdd, expr.OpSub, expr.OpMul}
+	var depth1 []*expr.Expr
+	for _, op := range ops {
+		for _, x := range leaves {
+			for _, y := range leaves {
+				depth1 = append(depth1, expr.Binary(op, x, y))
+			}
+		}
+	}
+	pool := append(append([]*expr.Expr{}, leaves...), depth1...)
+	for i, x := range pool {
+		if i%7 == 0 && x.Op != expr.OpConst {
+			pool = append(pool, expr.Not(x))
+		}
+	}
+	for _, op := range ops[:3] {
+		for i := 0; i+1 < len(depth1); i += 17 {
+			pool = append(pool, expr.Binary(op, depth1[i], depth1[i+1]))
+		}
+	}
+
+	seen := map[expr.Digest]string{}
+	for _, e := range pool {
+		key := expr.Canon(e).Key()
+		if _, dup := exprs[key]; dup {
+			continue // same canonical form, same digest expected
+		}
+		exprs[key] = e
+		d := expr.Hash(e)
+		if prev, clash := seen[d]; clash {
+			t.Fatalf("digest collision between canonical forms %q and %q", prev, key)
+		}
+		seen[d] = key
+	}
+	if len(seen) < 300 {
+		t.Fatalf("collision corpus too small: %d distinct forms", len(seen))
+	}
+}

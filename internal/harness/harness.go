@@ -89,30 +89,54 @@ func RunSimplified(samples []gen.Sample, solvers []*smt.Solver, cfg Config) []Ou
 }
 
 // SimplifyAll runs MBA-Solver over the corpus concurrently and returns
-// the simplified obfuscated sides keyed by sample ID.
+// the simplified obfuscated sides keyed by sample ID. Samples whose
+// obfuscated sides are structurally identical (equal canonical
+// expr.Hash — generated corpora repeat rewrite products often) are
+// simplified once: one representative per digest group runs through the
+// simplifier and the result fans back to every member.
 func SimplifyAll(samples []gen.Sample, parallelism int) map[int]*expr.Expr {
 	if parallelism <= 0 {
 		parallelism = runtime.NumCPU()
 	}
+
+	type group struct {
+		rep *expr.Expr // representative obfuscated side
+		ids []int      // sample IDs sharing its canonical form
+	}
+	byDigest := make(map[expr.Digest]*group, len(samples))
+	var order []*group // deterministic dispatch order
+	for _, s := range samples {
+		d := expr.Hash(s.Obfuscated)
+		g, ok := byDigest[d]
+		if !ok {
+			g = &group{rep: s.Obfuscated}
+			byDigest[d] = g
+			order = append(order, g)
+		}
+		g.ids = append(g.ids, s.ID)
+	}
+
 	out := make(map[int]*expr.Expr, len(samples))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
-	work := make(chan gen.Sample)
+	work := make(chan *group)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			simp := core.Default() // Simplifier is not goroutine safe
-			for s := range work {
-				r := simp.Simplify(s.Obfuscated)
+			for g := range work {
+				r := simp.Simplify(g.rep)
 				mu.Lock()
-				out[s.ID] = r
+				for _, id := range g.ids {
+					out[id] = r
+				}
 				mu.Unlock()
 			}
 		}()
 	}
-	for _, s := range samples {
-		work <- s
+	for _, g := range order {
+		work <- g
 	}
 	close(work)
 	wg.Wait()

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"mbasolver/internal/expr"
 	"mbasolver/internal/gen"
+	"mbasolver/internal/parser"
 	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
 )
@@ -90,6 +92,49 @@ func TestSimplifyAllParallel(t *testing.T) {
 	for _, s := range samples {
 		if out[s.ID] == nil {
 			t.Errorf("sample %d: nil simplification", s.ID)
+		}
+	}
+}
+
+// TestSimplifyAllDedupesByHash: samples whose obfuscated sides share a
+// canonical hash — including commutative reorderings — are simplified
+// once and share the resulting expression.
+func TestSimplifyAllDedupesByHash(t *testing.T) {
+	mk := func(src string) *expr.Expr {
+		e, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		return e
+	}
+	ground := mk("x+y")
+	samples := []gen.Sample{
+		{ID: 0, Obfuscated: mk("2*(x|y) - (~x&y) - (x&~y)"), Ground: ground},
+		// Same canonical form as sample 0: commutative operands swapped.
+		{ID: 1, Obfuscated: mk("2*(y|x) - (y&~x) - (~y&x)"), Ground: ground},
+		// A genuinely different expression.
+		{ID: 2, Obfuscated: mk("(x|y)+(x&y)"), Ground: ground},
+	}
+	if expr.Hash(samples[0].Obfuscated) != expr.Hash(samples[1].Obfuscated) {
+		t.Fatal("test premise broken: samples 0 and 1 should share a canonical hash")
+	}
+
+	out := SimplifyAll(samples, 4)
+	if len(out) != len(samples) {
+		t.Fatalf("got %d results, want %d", len(out), len(samples))
+	}
+	// The digest group is simplified once, so members share the result.
+	if out[0] != out[1] {
+		t.Errorf("hash-equal samples got distinct simplifications: %s vs %s", out[0], out[1])
+	}
+	// Every returned expression is a correct simplification.
+	for id, e := range out {
+		if e == nil {
+			t.Fatalf("sample %d: nil simplification", id)
+		}
+		res := smt.NewZ3Sim().CheckEquiv(e, ground, 8, smt.Budget{Conflicts: 100000})
+		if res.Status != smt.Equivalent {
+			t.Errorf("sample %d: simplified form %s not equivalent to ground truth (%v)", id, e, res.Status)
 		}
 	}
 }

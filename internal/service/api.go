@@ -1,0 +1,270 @@
+// Package service implements mbaserved: a long-running HTTP/JSON
+// simplify-and-solve service over the MBA-Solver pipeline and the
+// in-tree SMT personalities. It provides
+//
+//   - POST /v1/simplify  — MBA-Solver simplification (optionally verified)
+//   - POST /v1/solve     — equivalence check with witness, single
+//     personality or the racing portfolio
+//   - POST /v1/classify  — complexity metrics and canonical hash
+//   - GET  /healthz      — liveness and admission state
+//   - GET  /debug/metrics — counters, gauges and latency histograms
+//
+// Requests are admitted into a bounded queue feeding a fixed worker
+// pool; when the queue is full the server sheds load with 429 (or 503
+// while shutting down) plus Retry-After instead of queueing without
+// bound. Per-request deadlines and client disconnects are mapped onto
+// smt.Budget — a dropped connection raises Budget.Stop and the solver
+// returns within milliseconds, keeping the worker reusable. Definitive
+// verdicts and simplification results are cached in an LRU keyed by the
+// canonical structural hash of internal/expr.
+//
+// This file defines the wire types. They are shared verbatim with the
+// CLI front-ends (mbasolver -json, mbasmt -json) so scripted consumers
+// see one schema regardless of transport.
+package service
+
+import (
+	"time"
+
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/portfolio"
+	"mbasolver/internal/smt"
+)
+
+// ExprMetrics is the wire form of the paper's complexity metrics
+// (metrics.Metrics).
+type ExprMetrics struct {
+	Kind        string `json:"kind"` // linear | poly | nonpoly
+	NumVars     int    `json:"num_vars"`
+	Alternation int    `json:"alternation"`
+	Length      int    `json:"length"`
+	NumTerms    int    `json:"num_terms"`
+	MaxCoeff    uint64 `json:"max_coeff"`
+}
+
+// MetricsOf converts analyzer metrics to the wire form.
+func MetricsOf(m metrics.Metrics) ExprMetrics {
+	return ExprMetrics{
+		Kind:        m.Kind.String(),
+		NumVars:     m.NumVars,
+		Alternation: m.Alternation,
+		Length:      m.Length,
+		NumTerms:    m.NumTerms,
+		MaxCoeff:    m.MaxCoeff,
+	}
+}
+
+// SimplifyRequest asks for MBA-Solver simplification of one expression.
+type SimplifyRequest struct {
+	Expr string `json:"expr"`
+	// Width is the ring width 1..64; 0 means the server default (64).
+	Width uint `json:"width,omitempty"`
+	// Basis selects the normalization basis: "conj" (default) or "disj".
+	Basis string `json:"basis,omitempty"`
+	// Verify additionally proves input == output with the solver; the
+	// proof runs under the same admission slot and deadline.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// SimplifyResponse reports one simplification.
+type SimplifyResponse struct {
+	Input      string      `json:"input"`      // canonical rendering of the parsed input
+	Simplified string      `json:"simplified"` // canonical rendering of the result
+	Width      uint        `json:"width"`
+	Basis      string      `json:"basis"`
+	Before     ExprMetrics `json:"before"`
+	After      ExprMetrics `json:"after"`
+	// Hash is the canonical structural digest of the input — the cache
+	// key, exposed so clients can correlate and pre-key their own caches.
+	Hash      string         `json:"hash"`
+	Cached    bool           `json:"cached"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Verify    *SolveResponse `json:"verify,omitempty"` // present when requested
+}
+
+// SolveRequest asks for an equivalence check between two expressions.
+type SolveRequest struct {
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Width uint   `json:"width,omitempty"` // 1..64, 0 = server default
+	// Solver picks a personality (z3sim | stpsim | btorsim); empty means
+	// the server default (btorsim). Ignored when Portfolio is set.
+	Solver string `json:"solver,omitempty"`
+	// Portfolio races all personalities, first definitive verdict wins.
+	Portfolio bool `json:"portfolio,omitempty"`
+	// Simplify runs MBA-Solver on both sides first (the paper's
+	// recommended pipeline).
+	Simplify bool `json:"simplify,omitempty"`
+	// TimeoutMS bounds the query wall clock; 0 means the server default,
+	// and values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Conflicts bounds CDCL conflicts for deterministic effort limits
+	// (0 = unlimited within the wall clock).
+	Conflicts int64 `json:"conflicts,omitempty"`
+}
+
+// EngineStats reports one personality's run inside a portfolio query.
+type EngineStats struct {
+	Solver       string  `json:"solver"`
+	Verdict      string  `json:"verdict"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	Conflicts    int64   `json:"conflicts"`
+	Propagations int64   `json:"propagations"`
+	Rewritten    bool    `json:"rewritten,omitempty"`
+	Cancelled    bool    `json:"cancelled,omitempty"`
+	Won          bool    `json:"won,omitempty"`
+}
+
+// EnginesOf converts portfolio engine reports to the wire form.
+func EnginesOf(engines []portfolio.Engine) []EngineStats {
+	if len(engines) == 0 {
+		return nil
+	}
+	out := make([]EngineStats, len(engines))
+	for i, e := range engines {
+		out[i] = EngineStats{
+			Solver:       e.Solver,
+			Verdict:      e.Verdict,
+			ElapsedMS:    durMS(e.Elapsed),
+			Conflicts:    e.Conflicts,
+			Propagations: e.Propagations,
+			Rewritten:    e.Rewritten,
+			Cancelled:    e.Cancelled,
+			Won:          e.Won,
+		}
+	}
+	return out
+}
+
+// SolveResponse reports one equivalence verdict.
+type SolveResponse struct {
+	// Status is equivalent | not-equivalent | timeout (smt.Status
+	// strings).
+	Status string `json:"status"`
+	// Witness is a distinguishing assignment when not equivalent.
+	Witness map[string]uint64 `json:"witness,omitempty"`
+	// Solver is the personality that produced the verdict (the portfolio
+	// winner when racing; empty if every engine timed out).
+	Solver       string `json:"solver,omitempty"`
+	Width        uint   `json:"width"`
+	Conflicts    int64  `json:"conflicts"`
+	Propagations int64  `json:"propagations"`
+	// Rewritten means the verdict came from word-level rewriting alone.
+	Rewritten bool          `json:"rewritten,omitempty"`
+	Cached    bool          `json:"cached"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Engines   []EngineStats `json:"engines,omitempty"` // per-engine stats when racing
+}
+
+// ClassifyRequest asks for the complexity metrics of one expression.
+type ClassifyRequest struct {
+	Expr  string `json:"expr"`
+	Width uint   `json:"width,omitempty"` // reserved; classification is width-independent
+}
+
+// ClassifyResponse reports metrics and the canonical hash.
+type ClassifyResponse struct {
+	Input     string      `json:"input"`
+	Metrics   ExprMetrics `json:"metrics"`
+	Hash      string      `json:"hash"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+// SatResponse is the machine-readable form of an SMT-LIB
+// satisfiability run (mbasmt -json). It is defined here, next to the
+// solve types, so CLI and service share one schema for solver output.
+type SatResponse struct {
+	// Status is sat | unsat | unknown (smt.SatStatus strings).
+	Status string `json:"status"`
+	// Model is a satisfying assignment when sat.
+	Model map[string]uint64 `json:"model,omitempty"`
+	// Solver is the personality (or portfolio winner) that answered.
+	Solver       string        `json:"solver,omitempty"`
+	Conflicts    int64         `json:"conflicts"`
+	Propagations int64         `json:"propagations"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	Engines      []EngineStats `json:"engines,omitempty"`
+}
+
+// SatResponseOf converts a solver result to the wire form.
+func SatResponseOf(res smt.SatResult, solver string) SatResponse {
+	return SatResponse{
+		Status:       res.Status.String(),
+		Model:        res.Model,
+		Solver:       solver,
+		Conflicts:    res.Conflicts,
+		Propagations: res.Propagations,
+		ElapsedMS:    durMS(res.Elapsed),
+	}
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterMS accompanies 429/503 overload answers and mirrors the
+	// Retry-After header.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "shutting-down"
+}
+
+// HistogramBucket is one cumulative latency bucket (le in
+// milliseconds; +Inf encoded as 0 with Inf set).
+type HistogramBucket struct {
+	LE    float64 `json:"le_ms,omitempty"`
+	Inf   bool    `json:"inf,omitempty"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a latency distribution.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	SumMS   float64           `json:"sum_ms"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// EndpointSnapshot aggregates one endpoint's traffic.
+type EndpointSnapshot struct {
+	Requests int64             `json:"requests"`
+	Errors   int64             `json:"errors"` // 4xx + 5xx
+	Latency  HistogramSnapshot `json:"latency"`
+}
+
+// CacheSnapshot reports the verdict/simplification cache.
+type CacheSnapshot struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"` // hits / (hits+misses), 0 when idle
+}
+
+// PoolSnapshot reports the worker pool and admission queue.
+type PoolSnapshot struct {
+	Workers       int   `json:"workers"`
+	InFlight      int64 `json:"in_flight"`
+	MaxInFlight   int64 `json:"max_in_flight"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	Admitted      int64 `json:"admitted"`
+	Rejected      int64 `json:"rejected"`  // 429s
+	Cancelled     int64 `json:"cancelled"` // client went away before/while running
+}
+
+// MetricsSnapshot is the /debug/metrics body.
+type MetricsSnapshot struct {
+	UptimeMS   float64                     `json:"uptime_ms"`
+	Goroutines int                         `json:"goroutines"`
+	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
+	Cache      CacheSnapshot               `json:"cache"`
+	Pool       PoolSnapshot                `json:"pool"`
+	// Verdicts counts outcomes per solver personality, e.g.
+	// {"btorsim": {"equivalent": 12, "timeout": 1}}.
+	Verdicts map[string]map[string]int64 `json:"verdicts"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,94 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before overflow")
+	}
+	// a is now most recently used; inserting c must evict b.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s missing after eviction of b", k)
+		}
+	}
+	s := c.Snapshot()
+	if s.Evictions != 1 || s.Entries != 2 || s.Capacity != 2 {
+		t.Fatalf("snapshot %+v, want 1 eviction, 2 entries, capacity 2", s)
+	}
+}
+
+func TestCacheRefreshExistingKey(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("duplicate Put grew the cache to %d entries", c.Len())
+	}
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("Get(k) = %v, %t; want refreshed value 2", v, ok)
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	c := NewCache(4)
+	c.Put("x", 1)
+	c.Get("x")
+	c.Get("x")
+	c.Get("missing")
+	s := c.Snapshot()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", s.Hits, s.Misses)
+	}
+	if want := 2.0 / 3.0; s.HitRate < want-1e-9 || s.HitRate > want+1e-9 {
+		t.Fatalf("hit rate %f, want %f", s.HitRate, want)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; the race
+// detector is the assertion.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%100)
+				if i%3 == 0 {
+					c.Put(k, i)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Fatalf("cache overflowed capacity: %d entries", c.Len())
+	}
+}

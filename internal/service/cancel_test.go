@@ -1,0 +1,167 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"mbasolver/internal/service"
+	"mbasolver/internal/service/client"
+)
+
+// hardSolve is a request the solvers cannot decide within any test
+// budget: the paper's Figure-1 polynomial identity at width 64 (the
+// same query internal/smt's cancellation tests use).
+func hardSolve(timeoutMS int64) service.SolveRequest {
+	return service.SolveRequest{
+		A: "x*y", B: "(x&~y)*(~x&y) + (x&y)*(x|y)", Width: 64,
+		TimeoutMS: timeoutMS, Conflicts: 1 << 40,
+	}
+}
+
+// TestConnectionDropCancelsSolve is the regression test for the wiring
+// of HTTP request contexts into smt.Budget.Stop: a client that hangs
+// up mid-solve must (a) free the worker within the solver's
+// cancellation latency, not the request's 60s budget, and (b) leave
+// the pooled worker reusable for the next request.
+func TestConnectionDropCancelsSolve(t *testing.T) {
+	svc, cl := newTestServer(t, service.Config{Workers: 1, MaxTimeout: time.Minute})
+
+	reqCtx, hangUp := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := cl.Solve(reqCtx, hardSolve(60_000))
+		errc <- err
+	}()
+	waitInFlight(t, svc, 1)
+
+	// Drop the connection. The server's context watcher raises the
+	// budget stop flag; the CDCL loop observes it within its check
+	// interval (milliseconds), so the pool drains well under a second —
+	// a bound that is ~2x the cancellation latency with heavy slack for
+	// race-detector scheduling, and 60x under the request budget.
+	hangUp()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+	drainStart := time.Now()
+	deadline := drainStart.Add(time.Second)
+	for svc.Metrics().Pool.InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker still busy %v after hang-up", time.Since(drainStart))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := svc.Metrics().Pool.Cancelled; got < 1 {
+		t.Fatalf("cancelled counter = %d, want >= 1", got)
+	}
+
+	// The single worker must be reusable: a fresh easy query succeeds.
+	resp, err := cl.Solve(context.Background(), service.SolveRequest{A: "x^y", B: "(x|y)-(x&y)", Width: 8})
+	if err != nil {
+		t.Fatalf("post-cancel solve: %v", err)
+	}
+	if resp.Status != "equivalent" {
+		t.Fatalf("post-cancel solve = %s, want equivalent", resp.Status)
+	}
+}
+
+// TestClientGoneWhileQueued: a request whose client disconnects while
+// still waiting in the queue is skipped, not executed.
+func TestClientGoneWhileQueued(t *testing.T) {
+	svc, cl := newTestServer(t, service.Config{Workers: 1, QueueDepth: 4, MaxTimeout: time.Minute})
+
+	// Occupy the only worker.
+	blockCtx, unblock := context.WithCancel(context.Background())
+	defer unblock()
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := cl.Solve(blockCtx, hardSolve(2_000))
+		blocked <- err
+	}()
+	waitInFlight(t, svc, 1)
+
+	// Queue a second request, then hang up before a worker gets to it.
+	qCtx, qCancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := cl.Solve(qCtx, hardSolve(2_000))
+		queued <- err
+	}()
+	waitQueueDepth(t, svc, 1)
+	qCancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued client error = %v, want context.Canceled", err)
+	}
+
+	unblock()
+	<-blocked
+	deadline := time.Now().Add(2 * time.Second)
+	for svc.Metrics().Pool.InFlight != 0 || svc.Metrics().Pool.QueueDepth != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pool did not drain after cancellations")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := svc.Metrics().Pool.Cancelled; got < 2 {
+		t.Fatalf("cancelled counter = %d, want >= 2", got)
+	}
+}
+
+// TestAdmissionControl: with a one-worker, one-slot configuration the
+// third concurrent request is shed with 429 and a Retry-After hint
+// instead of queueing without bound.
+func TestAdmissionControl(t *testing.T) {
+	svc, cl := newTestServer(t, service.Config{Workers: 1, QueueDepth: 1, MaxTimeout: time.Minute})
+	ctx := context.Background()
+
+	running := make(chan error, 2)
+	go func() {
+		_, err := cl.Solve(ctx, hardSolve(3_000))
+		running <- err
+	}()
+	waitInFlight(t, svc, 1)
+	go func() {
+		_, err := cl.Solve(ctx, hardSolve(3_000))
+		running <- err
+	}()
+	waitQueueDepth(t, svc, 1)
+
+	// Worker busy, queue full: this one must bounce immediately.
+	start := time.Now()
+	_, err := cl.Solve(ctx, hardSolve(3_000))
+	se, ok := err.(*client.StatusError)
+	if !ok || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload answer = %v, want 429", err)
+	}
+	if !se.Overloaded() || se.RetryAfter <= 0 {
+		t.Fatalf("429 carried no usable Retry-After: %+v", se)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shed request took %v; admission must reject without queueing", elapsed)
+	}
+	if got := svc.Metrics().Pool.Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	// The admitted pair completes (as timeouts) once budgets lapse.
+	for i := 0; i < 2; i++ {
+		if err := <-running; err != nil {
+			t.Fatalf("admitted request %d: %v", i, err)
+		}
+	}
+}
+
+// waitQueueDepth polls until the admission queue holds n tasks.
+func waitQueueDepth(t *testing.T, svc *service.Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Metrics().Pool.QueueDepth < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached depth %d (now %d)", n, svc.Metrics().Pool.QueueDepth)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

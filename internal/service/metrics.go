@@ -1,0 +1,165 @@
+package service
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the cumulative histogram bounds in milliseconds.
+// Log-spaced from sub-millisecond cache hits up to the multi-second
+// solver budgets; everything slower lands in the +Inf bucket.
+var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters.
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64 // last = +Inf
+	count  atomic.Int64
+	sumUS  atomic.Int64 // microseconds; avoids float atomics
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for ; i < len(latencyBucketsMS); i++ {
+		if ms <= latencyBucketsMS[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(int64(d / time.Microsecond))
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumMS:   float64(h.sumUS.Load()) / 1000,
+		Buckets: make([]HistogramBucket, 0, len(latencyBucketsMS)+1),
+	}
+	cum := int64(0)
+	for i, le := range latencyBucketsMS {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: cum})
+	}
+	cum += h.counts[len(latencyBucketsMS)].Load()
+	s.Buckets = append(s.Buckets, HistogramBucket{Inf: true, Count: cum})
+	return s
+}
+
+// endpointMetrics tracks one endpoint's traffic.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	latency  histogram
+}
+
+// serverMetrics aggregates every counter the service exports on
+// /debug/metrics. Endpoint slots are pre-registered at construction so
+// the hot path is lock-free; the verdict map is the one mutex-guarded
+// piece (low write rate: one update per completed solve).
+type serverMetrics struct {
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+
+	admitted  atomic.Int64
+	rejected  atomic.Int64
+	cancelled atomic.Int64
+
+	inFlight    atomic.Int64
+	maxInFlight atomic.Int64
+
+	mu       sync.Mutex
+	verdicts map[string]map[string]int64
+}
+
+func newServerMetrics(endpoints ...string) *serverMetrics {
+	m := &serverMetrics{
+		start:     time.Now(),
+		endpoints: make(map[string]*endpointMetrics, len(endpoints)),
+		verdicts:  map[string]map[string]int64{},
+	}
+	for _, ep := range endpoints {
+		m.endpoints[ep] = &endpointMetrics{}
+	}
+	return m
+}
+
+// observe records one finished request. Unknown endpoints are dropped
+// rather than allocated, keeping the cardinality fixed.
+func (m *serverMetrics) observe(endpoint string, status int, elapsed time.Duration) {
+	ep, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	ep.requests.Add(1)
+	if status >= 400 {
+		ep.errors.Add(1)
+	}
+	ep.latency.observe(elapsed)
+}
+
+// verdict counts one solver outcome, keyed by personality (or the
+// portfolio winner) and status string.
+func (m *serverMetrics) verdict(solver, status string) {
+	if solver == "" {
+		solver = "none"
+	}
+	m.mu.Lock()
+	per := m.verdicts[solver]
+	if per == nil {
+		per = map[string]int64{}
+		m.verdicts[solver] = per
+	}
+	per[status]++
+	m.mu.Unlock()
+}
+
+// enterFlight marks a task as running and maintains the high-water
+// mark; the returned function ends the flight.
+func (m *serverMetrics) enterFlight() func() {
+	n := m.inFlight.Add(1)
+	for {
+		max := m.maxInFlight.Load()
+		if n <= max || m.maxInFlight.CompareAndSwap(max, n) {
+			break
+		}
+	}
+	return func() { m.inFlight.Add(-1) }
+}
+
+// snapshot assembles the exported view; cache and queue state are
+// owned by the server and passed in.
+func (m *serverMetrics) snapshot(cache CacheSnapshot, pool PoolSnapshot) MetricsSnapshot {
+	s := MetricsSnapshot{
+		UptimeMS:   float64(time.Since(m.start)) / float64(time.Millisecond),
+		Goroutines: runtime.NumGoroutine(),
+		Endpoints:  make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Cache:      cache,
+		Pool:       pool,
+		Verdicts:   map[string]map[string]int64{},
+	}
+	for name, ep := range m.endpoints {
+		s.Endpoints[name] = EndpointSnapshot{
+			Requests: ep.requests.Load(),
+			Errors:   ep.errors.Load(),
+			Latency:  ep.latency.snapshot(),
+		}
+	}
+	s.Pool.InFlight = m.inFlight.Load()
+	s.Pool.MaxInFlight = m.maxInFlight.Load()
+	s.Pool.Admitted = m.admitted.Load()
+	s.Pool.Rejected = m.rejected.Load()
+	s.Pool.Cancelled = m.cancelled.Load()
+	m.mu.Lock()
+	for solver, per := range m.verdicts {
+		cp := make(map[string]int64, len(per))
+		for k, v := range per {
+			cp[k] = v
+		}
+		s.Verdicts[solver] = cp
+	}
+	m.mu.Unlock()
+	return s
+}

@@ -1,0 +1,687 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbasolver/internal/core"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/metrics"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/portfolio"
+	"mbasolver/internal/smt"
+)
+
+// Config sizes the service. The zero value yields sensible defaults.
+type Config struct {
+	// Workers is the solver pool size (default NumCPU). It bounds the
+	// number of concurrently executing queries.
+	Workers int
+	// QueueDepth bounds the admission queue (default 4×Workers). A full
+	// queue sheds load with 429 instead of queueing without bound.
+	QueueDepth int
+	// CacheSize is the verdict/simplification LRU capacity in entries
+	// (default 4096; negative disables caching).
+	CacheSize int
+	// DefaultTimeout bounds a query when the request does not pick one
+	// (default 5s); MaxTimeout clamps requested budgets (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// DefaultConflicts is the CDCL conflict budget applied when a solve
+	// request does not set one (default 2,000,000, matching the public
+	// API's CheckEquivalence budget). Zero keeps requests unlimited
+	// within their wall clock.
+	DefaultConflicts int64
+	// DefaultWidth is the ring width used when requests omit one
+	// (default 64).
+	DefaultWidth uint
+	// RetryAfter is the backoff hint attached to 429/503 answers
+	// (default 1s).
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.DefaultConflicts == 0 {
+		c.DefaultConflicts = 2_000_000
+	}
+	if c.DefaultWidth == 0 || c.DefaultWidth > 64 {
+		c.DefaultWidth = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// Endpoint paths, shared with the client package and the CLIs.
+const (
+	PathSimplify = "/v1/simplify"
+	PathSolve    = "/v1/solve"
+	PathClassify = "/v1/classify"
+	PathHealth   = "/healthz"
+	PathMetrics  = "/debug/metrics"
+)
+
+var (
+	errOverloaded   = errors.New("admission queue full")
+	errShuttingDown = errors.New("server is shutting down")
+)
+
+// task is one admitted unit of work. The worker runs it under a
+// per-task stop flag wired to both the request context and server
+// shutdown, and always closes done.
+type task struct {
+	ctx      context.Context
+	deadline time.Time // absolute request deadline, set at admission
+	run      func(w *workerCtx)
+	done     chan struct{}
+}
+
+// simpKey identifies one simplifier configuration; each worker keeps a
+// private simplifier per configuration because core.Simplifier is not
+// goroutine-safe but amortizes its signature table across calls.
+type simpKey struct {
+	width uint
+	disj  bool
+}
+
+// workerCtx is the per-worker state handed to task closures.
+type workerCtx struct {
+	stop  *atomic.Bool
+	simps map[simpKey]*core.Simplifier
+}
+
+func (w *workerCtx) simplifier(width uint, disj bool) *core.Simplifier {
+	k := simpKey{width, disj}
+	s := w.simps[k]
+	if s == nil {
+		basis := core.BasisConjunction
+		if disj {
+			basis = core.BasisDisjunction
+		}
+		s = core.New(core.Options{Width: width, Basis: basis})
+		w.simps[k] = s
+	}
+	return s
+}
+
+// Server is the simplify-and-solve service. Create with New, mount via
+// Handler (or ServeHTTP), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	met     *serverMetrics
+	cache   *Cache
+	queue   chan *task
+	down    chan struct{} // closed on shutdown; cancels in-flight budgets
+	closing atomic.Bool
+	admitMu sync.RWMutex // write-held once by Shutdown to fence admissions
+	wg      sync.WaitGroup
+	solvers map[string]*smt.Solver
+	all     []*smt.Solver // portfolio line-up, paper column order
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		met:     newServerMetrics(PathSimplify, PathSolve, PathClassify, PathHealth, PathMetrics),
+		cache:   NewCache(cfg.CacheSize),
+		queue:   make(chan *task, cfg.QueueDepth),
+		down:    make(chan struct{}),
+		solvers: map[string]*smt.Solver{},
+		mux:     http.NewServeMux(),
+	}
+	s.all = smt.All()
+	for _, sv := range s.all {
+		s.solvers[sv.Name()] = sv
+	}
+	s.mux.HandleFunc(PathSimplify, s.handleSimplify)
+	s.mux.HandleFunc(PathSolve, s.handleSolve)
+	s.mux.HandleFunc(PathClassify, s.handleClassify)
+	s.mux.HandleFunc(PathHealth, s.handleHealth)
+	s.mux.HandleFunc(PathMetrics, s.handleMetrics)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler for mounting under an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler directly.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Metrics returns the current metrics snapshot (the /debug/metrics
+// body), for in-process consumers like tests and the selfcheck.
+func (s *Server) Metrics() MetricsSnapshot {
+	pool := PoolSnapshot{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+	}
+	return s.met.snapshot(s.cache.Snapshot(), pool)
+}
+
+// Shutdown stops admitting work, cancels in-flight solves via their
+// budget stop flags, drains the queue (pre-admitted tasks finish
+// immediately under a raised stop flag) and waits for the workers, or
+// for ctx. It is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	// The write lock fences the admission fast path: after it is
+	// released every submit either saw closing=true or already has its
+	// task in the queue, where the drain loop will find it.
+	s.admitMu.Lock()
+	already := s.closing.Swap(true)
+	s.admitMu.Unlock()
+	if !already {
+		close(s.down)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	w := &workerCtx{simps: map[simpKey]*core.Simplifier{}}
+	for {
+		select {
+		case t := <-s.queue:
+			s.runTask(w, t)
+		case <-s.down:
+			// Drain tasks admitted before the shutdown fence; their stop
+			// flags are pre-raised so each returns within milliseconds.
+			for {
+				select {
+				case t := <-s.queue:
+					s.runTask(w, t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one task with a stop flag wired to the request
+// context (connection drop → Budget.Stop) and to server shutdown.
+func (s *Server) runTask(w *workerCtx, t *task) {
+	defer close(t.done)
+	if t.ctx.Err() != nil {
+		// Client went away while the task sat in the queue.
+		s.met.cancelled.Add(1)
+		return
+	}
+	var stop atomic.Bool
+	select {
+	case <-s.down:
+		stop.Store(true)
+	default:
+	}
+	unwatch := make(chan struct{})
+	go func() {
+		select {
+		case <-t.ctx.Done():
+			stop.Store(true)
+			s.met.cancelled.Add(1)
+		case <-s.down:
+			stop.Store(true)
+		case <-unwatch:
+		}
+	}()
+	defer close(unwatch)
+	exit := s.met.enterFlight()
+	defer exit()
+	w.stop = &stop
+	t.run(w)
+}
+
+// submit admits a task, returning errOverloaded (429) on a full queue
+// or errShuttingDown (503) once Shutdown has begun. On success it
+// blocks until the worker finishes the task; if the request context
+// dies first the worker observes it through the stop flag and finishes
+// promptly, so the extra wait is bounded by the solver's cancellation
+// latency (milliseconds).
+func (s *Server) submit(ctx context.Context, deadline time.Time, run func(*workerCtx)) error {
+	t := &task{ctx: ctx, deadline: deadline, run: run, done: make(chan struct{})}
+	s.admitMu.RLock()
+	if s.closing.Load() {
+		s.admitMu.RUnlock()
+		return errShuttingDown
+	}
+	select {
+	case s.queue <- t:
+		s.admitMu.RUnlock()
+		s.met.admitted.Add(1)
+	default:
+		s.admitMu.RUnlock()
+		s.met.rejected.Add(1)
+		return errOverloaded
+	}
+	select {
+	case <-t.done:
+		return nil
+	case <-ctx.Done():
+		<-t.done
+		return ctx.Err()
+	}
+}
+
+// ---- request plumbing ----------------------------------------------
+
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	resp := ErrorResponse{Error: msg}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		retry := s.cfg.RetryAfter
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64((retry+time.Second-1)/time.Second)))
+		resp.RetryAfterMS = retry.Milliseconds()
+	}
+	writeJSON(w, status, resp)
+}
+
+// decode reads a JSON body with a size cap. It rejects non-POST
+// methods and malformed JSON.
+func decode(w http.ResponseWriter, r *http.Request, v any) error {
+	if r.Method != http.MethodPost {
+		return fmt.Errorf("method %s not allowed (use POST)", r.Method)
+	}
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) width(req uint) (uint, error) {
+	if req == 0 {
+		return s.cfg.DefaultWidth, nil
+	}
+	if req > 64 {
+		return 0, fmt.Errorf("width %d out of range (1..64)", req)
+	}
+	return req, nil
+}
+
+// timeout resolves a requested budget to a concrete duration: the
+// server default when unset, clamped to the server maximum.
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// submitErrorStatus maps admission failures to HTTP status codes. A
+// dead client gets the nginx-style 499 for metrics only (the write is
+// never seen).
+func submitErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return 499
+	}
+}
+
+func parseBasis(basis string) (disj bool, err error) {
+	switch basis {
+	case "", "conj":
+		return false, nil
+	case "disj":
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown basis %q (want conj or disj)", basis)
+	}
+}
+
+// ---- cache keys ----------------------------------------------------
+
+// solveKey is purely semantic: the verdict of "a == b at width w" does
+// not depend on the personality, the budget or preprocessing, so all
+// solve variants share cache entries, and the two sides are order-
+// normalized because equivalence is symmetric.
+func solveKey(width uint, da, db expr.Digest) string {
+	ka, kb := da.String(), db.String()
+	if kb < ka {
+		ka, kb = kb, ka
+	}
+	return fmt.Sprintf("solve|w%d|%s|%s", width, ka, kb)
+}
+
+func simplifyKey(width uint, disj, verify bool, d expr.Digest) string {
+	return fmt.Sprintf("simplify|w%d|disj%t|v%t|%s", width, disj, verify, d)
+}
+
+// ---- handlers ------------------------------------------------------
+
+func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(PathSimplify, status, time.Since(start)) }()
+
+	var req SimplifyRequest
+	if err := decode(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	width, err := s.width(req.Width)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	disj, err := parseBasis(req.Basis)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	e, err := parser.Parse(req.Expr)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, fmt.Sprintf("expr: %v", err))
+		return
+	}
+
+	digest := expr.Hash(e)
+	key := simplifyKey(width, disj, req.Verify, digest)
+	if v, ok := s.cache.Get(key); ok {
+		resp := *v.(*SimplifyResponse)
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
+		return
+	}
+
+	deadline := start.Add(s.timeout(0))
+	var resp *SimplifyResponse
+	err = s.submit(r.Context(), deadline, func(wc *workerCtx) {
+		simplified := wc.simplifier(width, disj).Simplify(e)
+		basis := "conj"
+		if disj {
+			basis = "disj"
+		}
+		resp = &SimplifyResponse{
+			Input:      e.String(),
+			Simplified: simplified.String(),
+			Width:      width,
+			Basis:      basis,
+			Before:     MetricsOf(metrics.Measure(e)),
+			After:      MetricsOf(metrics.Measure(simplified)),
+			Hash:       digest.String(),
+		}
+		if req.Verify {
+			resp.Verify = s.runSolve(wc, e, simplified, width, solveSpec{
+				solver:    "",
+				conflicts: s.cfg.DefaultConflicts,
+				deadline:  deadline,
+			})
+		}
+	})
+	if err != nil {
+		status = submitErrorStatus(err)
+		s.writeError(w, status, err.Error())
+		return
+	}
+	// Simplification is deterministic, so the entry is always valid;
+	// only a timed-out verification makes it budget-dependent, and such
+	// responses stay uncached so a retry gets a fresh proof attempt.
+	if resp.Verify == nil || resp.Verify.Status != smt.Timeout.String() {
+		s.cache.Put(key, resp)
+	}
+	out := *resp
+	out.ElapsedMS = durMS(time.Since(start))
+	writeJSON(w, status, &out)
+}
+
+// solveSpec bundles the execution parameters of one equivalence query.
+type solveSpec struct {
+	solver    string // personality name; "" = default, ignored if portfolio
+	portfolio bool
+	simplify  bool
+	conflicts int64
+	deadline  time.Time
+}
+
+// runSolve executes one equivalence query on the worker, observing the
+// task's stop flag and absolute deadline, and records the verdict
+// metrics.
+func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solveSpec) *SolveResponse {
+	remaining := time.Until(spec.deadline)
+	if remaining <= 0 || wc.stop.Load() {
+		resp := &SolveResponse{Status: smt.Timeout.String(), Width: width}
+		s.met.verdict("none", resp.Status)
+		return resp
+	}
+	if spec.simplify {
+		simp := wc.simplifier(width, false)
+		a, b = simp.Simplify(a), simp.Simplify(b)
+	}
+	budget := smt.Budget{
+		Timeout:   remaining,
+		Conflicts: spec.conflicts,
+		Stop:      wc.stop,
+	}
+	resp := &SolveResponse{Width: width}
+	if spec.portfolio {
+		res := portfolio.CheckEquiv(s.all, a, b, width, budget)
+		resp.Status = res.Status.String()
+		resp.Witness = res.Witness
+		resp.Solver = res.Winner
+		resp.Conflicts = res.Conflicts
+		resp.Propagations = res.Propagations
+		resp.Rewritten = res.Rewritten
+		resp.Engines = EnginesOf(res.Engines)
+		resp.ElapsedMS = durMS(res.Elapsed)
+		if res.Winner != "" {
+			s.met.verdict(res.Winner, resp.Status)
+		} else {
+			s.met.verdict(portfolio.Name, resp.Status)
+		}
+	} else {
+		name := spec.solver
+		if name == "" {
+			name = "btorsim"
+		}
+		res := s.solvers[name].CheckEquiv(a, b, width, budget)
+		resp.Status = res.Status.String()
+		resp.Witness = res.Witness
+		resp.Solver = name
+		resp.Conflicts = res.Conflicts
+		resp.Propagations = res.Propagations
+		resp.Rewritten = res.Rewritten
+		resp.ElapsedMS = durMS(res.Elapsed)
+		s.met.verdict(name, resp.Status)
+	}
+	return resp
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(PathSolve, status, time.Since(start)) }()
+
+	var req SolveRequest
+	if err := decode(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	width, err := s.width(req.Width)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	if !req.Portfolio && req.Solver != "" {
+		if _, ok := s.solvers[req.Solver]; !ok {
+			status = http.StatusBadRequest
+			s.writeError(w, status, fmt.Sprintf("unknown solver %q (want z3sim, stpsim or btorsim)", req.Solver))
+			return
+		}
+	}
+	if req.TimeoutMS < 0 || req.Conflicts < 0 {
+		status = http.StatusBadRequest
+		s.writeError(w, status, "timeout_ms and conflicts must be non-negative")
+		return
+	}
+	a, err := parser.Parse(req.A)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, fmt.Sprintf("a: %v", err))
+		return
+	}
+	b, err := parser.Parse(req.B)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, fmt.Sprintf("b: %v", err))
+		return
+	}
+
+	key := solveKey(width, expr.Hash(a), expr.Hash(b))
+	if v, ok := s.cache.Get(key); ok {
+		resp := *v.(*SolveResponse)
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
+		return
+	}
+
+	conflicts := req.Conflicts
+	if conflicts == 0 {
+		conflicts = s.cfg.DefaultConflicts
+	}
+	deadline := start.Add(s.timeout(req.TimeoutMS))
+	var resp *SolveResponse
+	err = s.submit(r.Context(), deadline, func(wc *workerCtx) {
+		resp = s.runSolve(wc, a, b, width, solveSpec{
+			solver:    req.Solver,
+			portfolio: req.Portfolio,
+			simplify:  req.Simplify,
+			conflicts: conflicts,
+			deadline:  deadline,
+		})
+	})
+	if err != nil {
+		status = submitErrorStatus(err)
+		s.writeError(w, status, err.Error())
+		return
+	}
+	// Verdicts are semantic facts; timeouts are budget artifacts. Cache
+	// only the former.
+	if resp.Status != smt.Timeout.String() {
+		s.cache.Put(key, resp)
+	}
+	out := *resp
+	out.ElapsedMS = durMS(time.Since(start))
+	writeJSON(w, status, &out)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(PathClassify, status, time.Since(start)) }()
+
+	var req ClassifyRequest
+	if err := decode(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	e, err := parser.Parse(req.Expr)
+	if err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, fmt.Sprintf("expr: %v", err))
+		return
+	}
+
+	// Classification shares the admission path so overload protection is
+	// uniform across endpoints, even though the work is cheap.
+	deadline := start.Add(s.timeout(0))
+	var resp *ClassifyResponse
+	err = s.submit(r.Context(), deadline, func(wc *workerCtx) {
+		resp = &ClassifyResponse{
+			Input:   e.String(),
+			Metrics: MetricsOf(metrics.Measure(e)),
+			Hash:    expr.HashString(e),
+		}
+	})
+	if err != nil {
+		status = submitErrorStatus(err)
+		s.writeError(w, status, err.Error())
+		return
+	}
+	resp.ElapsedMS = durMS(time.Since(start))
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	resp := HealthResponse{Status: "ok"}
+	if s.closing.Load() {
+		status = http.StatusServiceUnavailable
+		resp.Status = "shutting-down"
+	}
+	writeJSON(w, status, resp)
+	s.met.observe(PathHealth, status, time.Since(start))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	writeJSON(w, http.StatusOK, s.Metrics())
+	s.met.observe(PathMetrics, http.StatusOK, time.Since(start))
+}

@@ -1,10 +1,56 @@
 #!/usr/bin/env bash
 # Pre-merge check: vet, build, and the full test suite under the race
 # detector (the portfolio solver and the experiment harness are heavily
-# concurrent; -race is not optional here).
+# concurrent; -race is not optional here), then an end-to-end smoke of
+# mbaserved: boot the server on an ephemeral port, drive it with the
+# client's selfcheck suite, and shut it down cleanly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# --- mbaserved boot + selfcheck smoke ---------------------------------
+bin=$(mktemp -d)
+trap 'rm -rf "$bin"' EXIT
+go build -o "$bin/mbaserved" ./cmd/mbaserved
+
+logf="$bin/mbaserved.log"
+"$bin/mbaserved" -addr 127.0.0.1:0 >"$logf" 2>&1 &
+srv=$!
+trap 'kill "$srv" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+# The server prints "mbaserved: listening on http://HOST:PORT" once the
+# listener is bound; poll for it rather than guessing a startup delay.
+target=""
+for _ in $(seq 1 100); do
+    target=$(sed -n 's/^mbaserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$logf")
+    [ -n "$target" ] && break
+    if ! kill -0 "$srv" 2>/dev/null; then
+        echo "ci: mbaserved died during startup" >&2
+        cat "$logf" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$target" ]; then
+    echo "ci: mbaserved never announced its listen address" >&2
+    cat "$logf" >&2
+    exit 1
+fi
+
+# The selfcheck exercises every endpoint, asserts cache hits, replays
+# an overload burst, and fails on any non-2xx answer (other than the
+# admission 429s it retries) or on leaked goroutines.
+go run ./cmd/mbaserved -selfcheck -target "$target"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$srv"
+if ! wait "$srv"; then
+    echo "ci: mbaserved did not exit cleanly on SIGTERM" >&2
+    cat "$logf" >&2
+    exit 1
+fi
+trap 'rm -rf "$bin"' EXIT
+echo "ci: mbaserved smoke ok"
