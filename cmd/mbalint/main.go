@@ -1,0 +1,121 @@
+// Command mbalint runs the project's static-analysis suite
+// (internal/analysis) over the module: budgetloop, atomicmix,
+// lockdiscipline, exprimmut and errwrap.
+//
+// Usage:
+//
+//	mbalint [flags] [packages]
+//
+//	mbalint ./...                  # analyze the whole module
+//	mbalint -json ./...            # machine-readable diagnostics
+//	mbalint -fix ./...             # apply errwrap %v→%w rewrites
+//	mbalint -budgetloop=false ./...# disable one analyzer
+//	mbalint -dir testdata/src/x -pkg example.com/x   # fixture mode
+//
+// Exit status: 0 when the tree is clean, 1 when there are findings,
+// 2 when analysis could not run. Diagnostics are sorted by
+// file:line:col and can be suppressed in source with
+// `//lint:ignore <analyzer> <reason>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mbasolver/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbalint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (service wire style)")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes (errwrap %v→%w) in place")
+	fixtureDir := fs.String("dir", "", "analyze a loose directory of Go files instead of packages")
+	fixturePkg := fs.String("pkg", "", "with -dir: import path the directory poses as")
+
+	analyzers := analysis.Analyzers()
+	enableFlags := map[string]*bool{}
+	for _, a := range analyzers {
+		enableFlags[a.Name] = fs.Bool(a.Name, true, "run the "+a.Name+" analyzer ("+a.Doc+")")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	enabled := map[string]bool{}
+	for name, on := range enableFlags {
+		enabled[name] = *on
+	}
+
+	load := func() (*analysis.Program, error) {
+		if *fixtureDir != "" {
+			pkgPath := *fixturePkg
+			if pkgPath == "" {
+				pkgPath = "mbalint/fixture"
+			}
+			return analysis.LoadDir(*fixtureDir, pkgPath)
+		}
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		return analysis.Load(".", patterns)
+	}
+
+	prog, err := load()
+	if err != nil {
+		fmt.Fprintln(stderr, "mbalint:", err)
+		return 2
+	}
+	diags, edits := analysis.Run(prog, analyzers, enabled)
+
+	if *applyFix && len(edits) > 0 {
+		changed, err := analysis.ApplyEdits(edits)
+		if err != nil {
+			fmt.Fprintln(stderr, "mbalint: applying fixes:", err)
+			return 2
+		}
+		for _, f := range changed {
+			fmt.Fprintln(stderr, "mbalint: fixed", f)
+		}
+		// Re-analyze the patched tree so the report reflects what is
+		// actually left.
+		prog, err = load()
+		if err != nil {
+			fmt.Fprintln(stderr, "mbalint:", err)
+			return 2
+		}
+		diags, _ = analysis.Run(prog, analyzers, enabled)
+	}
+
+	if *jsonOut {
+		out := struct {
+			Diagnostics []analysis.Diagnostic `json:"diagnostics"`
+			Count       int                   `json:"count"`
+		}{Diagnostics: diags, Count: len(diags)}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []analysis.Diagnostic{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "mbalint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata/src"
+
+// diagLine is the plain-output shape: file:line:col: analyzer: message.
+var diagLine = regexp.MustCompile(`^[^:]+:\d+:\d+: [a-z]+: .+$`)
+
+// TestFixtureExitCodes: each analyzer fixture makes mbalint exit 1
+// with well-formed diagnostics; the clean fixture exits 0 silently.
+func TestFixtureExitCodes(t *testing.T) {
+	cases := []struct {
+		dir  string
+		pkg  string
+		exit int
+	}{
+		{"budgetloop", "mbasolver/internal/sat", 1},
+		{"atomicmix", "example.com/atomicmix", 1},
+		{"lockdiscipline", "example.com/lockfix", 1},
+		{"exprimmut", "example.com/immut", 1},
+		{"errwrap", "example.com/wrapfix", 1},
+		{"clean", "example.com/clean", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run([]string{"-dir", filepath.Join(fixtureRoot, tc.dir), "-pkg", tc.pkg}, &stdout, &stderr)
+			if code != tc.exit {
+				t.Fatalf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.exit, stdout.String(), stderr.String())
+			}
+			lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+			if tc.exit == 0 {
+				if stdout.String() != "" {
+					t.Fatalf("clean fixture printed diagnostics:\n%s", stdout.String())
+				}
+				return
+			}
+			for _, line := range lines {
+				if !diagLine.MatchString(line) {
+					t.Errorf("malformed diagnostic line %q", line)
+				}
+			}
+		})
+	}
+}
+
+// TestJSONOutput: -json emits the service wire style — a diagnostics
+// array plus a count — with every field populated.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-dir", filepath.Join(fixtureRoot, "errwrap"), "-pkg", "example.com/wrapfix"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr:\n%s", code, stderr.String())
+	}
+	var out struct {
+		Diagnostics []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if out.Count != len(out.Diagnostics) || out.Count == 0 {
+		t.Fatalf("count = %d, diagnostics = %d", out.Count, len(out.Diagnostics))
+	}
+	for _, d := range out.Diagnostics {
+		if d.Analyzer != "errwrap" || d.File == "" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestJSONClean: a clean tree still emits valid JSON with an empty
+// (not null) diagnostics array.
+func TestJSONClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-dir", filepath.Join(fixtureRoot, "clean"), "-pkg", "example.com/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), `"diagnostics": []`) {
+		t.Fatalf("empty run must emit an empty array, got:\n%s", stdout.String())
+	}
+}
+
+// TestAnalyzerDisableFlag: -errwrap=false silences the errwrap
+// fixture entirely.
+func TestAnalyzerDisableFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-errwrap=false", "-dir", filepath.Join(fixtureRoot, "errwrap"), "-pkg", "example.com/wrapfix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s", code, stdout.String())
+	}
+}
+
+// TestFixMode: -fix rewrites %v to %w in place and the re-analysis of
+// the patched tree comes back clean.
+func TestFixMode(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(fixtureRoot, "errwrap", "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "errwrap.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-fix", "-dir", dir, "-pkg", "example.com/wrapfix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 after fixes\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "mbalint: fixed") {
+		t.Fatalf("expected a fixed-file notice on stderr, got:\n%s", stderr.String())
+	}
+	fixed, err := os.ReadFile(filepath.Join(dir, "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), `"solve: %w"`) {
+		t.Error("wrapV was not rewritten to %w")
+	}
+	if !strings.Contains(string(fixed), `"rendered: %v"`) {
+		t.Error("suppressed call was rewritten; suppression must block fixes")
+	}
+}
+
+// TestModuleClean is the acceptance check in test form: the final
+// tree must be clean under the full suite.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"mbasolver/..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("mbalint mbasolver/... = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

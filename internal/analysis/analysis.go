@@ -1,0 +1,295 @@
+// Package analysis is mbalint's project-specific static-analysis
+// framework. It loads the module's packages with full type
+// information using only the standard library (go list -export +
+// go/parser + go/types with gc export data for dependencies) and runs
+// a fixed suite of analyzers that machine-check the solver's
+// concurrency and immutability invariants:
+//
+//   - budgetloop:     long-running loops in the solver hot paths
+//     (internal/sat, internal/bitblast, internal/smt) must consult
+//     Budget.Stop or the deadline, directly or via a callee.
+//   - atomicmix:      a field or variable accessed through sync/atomic
+//     anywhere must never be read or written plainly elsewhere, and
+//     typed atomic values (atomic.Int64 etc.) must never be copied.
+//   - lockdiscipline: every Lock must be released on all paths, and no
+//     channel operation, network call or function-valued callback may
+//     run while a mutex is held.
+//   - exprimmut:      fields of internal/expr and internal/bv nodes
+//     are immutable outside their defining packages (the canonical
+//     hash and the service verdict cache assume structural
+//     immutability).
+//   - errwrap:        fmt.Errorf verbs formatting error operands must
+//     be %w so callers can errors.Is/As through the wrap.
+//
+// Findings can be suppressed with a written reason:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses matching diagnostics on its own line and on
+// the line immediately below it, so it works both as a trailing
+// comment and as a standalone comment above the offending line. When
+// it sits on (or directly above) a func declaration and names
+// budgetloop, the whole function is additionally exempted from
+// budgetloop's recursive-work classification — used for functions
+// whose recursion is provably cheap (see sat.luby).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one raw analyzer result, positioned by token.Pos. A
+// non-nil Fix makes the finding mechanically repairable (mbalint
+// -fix).
+type Finding struct {
+	Pos     token.Pos
+	Message string
+	Fix     *Fix
+}
+
+// Fix is a byte-range replacement repairing a finding.
+type Fix struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// Edit is a Fix resolved to a file path and byte offsets, ready to
+// apply.
+type Edit struct {
+	File    string
+	Offset  int
+	End     int
+	NewText string
+}
+
+// Analyzer is one invariant checker run over the whole program.
+// Whole-program scope (rather than per-package) lets atomicmix and
+// exprimmut relate a declaration in one package to accesses in
+// another, and lets budgetloop build a module-wide call graph.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Program) []Finding
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		BudgetLoopAnalyzer(),
+		AtomicMixAnalyzer(),
+		LockDisciplineAnalyzer(),
+		ExprImmutAnalyzer(),
+		ErrWrapAnalyzer(),
+	}
+}
+
+// Diagnostic is one rendered finding. The JSON field names follow the
+// service wire style (internal/service/api.go): lower snake_case,
+// omitempty for optional fields.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// sortDiagnostics orders diagnostics deterministically:
+// file, line, column, analyzer, message.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int
+	analyzers []string
+	reason    string
+	malformed string // non-empty: why the directive could not be parsed
+	pos       token.Pos
+}
+
+func (d *ignoreDirective) covers(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores extracts every //lint:ignore directive from a file.
+func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				d.malformed = "want //lint:ignore <analyzer>[,<analyzer>...] <reason>"
+			} else {
+				d.analyzers = strings.Split(fields[0], ",")
+				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes the enabled analyzers over the program, applies
+// //lint:ignore suppression, validates the directives themselves, and
+// returns the surviving diagnostics in deterministic order plus the
+// edits of their repairable findings. enabled maps analyzer name to
+// whether it runs; analyzers absent from the map run by default.
+func Run(prog *Program, analyzers []*Analyzer, enabled map[string]bool) ([]Diagnostic, []Edit) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var diags []Diagnostic
+	fixes := map[Diagnostic]*Fix{}
+	for _, a := range analyzers {
+		if on, ok := enabled[a.Name]; ok && !on {
+			continue
+		}
+		for _, f := range a.Run(prog) {
+			pos := prog.Fset.Position(f.Pos)
+			d := Diagnostic{
+				Analyzer: a.Name,
+				File:     prog.rel(pos.Filename),
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  f.Message,
+			}
+			diags = append(diags, d)
+			if f.Fix != nil {
+				fixes[d] = f.Fix
+			}
+		}
+	}
+
+	// Directive validation: malformed directives and unknown analyzer
+	// names are findings in their own right (a typo would otherwise
+	// silently disable a suppression).
+	for _, d := range prog.ignores {
+		switch {
+		case d.malformed != "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "lint",
+				File:     prog.rel(d.file),
+				Line:     d.line,
+				Col:      1,
+				Message:  "malformed //lint:ignore directive: " + d.malformed,
+			})
+		default:
+			for _, name := range d.analyzers {
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Analyzer: "lint",
+						File:     prog.rel(d.file),
+						Line:     d.line,
+						Col:      1,
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", name),
+					})
+				}
+			}
+		}
+	}
+
+	// Suppression pass. Directives match on the absolute file path
+	// recorded at parse time; diagnostics carry module-relative paths,
+	// so compare through the same rel mapping. Suppressed findings do
+	// not contribute edits either.
+	kept := diags[:0]
+	var edits []Edit
+	for _, d := range diags {
+		if d.Analyzer != "lint" && prog.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+		if fix, ok := fixes[d]; ok {
+			start := prog.Fset.Position(fix.Pos)
+			end := prog.Fset.Position(fix.End)
+			edits = append(edits, Edit{
+				File:    start.Filename,
+				Offset:  start.Offset,
+				End:     end.Offset,
+				NewText: fix.NewText,
+			})
+		}
+	}
+	diags = kept
+
+	sortDiagnostics(diags)
+	return diags, edits
+}
+
+// suppressed reports whether some directive covers the diagnostic.
+func (p *Program) suppressed(d Diagnostic) bool {
+	for _, ig := range p.ignores {
+		if ig.malformed != "" {
+			continue
+		}
+		if p.rel(ig.file) == d.File && ig.covers(d.Analyzer, d.Line) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcExempt reports whether a //lint:ignore naming the analyzer sits
+// on, or directly above, the function declaration line.
+func (p *Program) funcExempt(analyzer string, decl *ast.FuncDecl) bool {
+	pos := p.Fset.Position(decl.Pos())
+	for _, ig := range p.ignores {
+		if ig.malformed != "" || ig.file != pos.Filename {
+			continue
+		}
+		if ig.line != pos.Line && ig.line != pos.Line-1 {
+			continue
+		}
+		for _, a := range ig.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}

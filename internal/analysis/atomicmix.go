@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMixAnalyzer enforces the PR 2 bug class: once a variable or
+// field is accessed through sync/atomic anywhere, every other access
+// must be atomic too — a plain read racing an atomic write is exactly
+// the LRU-counter race fixed by hand in PR 2. Two rules:
+//
+//  1. Function-style atomics: any variable or field whose address is
+//     passed to a sync/atomic function (atomic.AddInt64(&x, 1), ...)
+//     must not be read or written plainly anywhere else in the module.
+//  2. Typed atomics: values of type atomic.Bool/Int64/... must never be
+//     copied (assigned, passed, returned, or dereferenced by value) —
+//     a copy carries a snapshot that silently decouples from the
+//     original. Method calls and address-taking are fine.
+func AtomicMixAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "atomicmix",
+		Doc:  "sync/atomic state must never be accessed plainly or copied",
+		Run:  runAtomicMix,
+	}
+}
+
+func runAtomicMix(prog *Program) []Finding {
+	// Phase 1: collect every variable/field whose address escapes into
+	// a sync/atomic call, plus the positions of those sanctioned
+	// accesses so phase 2 can skip them.
+	atomicObjs := map[string]token.Pos{} // stable key → first atomic access
+	sanctioned := map[token.Pos]bool{}   // positions of &x operands inside atomic calls
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || !isAtomicFuncCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					target := ast.Unparen(un.X)
+					if key, ok := varKey(pkg, target); ok {
+						if _, seen := atomicObjs[key]; !seen {
+							atomicObjs[key] = target.Pos()
+						}
+						sanctioned[target.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			parents := buildParents(file)
+			ast.Inspect(file, func(node ast.Node) bool {
+				expr, ok := node.(ast.Expr)
+				if !ok {
+					return true
+				}
+				// Rule 1: plain access to a function-style atomic object.
+				if len(atomicObjs) > 0 {
+					switch e := expr.(type) {
+					case *ast.Ident, *ast.SelectorExpr:
+						// Declaration names are not accesses.
+						if id, isID := e.(*ast.Ident); isID && pkg.Info.Defs[id] != nil {
+							return true
+						}
+						if key, ok := varKey(pkg, expr); ok {
+							if first, isAtomic := atomicObjs[key]; isAtomic && !sanctioned[expr.Pos()] &&
+								!insideSanctioned(parents, expr, sanctioned) {
+								pos := prog.Fset.Position(first)
+								findings = append(findings, Finding{
+									Pos: expr.Pos(),
+									Message: fmt.Sprintf("plain access to %s, which is accessed via sync/atomic (e.g. at %s:%d)",
+										exprString(expr), prog.rel(pos.Filename), pos.Line),
+								})
+								// A selector hit covers its children; don't
+								// also report the inner identifier.
+								return false
+							}
+						}
+					}
+				}
+				// Rule 2: typed atomic value copied.
+				if f, bad := typedAtomicCopy(pkg, parents, expr); bad {
+					findings = append(findings, f)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// isAtomicFuncCall reports whether the call is a top-level sync/atomic
+// function (AddInt64, CompareAndSwapUint32, ...).
+func isAtomicFuncCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// varKey returns a stable, import-route-independent key for the
+// variable or field an expression denotes. Package-level variables are
+// keyed by package path and name; fields by the defining type's path,
+// name, and field name; locals by declaration position (locals cannot
+// be seen from other packages, so positions are stable within a load).
+func varKey(pkg *Package, expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj, ok := pkg.Info.Uses[e].(*types.Var)
+		if !ok {
+			if obj2, ok2 := pkg.Info.Defs[e].(*types.Var); ok2 {
+				obj = obj2
+			} else {
+				return "", false
+			}
+		}
+		if obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+		return fmt.Sprintf("local:%s:%d", obj.Pkg().Path(), obj.Pos()), true
+	case *ast.SelectorExpr:
+		sel, ok := pkg.Info.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			// Could be a qualified package-level var: pkg.Var.
+			if obj, ok := pkg.Info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+				obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Path() + "." + obj.Name(), true
+			}
+			return "", false
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok {
+			return "", false
+		}
+		recv := sel.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + field.Name(), true
+	}
+	return "", false
+}
+
+// insideSanctioned reports whether the expression sits inside an &x
+// operand already blessed as an atomic access (covers the identifier
+// nodes below a sanctioned selector).
+func insideSanctioned(parents map[ast.Node]ast.Node, expr ast.Expr, sanctioned map[token.Pos]bool) bool {
+	for n := parents[expr]; n != nil; n = parents[n] {
+		if e, ok := n.(ast.Expr); ok && sanctioned[e.Pos()] {
+			return true
+		}
+	}
+	return false
+}
+
+// typedAtomicCopy reports a finding when expr is a value of a
+// sync/atomic named type used where it would be copied.
+func typedAtomicCopy(pkg *Package, parents map[ast.Node]ast.Node, expr ast.Expr) (Finding, bool) {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || !tv.IsValue() {
+		return Finding{}, false
+	}
+	if !isAtomicNamed(tv.Type) {
+		return Finding{}, false
+	}
+	// Composite literals of atomic types are zero-value initialisation,
+	// not a copy of live state.
+	if _, isLit := expr.(*ast.CompositeLit); isLit {
+		return Finding{}, false
+	}
+	switch p := parents[expr].(type) {
+	case *ast.SelectorExpr:
+		if p.X == expr {
+			return Finding{}, false // receiver of .Load()/.Store()/...
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND && p.X == expr {
+			return Finding{}, false // address taken, no copy
+		}
+	case *ast.StarExpr:
+		// *p produces the copy; the finding lands on the StarExpr
+		// itself when its own parent is a copying context.
+		if p.X == expr {
+			return Finding{}, false
+		}
+	case *ast.ParenExpr:
+		return Finding{}, false // judged at the unparenthesised parent
+	}
+	return Finding{
+		Pos: expr.Pos(),
+		Message: fmt.Sprintf("%s copies a %s value; sync/atomic values must be used by reference",
+			exprString(expr), types.TypeString(tv.Type, nil)),
+	}, true
+}
+
+// buildParents records each node's parent for the file.
+func buildParents(file *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,524 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcNode is one function (declaration or literal) in the program's
+// call graph. Nodes are keyed by stable strings rather than
+// types.Object identity: a package typechecked from source and the
+// same package seen through export data yield distinct Object values,
+// but *types.Func.FullName() (e.g.
+// "(*mbasolver/internal/sat.Solver).Solve") is identical either way.
+// Function literals get a position-based key.
+type funcNode struct {
+	key            string
+	pkg            *Package
+	decl           *ast.FuncDecl // nil for function literals
+	body           *ast.BlockStmt
+	pos            token.Pos
+	calls          []string // callee keys, in source order
+	directConsult  bool     // body consults a budget atom outside nested literals
+	budgetParam    bool     // some parameter has a Budget-named type
+	budgetReceiver bool     // receiver struct carries stop/deadline fields
+	exempt         bool     // //lint:ignore budgetloop on the declaration
+	bindings       map[types.Object]string
+}
+
+func (n *funcNode) name() string {
+	if n.decl != nil {
+		return n.decl.Name.Name
+	}
+	return "func literal"
+}
+
+type callGraph struct {
+	prog  *Program
+	nodes map[string]*funcNode
+}
+
+func funcKey(obj *types.Func) string { return obj.FullName() }
+
+func (g *callGraph) litKey(lit *ast.FuncLit) string {
+	pos := g.prog.Fset.Position(lit.Pos())
+	return fmt.Sprintf("lit:%s:%d:%d", g.prog.rel(pos.Filename), pos.Line, pos.Column)
+}
+
+// buildCallGraph indexes every function declaration and literal in the
+// program. Literals are resolved through local variable bindings
+// (`walk := func(...) {...}` and the self-recursive
+// `var walk func(...); walk = func(...) { ... walk(...) }` shape), so
+// closure recursion is visible to the loop analysis.
+func buildCallGraph(prog *Program) *callGraph {
+	g := &callGraph{prog: prog, nodes: map[string]*funcNode{}}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				exempt := prog.funcExempt("budgetloop", fd)
+				bindings := collectLitBindings(g, pkg, fd.Body)
+				g.addNode(&funcNode{
+					key:            funcKey(obj),
+					pkg:            pkg,
+					decl:           fd,
+					body:           fd.Body,
+					pos:            fd.Pos(),
+					budgetParam:    hasBudgetParam(obj),
+					budgetReceiver: hasBudgetReceiver(obj),
+					exempt:         exempt,
+					bindings:       bindings,
+				})
+				// Every literal nested anywhere in the declaration becomes
+				// its own node, sharing the declaration's bindings and
+				// exemption.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						g.addNode(&funcNode{
+							key:      g.litKey(lit),
+							pkg:      pkg,
+							body:     lit.Body,
+							pos:      lit.Pos(),
+							exempt:   exempt,
+							bindings: bindings,
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+// addNode fills in calls and directConsult from the node's immediate
+// body (literals nested below it are separate nodes) and registers it.
+func (g *callGraph) addNode(n *funcNode) {
+	g.scanEvents(n, n.body, func(ev scanEvent) {
+		if ev.atom {
+			n.directConsult = true
+		}
+		if ev.callee != "" {
+			n.calls = append(n.calls, ev.callee)
+		}
+	})
+	g.nodes[n.key] = n
+}
+
+// scanEvent is one budget-relevant occurrence found by scanEvents: a
+// direct consult atom (atomic Load or deadline read) or a resolved
+// call.
+type scanEvent struct {
+	pos    token.Pos
+	atom   bool
+	callee string
+}
+
+// scanEvents walks root in source order, skipping nested function
+// literals, and emits consult atoms and resolved calls. Assignment
+// left-hand sides are writes, not consults: their deadline-named
+// identifiers are excluded, while calls hiding in index expressions
+// are still reported.
+func (g *callGraph) scanEvents(n *funcNode, root ast.Node, emit func(scanEvent)) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok && node != root {
+			return false
+		}
+		switch e := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range e.Lhs {
+				g.scanCalls(n, lhs, emit)
+			}
+			for _, rhs := range e.Rhs {
+				g.scanEvents(n, rhs, emit)
+			}
+			return false
+		case *ast.CallExpr:
+			if isAtomicLoadCall(n.pkg, e) {
+				emit(scanEvent{pos: e.Pos(), atom: true})
+			} else if key := g.calleeKey(n.pkg, e, n.bindings); key != "" {
+				emit(scanEvent{pos: e.Pos(), callee: key})
+			}
+		case *ast.SelectorExpr:
+			if isDeadlineName(e.Sel.Name) {
+				emit(scanEvent{pos: e.Pos(), atom: true})
+			}
+		case *ast.Ident:
+			if isDeadlineName(e.Name) {
+				if _, isVar := n.pkg.Info.Uses[e].(*types.Var); isVar {
+					emit(scanEvent{pos: e.Pos(), atom: true})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCalls emits only call events from the subtree (used for
+// assignment LHS, where identifier reads are actually writes).
+func (g *callGraph) scanCalls(n *funcNode, root ast.Node, emit func(scanEvent)) {
+	inspectShallow(root, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			if isAtomicLoadCall(n.pkg, call) {
+				emit(scanEvent{pos: call.Pos(), atom: true})
+			} else if key := g.calleeKey(n.pkg, call, n.bindings); key != "" {
+				emit(scanEvent{pos: call.Pos(), callee: key})
+			}
+		}
+		return true
+	})
+}
+
+// exprString renders an expression for diagnostics ("s.admitMu").
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+func isDeadlineName(name string) bool {
+	return strings.Contains(strings.ToLower(name), "deadline")
+}
+
+// calleeKey resolves a call expression to a node key: a declared
+// function or method by FullName, or a locally-bound function literal
+// by position. Dynamic calls (function-typed values with no visible
+// literal binding) return "".
+func (g *callGraph) calleeKey(pkg *Package, call *ast.CallExpr, bindings map[types.Object]string) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := pkg.Info.Uses[fun].(type) {
+		case *types.Func:
+			return funcKey(obj)
+		case *types.Var:
+			if key, ok := bindings[obj]; ok {
+				return key
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return funcKey(fn)
+			}
+			return ""
+		}
+		// Qualified identifier: pkg.Func.
+		if obj, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return funcKey(obj)
+		}
+	case *ast.FuncLit:
+		return g.litKey(fun)
+	}
+	return ""
+}
+
+// collectLitBindings maps local variables to the single function
+// literal assigned to them anywhere inside the declaration. Variables
+// assigned more than one literal are dropped as ambiguous.
+func collectLitBindings(g *callGraph, pkg *Package, body *ast.BlockStmt) map[types.Object]string {
+	bindings := map[types.Object]string{}
+	ambiguous := map[types.Object]bool{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		lit, ok := rhs.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil || ambiguous[obj] {
+			return
+		}
+		if _, dup := bindings[obj]; dup {
+			delete(bindings, obj)
+			ambiguous[obj] = true
+			return
+		}
+		bindings[obj] = g.litKey(lit)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					bind(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					bind(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return bindings
+}
+
+// inspectShallow walks the subtree like ast.Inspect but does not
+// descend into function literals: their bodies belong to other nodes.
+func inspectShallow(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isAtomicLoadCall reports whether the call is a budget consult atom:
+// a Load method on a sync/atomic value, or a sync/atomic.LoadXxx
+// function.
+func isAtomicLoadCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if sel.Sel.Name != "Load" {
+			return false
+		}
+		recv := s.Recv()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		return isAtomicNamed(recv)
+	}
+	if obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func); ok {
+		return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" &&
+			strings.HasPrefix(obj.Name(), "Load")
+	}
+	return false
+}
+
+// isAtomicNamed reports whether t is a named type from sync/atomic.
+func isAtomicNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// hasBudgetParam reports whether some parameter's type is a named type
+// called Budget (sat.Budget, smt.Budget, and fixture equivalents).
+func hasBudgetParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "Budget" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasBudgetReceiver reports whether the receiver's underlying struct
+// carries budget state: a sync/atomic-typed stop flag (value or
+// pointer) or a deadline-named time field.
+func hasBudgetReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if p, ok := ft.(*types.Pointer); ok {
+			ft = p.Elem()
+		}
+		if isAtomicNamed(ft) {
+			return true
+		}
+		if isDeadlineName(st.Field(i).Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// transitiveConsult computes, by fixed point over the call graph,
+// which functions consult a budget atom directly or through any
+// callee.
+func (g *callGraph) transitiveConsult() map[string]bool {
+	consult := map[string]bool{}
+	for key, n := range g.nodes {
+		if n.directConsult {
+			consult[key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, n := range g.nodes {
+			if consult[key] {
+				continue
+			}
+			for _, callee := range n.calls {
+				if consult[callee] {
+					consult[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return consult
+}
+
+// recursiveFuncs finds functions that can reach themselves through the
+// call graph (self-loops and larger cycles), the signature of
+// unbounded search work. Exempt nodes are treated as leaves: a
+// //lint:ignore budgetloop on the declaration asserts the recursion is
+// provably cheap.
+func (g *callGraph) recursiveFuncs() map[string]bool {
+	// Tarjan's SCC over the known-key subgraph.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	recursive := map[string]bool{}
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+
+		n := g.nodes[v]
+		if !n.exempt {
+			for _, w := range n.calls {
+				if g.nodes[w] == nil || g.nodes[w].exempt {
+					continue
+				}
+				if _, seen := index[w]; !seen {
+					strongconnect(w)
+					if low[w] < low[v] {
+						low[v] = low[w]
+					}
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+			}
+		}
+
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					recursive[w] = true
+				}
+			} else {
+				// Single-node component: recursive only on a self-loop.
+				w := comp[0]
+				if !g.nodes[w].exempt {
+					for _, c := range g.nodes[w].calls {
+						if c == w {
+							recursive[w] = true
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	for key := range g.nodes {
+		if _, seen := index[key]; !seen {
+			strongconnect(key)
+		}
+	}
+	return recursive
+}
+
+// reachesSet computes the set of functions that can reach any member
+// of targets through the call graph (targets included).
+func (g *callGraph) reachesSet(targets map[string]bool) map[string]bool {
+	reaches := map[string]bool{}
+	for key := range targets {
+		if g.nodes[key] != nil {
+			reaches[key] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, n := range g.nodes {
+			if reaches[key] || n.exempt {
+				continue
+			}
+			for _, callee := range n.calls {
+				if reaches[callee] {
+					reaches[key] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return reaches
+}
+
+// reachableFrom computes forward reachability from the given roots.
+func (g *callGraph) reachableFrom(roots []string) map[string]bool {
+	seen := map[string]bool{}
+	var queue []string
+	for _, r := range roots {
+		if g.nodes[r] != nil && !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.nodes[v].calls {
+			if g.nodes[w] != nil && !seen[w] {
+				seen[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}

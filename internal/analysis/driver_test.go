@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func loadFixture(t *testing.T, dir, pkg string) *Program {
+	t.Helper()
+	prog, err := LoadDir(dir, pkg)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return prog
+}
+
+// TestDirectiveValidation: malformed //lint:ignore comments and
+// unknown analyzer names are diagnostics in their own right — a typo
+// must not silently disable a suppression.
+func TestDirectiveValidation(t *testing.T) {
+	prog := loadFixture(t, filepath.Join("testdata", "src", "directives"), "example.com/directives")
+	diags, _ := Run(prog, Analyzers(), nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Analyzer != "lint" {
+			t.Errorf("diagnostic analyzer = %q, want \"lint\": %s", d.Analyzer, d)
+		}
+	}
+	if !strings.Contains(diags[0].Message, "malformed //lint:ignore directive") {
+		t.Errorf("first diagnostic = %s, want malformed-directive message", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, `unknown analyzer "nosuch"`) {
+		t.Errorf("second diagnostic = %s, want unknown-analyzer message", diags[1])
+	}
+}
+
+// TestSuppressionWindow: a directive suppresses matching diagnostics
+// on its own line and the line directly below — and nothing further.
+// Suppressed findings must not contribute edits either.
+func TestSuppressionWindow(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "fmt"
+
+func a(err error) error {
+	return fmt.Errorf("a: %v", err) //lint:ignore errwrap suppressed on its own line
+}
+
+func b(err error) error {
+	//lint:ignore errwrap suppressed from the line above
+	return fmt.Errorf("b: %v", err)
+}
+
+func c(err error) error {
+	//lint:ignore errwrap a blank line breaks the window
+
+	return fmt.Errorf("c: %v", err)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog := loadFixture(t, dir, "example.com/p")
+	diags, edits := Run(prog, Analyzers(), nil)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only c's): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "formats error err") || diags[0].Analyzer != "errwrap" {
+		t.Errorf("surviving diagnostic = %s", diags[0])
+	}
+	if len(edits) != 1 {
+		t.Fatalf("got %d edits, want 1: suppressed findings must not contribute fixes", len(edits))
+	}
+}
+
+// TestEnableFlags: a disabled analyzer contributes nothing.
+func TestEnableFlags(t *testing.T) {
+	prog := loadFixture(t, filepath.Join("testdata", "src", "errwrap"), "example.com/wrapfix")
+	diags, _ := Run(prog, Analyzers(), map[string]bool{"errwrap": false})
+	if len(diags) != 0 {
+		t.Fatalf("errwrap disabled, still got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestDeterministicOrdering: two independent loads produce identical,
+// file:line:col-sorted diagnostics.
+func TestDeterministicOrdering(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "lockdiscipline")
+	run := func() []Diagnostic {
+		prog := loadFixture(t, dir, "example.com/lockfix")
+		diags, _ := Run(prog, Analyzers(), nil)
+		return diags
+	}
+	first, second := run(), run()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("two runs differ:\n%v\n%v", first, second)
+	}
+	sorted := sort.SliceIsSorted(first, func(i, j int) bool {
+		a, b := first[i], first[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	if !sorted {
+		t.Fatalf("diagnostics not sorted by file:line:col: %v", first)
+	}
+}
+
+// TestZeroFindings: the clean fixture yields no diagnostics and no
+// edits.
+func TestZeroFindings(t *testing.T) {
+	prog := loadFixture(t, filepath.Join("testdata", "src", "clean"), "example.com/clean")
+	diags, edits := Run(prog, Analyzers(), nil)
+	if len(diags) != 0 || len(edits) != 0 {
+		t.Fatalf("clean fixture: %d diagnostics, %d edits", len(diags), len(edits))
+	}
+}
+
+// TestErrwrapFix: applying the errwrap edits rewrites %v to %w in
+// place and leaves a tree the analyzer is happy with.
+func TestErrwrapFix(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "src", "errwrap", "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "errwrap.go")
+	if err := os.WriteFile(path, fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := loadFixture(t, dir, "example.com/wrapfix")
+	_, edits := Run(prog, Analyzers(), nil)
+	if len(edits) != 4 {
+		t.Fatalf("got %d edits, want 4 (wrapV, wrapS, wrapMixed, flagged)", len(edits))
+	}
+	changed, err := ApplyEdits(edits)
+	if err != nil {
+		t.Fatalf("ApplyEdits: %v", err)
+	}
+	if len(changed) != 1 || changed[0] != path {
+		t.Fatalf("changed = %v, want [%s]", changed, path)
+	}
+
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wanted := range []string{`"solve: %w"`, `"parse: %w"`, `"%s[%d]: 100%% failed: %w"`, `"detail: %+w"`} {
+		if !strings.Contains(string(fixed), wanted) {
+			t.Errorf("fixed file missing %s", wanted)
+		}
+	}
+	// The suppressed call keeps its %v: suppressed findings carry no fix.
+	if !strings.Contains(string(fixed), `"rendered: %v"`) {
+		t.Error("suppressed call was rewritten; suppression must block fixes")
+	}
+
+	// Re-analyze: everything unsuppressed is repaired.
+	prog = loadFixture(t, dir, "example.com/wrapfix")
+	diags, _ := Run(prog, Analyzers(), nil)
+	if len(diags) != 0 {
+		t.Fatalf("after fix, still %d diagnostics: %v", len(diags), diags)
+	}
+}

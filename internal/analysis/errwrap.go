@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrWrapAnalyzer flags fmt.Errorf calls that format an error operand
+// with %v or %s instead of %w. Without %w the cause is flattened into
+// text and errors.Is/errors.As stop seeing it — which matters here
+// because the service maps smt timeout errors to 504s by unwrapping.
+//
+// The analyzer understands standard verb syntax (flags, width,
+// precision, %%); formats using argument indexes or * are skipped.
+// When the format string is a literal, the finding carries a Fix that
+// rewrites the verb to %w in place (mbalint -fix).
+func ErrWrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf must wrap error operands with %w",
+		Run:  runErrWrap,
+	}
+}
+
+func runErrWrap(prog *Program) []Finding {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok || !isErrorfCall(pkg, call) || len(call.Args) < 2 {
+					return true
+				}
+				format, formatLit := constFormat(pkg, call.Args[0])
+				if format == "" {
+					return true
+				}
+				verbs, ok := parseVerbs(format)
+				if !ok {
+					return true
+				}
+				for _, v := range verbs {
+					if v.letter != 'v' && v.letter != 's' {
+						continue
+					}
+					argIdx := 1 + v.operand
+					if argIdx >= len(call.Args) {
+						continue
+					}
+					arg := call.Args[argIdx]
+					tv, ok := pkg.Info.Types[arg]
+					if !ok || tv.Type == nil || !types.Implements(tv.Type, errType) {
+						continue
+					}
+					f := Finding{
+						Pos: arg.Pos(),
+						Message: fmt.Sprintf("fmt.Errorf formats error %s with %%%c; use %%w so callers can unwrap it",
+							exprString(arg), v.letter),
+					}
+					if formatLit != nil {
+						if off, ok := verbOffsetInLiteral(formatLit.Value, v.letterIndex); ok {
+							f.Fix = &Fix{
+								Pos:     formatLit.ValuePos + token.Pos(off),
+								End:     formatLit.ValuePos + token.Pos(off+1),
+								NewText: "w",
+							}
+						}
+					}
+					findings = append(findings, f)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// isErrorfCall matches fmt.Errorf.
+func isErrorfCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && obj.Name() == "Errorf"
+}
+
+// constFormat returns the constant string value of the format
+// argument, and the literal node when the argument is written as one
+// (required for -fix; a named constant can be diagnosed but not
+// rewritten at the call site).
+func constFormat(pkg *Package, arg ast.Expr) (string, *ast.BasicLit) {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", nil
+	}
+	s := constant.StringVal(tv.Value)
+	if lit, ok := ast.Unparen(arg).(*ast.BasicLit); ok && lit.Kind == token.STRING {
+		return s, lit
+	}
+	return s, nil
+}
+
+// verb is one conversion in a format string.
+type verb struct {
+	letter      rune
+	operand     int // 0-based operand index
+	letterIndex int // index of the verb letter in the decoded string
+}
+
+// parseVerbs maps each conversion to its operand. Returns ok=false
+// for formats using explicit argument indexes or * width/precision,
+// where the simple left-to-right mapping does not hold.
+func parseVerbs(format string) ([]verb, bool) {
+	var verbs []verb
+	operand := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags, width, precision.
+		for i < len(runes) {
+			r := runes[i]
+			if r == '*' || r == '[' {
+				return nil, false
+			}
+			if r == '+' || r == '-' || r == '#' || r == ' ' || r == '0' ||
+				r == '.' || (r >= '1' && r <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(runes) {
+			break
+		}
+		verbs = append(verbs, verb{letter: runes[i], operand: operand, letterIndex: i})
+		operand++
+	}
+	return verbs, true
+}
+
+// verbOffsetInLiteral maps an index into the decoded string value back
+// to the byte offset of that character inside the raw literal text
+// (including quotes and escapes), so a fix can patch the exact byte.
+func verbOffsetInLiteral(raw string, decodedIndex int) (int, bool) {
+	if len(raw) < 2 {
+		return 0, false
+	}
+	if raw[0] == '`' {
+		// Raw string: content maps 1:1 after the opening backtick; only
+		// the rune index needs converting to a byte offset.
+		idx := 0
+		for n := range raw[1 : len(raw)-1] {
+			if idx == decodedIndex {
+				return 1 + n, true
+			}
+			idx++
+		}
+		return 0, false
+	}
+	if raw[0] != '"' {
+		return 0, false
+	}
+	// Interpreted string: decode char by char, tracking raw offsets.
+	rest := raw[1 : len(raw)-1]
+	off := 1 // after the opening quote
+	idx := 0
+	for len(rest) > 0 {
+		_, multibyte, tail, err := strconv.UnquoteChar(rest, '"')
+		if err != nil {
+			return 0, false
+		}
+		consumed := len(rest) - len(tail)
+		if idx == decodedIndex {
+			if multibyte || consumed > 1 {
+				// Escaped or multibyte characters are never verb letters.
+				return 0, false
+			}
+			return off, true
+		}
+		off += consumed
+		rest = tail
+		idx++
+	}
+	return 0, false
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// wantComment is one parsed `// want "regexp" ["regexp" ...]`
+// expectation.
+type wantComment struct {
+	file    string // program-relative
+	line    int
+	pattern *regexp.Regexp
+	source  string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// parseWants extracts the expectations from every file of the
+// program.
+func parseWants(prog *Program) ([]*wantComment, error) {
+	var wants []*wantComment
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					for _, quoted := range wantStrRe.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(quoted)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want string %s: %w", prog.rel(pos.Filename), pos.Line, quoted, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", prog.rel(pos.Filename), pos.Line, raw, err)
+						}
+						wants = append(wants, &wantComment{
+							file:    prog.rel(pos.Filename),
+							line:    pos.Line,
+							pattern: re,
+							source:  raw,
+						})
+					}
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// CheckExpectations loads the fixture directory as pkgPath, runs the
+// analyzers, and compares the diagnostics against the fixture's
+// `// want "regexp"` comments: every diagnostic must match a want on
+// its line, and every want must be matched by some diagnostic. The
+// returned errors describe each mismatch; an empty slice means the
+// fixture is exactly satisfied. The diagnostics are returned too so
+// callers can make further assertions (ordering, JSON shape).
+func CheckExpectations(dir, pkgPath string, analyzers []*Analyzer) ([]Diagnostic, []error) {
+	prog, err := LoadDir(dir, pkgPath)
+	if err != nil {
+		return nil, []error{err}
+	}
+	diags, _ := Run(prog, analyzers, nil)
+	wants, err := parseWants(prog)
+	if err != nil {
+		return diags, []error{err}
+	}
+
+	var errs []error
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			errs = append(errs, fmt.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.source))
+		}
+	}
+	return diags, errs
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// immutablePkgs are the packages whose node types are structurally
+// immutable once built: expr.Hash/Digest and the service verdict
+// cache key terms by content, so mutating a node after it has been
+// hashed silently corrupts every downstream table. Matched by suffix
+// so fixtures can pose as them.
+var immutablePkgs = []string{"internal/expr", "internal/bv"}
+
+// ExprImmutAnalyzer flags writes to fields of internal/expr and
+// internal/bv types from any other package: assignments, compound
+// assignments, increments, and element writes through slice fields
+// (t.Args[i] = x). The defining packages themselves may mutate their
+// nodes (builders, interning).
+//
+// One idiom is explicitly allowed: copy-on-write through a local
+// value copy (`c := *n; c.X, c.Y = x, y; return &c`). Assigning a
+// scalar or pointer field of a value-typed local variable cannot
+// touch any shared node — the copy already happened. Element writes
+// through a copied slice field (c.Args[i] = x) are still flagged:
+// the slice header is copied but its backing array is shared with
+// the original node.
+func ExprImmutAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "exprimmut",
+		Doc:  "expr/bv nodes are immutable outside their defining packages",
+		Run:  runExprImmut,
+	}
+}
+
+func runExprImmut(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		if immutableOwner(pkg.Path) != "" {
+			continue // the defining package may mutate its own nodes
+		}
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				switch s := node.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						if f, bad := protectedWrite(pkg, lhs); bad {
+							findings = append(findings, f)
+						}
+					}
+				case *ast.IncDecStmt:
+					if f, bad := protectedWrite(pkg, s.X); bad {
+						findings = append(findings, f)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// immutableOwner returns the matching protected suffix when path is a
+// protected package, else "".
+func immutableOwner(path string) string {
+	for _, suffix := range immutablePkgs {
+		if strings.HasSuffix(path, suffix) {
+			return suffix
+		}
+	}
+	return ""
+}
+
+// protectedWrite reports a finding when the assignment target is a
+// field defined in a protected package, or an element of a slice/map
+// field of one (t.Args[i] = x mutates the node just as surely).
+func protectedWrite(pkg *Package, lhs ast.Expr) (Finding, bool) {
+	target := ast.Unparen(lhs)
+	elementWrite := false
+	if idx, ok := target.(*ast.IndexExpr); ok {
+		target = ast.Unparen(idx.X)
+		elementWrite = true
+	}
+	sel, ok := target.(*ast.SelectorExpr)
+	if !ok {
+		return Finding{}, false
+	}
+	// Copy-on-write: direct field writes through a value-typed local
+	// identifier mutate the copy, not a shared node. Element writes
+	// through a slice field still alias the original's backing array.
+	if !elementWrite {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+					return Finding{}, false
+				}
+			}
+		}
+	}
+	selection, ok := pkg.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return Finding{}, false
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return Finding{}, false
+	}
+	owner := immutableOwner(field.Pkg().Path())
+	if owner == "" {
+		return Finding{}, false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	typeName := "node"
+	if named, ok := recv.(*types.Named); ok {
+		typeName = named.Obj().Name()
+	}
+	return Finding{
+		Pos: lhs.Pos(),
+		Message: fmt.Sprintf("mutation of %s.%s outside %s: %s nodes are immutable once built (hashes and caches key on structure)",
+			typeName, field.Name(), field.Pkg().Path(), typeName),
+	}, true
+}

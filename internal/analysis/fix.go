@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyEdits patches the files named by the edits in place and
+// returns the paths it changed. Edits within a file are applied back
+// to front so earlier offsets stay valid; overlapping edits are an
+// error.
+func ApplyEdits(edits []Edit) ([]string, error) {
+	byFile := map[string][]Edit{}
+	for _, e := range edits {
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var changed []string
+	for _, file := range files {
+		es := byFile[file]
+		sort.Slice(es, func(i, j int) bool { return es[i].Offset > es[j].Offset })
+		for i := 1; i < len(es); i++ {
+			if es[i].End > es[i-1].Offset {
+				return changed, fmt.Errorf("%s: overlapping edits at offsets %d and %d", file, es[i].Offset, es[i-1].Offset)
+			}
+		}
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, err
+		}
+		for _, e := range es {
+			if e.Offset < 0 || e.End > len(src) || e.Offset > e.End {
+				return changed, fmt.Errorf("%s: edit range [%d,%d) out of bounds", file, e.Offset, e.End)
+			}
+			src = append(src[:e.Offset], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		info, err := os.Stat(file)
+		if err != nil {
+			return changed, err
+		}
+		if err := os.WriteFile(file, src, info.Mode().Perm()); err != nil {
+			return changed, err
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}

@@ -1,0 +1,252 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one source-typechecked package of the program under
+// analysis. Dependencies outside the requested patterns are imported
+// from gc export data and do not appear here.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded world: every requested package typechecked
+// from source, sharing one FileSet and one export-data importer.
+type Program struct {
+	Fset    *token.FileSet
+	Pkgs    []*Package
+	baseDir string // paths in diagnostics are reported relative to this
+	ignores []*ignoreDirective
+}
+
+// rel maps an absolute source path to a baseDir-relative one for
+// stable, machine-independent diagnostics.
+func (p *Program) rel(path string) string {
+	if p.baseDir == "" {
+		return path
+	}
+	if r, err := filepath.Rel(p.baseDir, path); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return path
+}
+
+// listPackage is the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json -deps` in dir over the given
+// patterns and returns the decoded package stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts a map of importPath→export-data file into the
+// lookup function go/importer wants.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Load builds the Program for the given patterns (typically "./...")
+// resolved in dir. Requested packages are parsed and typechecked from
+// source with comments retained; everything else — stdlib and external
+// dependencies — is imported from the export data `go list -export`
+// leaves in the build cache, so the loader needs nothing beyond the
+// standard library and the go tool.
+func Load(dir string, patterns []string) (*Program, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard && len(lp.GoFiles) > 0 {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	prog := &Program{Fset: token.NewFileSet(), baseDir: dir}
+	if abs, err := filepath.Abs(dir); err == nil {
+		prog.baseDir = abs
+	}
+	imp := importer.ForCompiler(prog.Fset, "gc", exportLookup(exports))
+
+	for _, lp := range targets {
+		pkg, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Pkgs = append(prog.Pkgs, pkg)
+	}
+	return prog, nil
+}
+
+// LoadDir typechecks a loose directory of Go files as a package with
+// the given import path. This is the fixture mode used by the
+// testdata harness: a directory under testdata/src can pose as any
+// import path (e.g. a budgetloop fixture posing as
+// "mbasolver/internal/sat" so the analyzer's scope rules apply).
+// Imports the fixture needs are resolved through `go list -export`
+// run in the same directory, so fixtures may import both the standard
+// library and module packages.
+func LoadDir(dir string, pkgPath string) (*Program, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), baseDir: dir}
+	if abs, err := filepath.Abs(dir); err == nil {
+		prog.baseDir = abs
+	}
+
+	// First parse to discover what the fixture imports, then ask the go
+	// tool for export data covering exactly those packages.
+	var parsed []*ast.File
+	importSet := map[string]bool{}
+	for _, name := range files {
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, spec := range f.Imports {
+			path, _ := strconv.Unquote(spec.Path.Value)
+			importSet[path] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		var imports []string
+		for p := range importSet {
+			imports = append(imports, p)
+		}
+		sort.Strings(imports)
+		listed, err := goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	imp := importer.ForCompiler(prog.Fset, "gc", exportLookup(exports))
+
+	pkg, err := prog.checkParsed(pkgPath, dir, parsed, imp)
+	if err != nil {
+		return nil, err
+	}
+	prog.Pkgs = append(prog.Pkgs, pkg)
+	return prog, nil
+}
+
+// check parses the named files and typechecks them as one package.
+func (p *Program) check(path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return p.checkParsed(path, dir, files, imp)
+}
+
+func (p *Program) checkParsed(path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, p.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	for _, f := range files {
+		p.ignores = append(p.ignores, parseIgnores(p.Fset, f)...)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}

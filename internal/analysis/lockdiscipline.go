@@ -1,0 +1,500 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDisciplineAnalyzer checks two properties of every sync.Mutex /
+// sync.RWMutex critical section, per function body:
+//
+//  1. Release on all paths: a lock acquired in a function must be
+//     unlocked (directly or via defer) before every return and before
+//     the function falls off its end.
+//  2. No blocking or foreign work while held: channel sends, receives,
+//     selects, ranges over channels, calls through function values
+//     (callbacks whose body the lock holder cannot see) and calls into
+//     net/* must not run inside a critical section.
+//
+// The analysis is syntactic and per-function: helper functions that
+// lock in one function and unlock in another are outside its scope
+// (and outside this codebase's style). Function literals are analyzed
+// as their own bodies with no locks held; a literal that runs inside a
+// critical section via defer or a goroutine synchronises on its own.
+func LockDisciplineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lockdiscipline",
+		Doc:  "mutexes released on all paths; no blocking or callbacks while held",
+		Run:  runLockDiscipline,
+	}
+}
+
+type lockInfo struct {
+	expr string // display string of the receiver, e.g. "s.admitMu"
+	pos  token.Pos
+}
+
+type lockState struct {
+	held     map[string]lockInfo // lock key → acquisition
+	deferred map[string]bool     // keys released by pending defers
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]lockInfo{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// outstanding returns the held locks not covered by a deferred
+// release, sorted for deterministic reporting.
+func (s *lockState) outstanding() []lockInfo {
+	var out []lockInfo
+	var keys []string
+	for k := range s.held {
+		if !s.deferred[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, s.held[k])
+	}
+	return out
+}
+
+type lockChecker struct {
+	pkg      *Package
+	findings []Finding
+}
+
+func runLockDiscipline(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := node.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				c := &lockChecker{pkg: pkg}
+				st := newLockState()
+				c.block(body.List, st)
+				// Falling off the end with a lock held and no deferred
+				// release: report at the acquisition site.
+				if !terminates(body.List) {
+					for _, li := range st.outstanding() {
+						c.report(li.pos, "%s is not released on every path", li.expr)
+					}
+				}
+				findings = append(findings, c.findings...)
+				return true // literals nested inside are visited on their own
+			})
+		}
+	}
+	return findings
+}
+
+func (c *lockChecker) report(pos token.Pos, format string, args ...any) {
+	c.findings = append(c.findings, Finding{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// block interprets a statement list, mutating st.
+func (c *lockChecker) block(stmts []ast.Stmt, st *lockState) {
+	for _, stmt := range stmts {
+		c.stmt(stmt, st)
+	}
+}
+
+func (c *lockChecker) stmt(stmt ast.Stmt, st *lockState) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.expr(s.X, st)
+	case *ast.DeferStmt:
+		c.deferStmt(s, st)
+	case *ast.GoStmt:
+		// The spawned call runs asynchronously; only its arguments are
+		// evaluated here.
+		for _, arg := range s.Call.Args {
+			c.expr(arg, st)
+		}
+	case *ast.SendStmt:
+		c.expr(s.Chan, st)
+		c.expr(s.Value, st)
+		c.whileHeld(st, s.Pos(), "channel send on %s", exprString(s.Chan))
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st)
+		}
+		for _, li := range st.outstanding() {
+			c.report(s.Pos(), "return while %s is held", li.expr)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.expr(e, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st)
+		then := st.clone()
+		c.block(s.Body.List, then)
+		var alts []*lockState
+		if !terminates(s.Body.List) {
+			alts = append(alts, then)
+		}
+		if s.Else != nil {
+			els := st.clone()
+			c.stmt(s.Else, els)
+			if !stmtTerminates(s.Else) {
+				alts = append(alts, els)
+			}
+		} else {
+			alts = append(alts, st.clone())
+		}
+		mergeInto(st, alts)
+	case *ast.BlockStmt:
+		c.block(s.List, st)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, st)
+		}
+		// Loop bodies are assumed lock-balanced: interpret on a copy for
+		// violations, continue with the entry state.
+		inner := st.clone()
+		c.block(s.Body.List, inner)
+		if s.Post != nil {
+			c.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		c.expr(s.X, st)
+		if t, ok := c.pkg.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				c.whileHeld(st, s.Pos(), "range over channel %s", exprString(s.X))
+			}
+		}
+		inner := st.clone()
+		c.block(s.Body.List, inner)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st)
+		}
+		c.caseClauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, st)
+		}
+		c.caseClauses(s.Body, st)
+	case *ast.SelectStmt:
+		c.whileHeld(st, s.Pos(), "select statement")
+		// Exactly one clause runs (select blocks until some case is
+		// ready), so the post-state is the merge of the non-terminating
+		// clause bodies — no implicit fall-through.
+		var alts []*lockState
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			inner := st.clone()
+			c.block(cc.Body, inner)
+			if !terminates(cc.Body) {
+				alts = append(alts, inner)
+			}
+		}
+		mergeInto(st, alts)
+	}
+}
+
+// caseClauses interprets each case body on a clone and merges the
+// fall-through states.
+func (c *lockChecker) caseClauses(body *ast.BlockStmt, st *lockState) {
+	var alts []*lockState
+	sawDefault := false
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			sawDefault = true
+		}
+		for _, e := range cc.List {
+			c.expr(e, st)
+		}
+		inner := st.clone()
+		c.block(cc.Body, inner)
+		if !terminates(cc.Body) {
+			alts = append(alts, inner)
+		}
+	}
+	if !sawDefault {
+		alts = append(alts, st.clone())
+	}
+	mergeInto(st, alts)
+}
+
+// mergeInto unions the held sets of the surviving branches into st.
+// Union is the conservative direction for while-held checks; the
+// release-on-all-paths check fires per return path, so a branch that
+// already unlocked does not mask one that did not.
+func mergeInto(st *lockState, alts []*lockState) {
+	if len(alts) == 0 {
+		return // all branches terminate; following code is unreachable
+	}
+	merged := map[string]lockInfo{}
+	deferred := map[string]bool{}
+	for _, a := range alts {
+		for k, v := range a.held {
+			merged[k] = v
+		}
+		for k := range a.deferred {
+			deferred[k] = true
+		}
+	}
+	st.held = merged
+	st.deferred = deferred
+}
+
+// deferStmt handles deferred releases, including the
+// `defer func() { mu.Unlock() }()` shape.
+func (c *lockChecker) deferStmt(s *ast.DeferStmt, st *lockState) {
+	for _, arg := range s.Call.Args {
+		c.expr(arg, st)
+	}
+	if recv, name, ok := c.lockMethod(s.Call); ok && isUnlockName(name) {
+		st.deferred[lockKeyFor(recv, name)] = true
+		return
+	}
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, name, ok := c.lockMethod(call); ok && isUnlockName(name) {
+					st.deferred[lockKeyFor(recv, name)] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// expr walks an expression (not descending into function literals),
+// applying lock/unlock effects and while-held violations for every
+// call and receive it contains, in evaluation-ish (source) order.
+func (c *lockChecker) expr(e ast.Expr, st *lockState) {
+	if e == nil {
+		return
+	}
+	inspectShallow(e, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			c.call(n, st)
+			// Effects applied; arguments were visited by the walk order
+			// below anyway, so keep descending.
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.whileHeld(st, n.Pos(), "channel receive from %s", exprString(n.X))
+			}
+		}
+		return true
+	})
+}
+
+// call applies the effect of one call: mutex transitions, or a
+// while-held violation for dynamic and network calls.
+func (c *lockChecker) call(call *ast.CallExpr, st *lockState) {
+	if recv, name, ok := c.lockMethod(call); ok {
+		key := lockKeyFor(recv, name)
+		switch {
+		case name == "Lock" || name == "RLock":
+			if li, dup := st.held[key]; dup {
+				c.report(call.Pos(), "%s locked again while already held (self-deadlock)", li.expr)
+			}
+			st.held[key] = lockInfo{expr: recv, pos: call.Pos()}
+		case isUnlockName(name):
+			delete(st.held, key)
+		}
+		return
+	}
+	if len(st.held) == 0 {
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+	// Conversions are not calls.
+	if tv, ok := c.pkg.Info.Types[fun]; ok && tv.IsType() {
+		return
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if obj, ok := c.pkg.Info.Uses[f].(*types.Var); ok && isFuncVar(obj) {
+			c.whileHeldAll(st, call.Pos(), "call through function value %s", f.Name)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pkg.Info.Selections[f]; ok {
+			if obj, ok := sel.Obj().(*types.Var); ok && isFuncVar(obj) {
+				c.whileHeldAll(st, call.Pos(), "call through function value %s", exprString(f))
+			}
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				c.checkNetCall(fn, call, st)
+			}
+			return
+		}
+		switch obj := c.pkg.Info.Uses[f.Sel].(type) {
+		case *types.Var:
+			if isFuncVar(obj) {
+				c.whileHeldAll(st, call.Pos(), "call through function value %s", exprString(f))
+			}
+		case *types.Func:
+			c.checkNetCall(obj, call, st)
+		}
+	}
+}
+
+func (c *lockChecker) checkNetCall(fn *types.Func, call *ast.CallExpr, st *lockState) {
+	if fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path == "net" || strings.HasPrefix(path, "net/") {
+		c.whileHeldAll(st, call.Pos(), "network call %s.%s", path, fn.Name())
+	}
+}
+
+func isFuncVar(obj *types.Var) bool {
+	_, ok := obj.Type().Underlying().(*types.Signature)
+	return ok
+}
+
+// whileHeld reports the operation once, naming one held lock.
+func (c *lockChecker) whileHeld(st *lockState, pos token.Pos, format string, args ...any) {
+	locks := heldNames(st)
+	if len(locks) == 0 {
+		return
+	}
+	c.report(pos, fmt.Sprintf(format, args...)+" while %s is held", locks[0])
+}
+
+func (c *lockChecker) whileHeldAll(st *lockState, pos token.Pos, format string, args ...any) {
+	c.whileHeld(st, pos, format, args...)
+}
+
+func heldNames(st *lockState) []string {
+	var keys []string
+	for k := range st.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	names := make([]string, len(keys))
+	for i, k := range keys {
+		names[i] = st.held[k].expr
+	}
+	return names
+}
+
+// lockMethod recognises sync.Mutex / sync.RWMutex method calls
+// (including promoted methods on embedding structs) and returns the
+// printed receiver and method name.
+func (c *lockChecker) lockMethod(call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	s, isMethod := c.pkg.Info.Selections[sel]
+	if !isMethod {
+		return "", "", false
+	}
+	fn, isFn := s.Obj().(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return exprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+func isUnlockName(name string) bool { return name == "Unlock" || name == "RUnlock" }
+
+// lockKeyFor maps Lock/Unlock to one key and RLock/RUnlock to another,
+// per receiver expression.
+func lockKeyFor(recv, method string) string {
+	if method == "RLock" || method == "RUnlock" {
+		return recv + "/R"
+	}
+	return recv
+}
+
+// terminates reports whether a statement list definitely transfers
+// control away (return, panic, or an unlabelled terminator).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	return stmtTerminates(stmts[len(stmts)-1])
+}
+
+func stmtTerminates(stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		return s.Else != nil && terminates(s.Body.List) && stmtTerminates(s.Else)
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// Package atomicmix exercises the atomicmix analyzer: variables and
+// fields touched through sync/atomic must never be accessed plainly,
+// and typed atomic values must never be copied.
+package atomicmix
+
+import "sync/atomic"
+
+var hits int64
+
+type counters struct {
+	total int64
+	typed atomic.Int64
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&hits, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+func plainReads(c *counters) int64 {
+	a := hits    // want "plain access to hits"
+	b := c.total // want "plain access to c.total"
+	return a + b
+}
+
+func plainWrite(c *counters) {
+	c.total = 0 // want "plain access to c.total"
+}
+
+// atomicReads is fine: every access goes through sync/atomic.
+func atomicReads(c *counters) int64 {
+	return atomic.LoadInt64(&hits) + atomic.LoadInt64(&c.total)
+}
+
+func copyTyped(c *counters) int64 {
+	snapshot := c.typed // want "copies a sync/atomic.Int64 value"
+	return snapshot.Load()
+}
+
+// useTyped is fine: method calls and address-taking do not copy.
+func useTyped(c *counters) int64 {
+	c.typed.Add(1)
+	p := &c.typed
+	return p.Load()
+}

@@ -1,0 +1,128 @@
+// Package budgetloop exercises the budgetloop analyzer. The harness
+// loads it posing as mbasolver/internal/sat so the hot-path scope
+// rules apply.
+package budgetloop
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Budget mirrors the solver budget shape the analyzer keys on.
+type Budget struct {
+	Deadline time.Time
+	Stop     *atomic.Bool
+}
+
+func (b Budget) stopped() bool { return b.Stop != nil && b.Stop.Load() }
+
+// search is self-recursive: unbounded work in the analyzer's model.
+func search(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return search(n-1) + search(n-2)
+}
+
+// infiniteNoConsult violates rule 1: an infinite loop in a
+// budget-holding function that never looks at the budget.
+func infiniteNoConsult(b Budget) int {
+	x := 0
+	for { // want "infinite for loop in budget-holding function infiniteNoConsult never consults"
+		x++
+		if x > 10 {
+			return x
+		}
+	}
+}
+
+// infiniteWithConsult is fine: the loop polls the stop flag directly.
+func infiniteWithConsult(b Budget) int {
+	x := 0
+	for {
+		if b.Stop != nil && b.Stop.Load() {
+			return x
+		}
+		x++
+	}
+}
+
+// infiniteViaCallee is fine: the loop consults through a callee.
+func infiniteViaCallee(b Budget) int {
+	x := 0
+	for {
+		if b.stopped() {
+			return x
+		}
+		x++
+	}
+}
+
+// driveRecursion violates rule 2: it is reachable from the
+// budget-holding Root below and loops over recursive work without
+// consulting the budget.
+func driveRecursion(limit int) int {
+	total := 0
+	for i := 0; i < limit; i++ { // want "loop drives recursive work"
+		total += search(i)
+	}
+	return total
+}
+
+// boundedRange is fine: range loops are bounded by their operand.
+func boundedRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += search(x)
+	}
+	return total
+}
+
+// checksTooLate violates rule 3: the heavy recursive call runs before
+// the first budget check.
+func checksTooLate(b Budget, n int) int {
+	total := search(n) // want "called before the first budget check"
+	if b.Stop != nil && b.Stop.Load() {
+		return 0
+	}
+	return total
+}
+
+// checksFirst is fine: the budget is consulted before the heavy work.
+func checksFirst(b Budget, n int) int {
+	if b.Stop != nil && b.Stop.Load() {
+		return 0
+	}
+	return search(n)
+}
+
+// cheapRecursion is recursive but provably terminates in O(log n)
+// steps, so it carries a function-level exemption with a reason.
+//
+//lint:ignore budgetloop halves n every step, terminates in under 64 iterations
+func cheapRecursion(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 + cheapRecursion(n/2)
+}
+
+// cheapRecursionUser loops over the exempted function: no finding.
+func cheapRecursionUser(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += cheapRecursion(i)
+	}
+	return total
+}
+
+// Root holds the budget and reaches every helper, making them hot.
+func Root(b Budget, xs []int) int {
+	if b.stopped() {
+		return 0
+	}
+	total := driveRecursion(len(xs)) + boundedRange(xs) + cheapRecursionUser(len(xs))
+	total += infiniteNoConsult(b) + infiniteWithConsult(b) + infiniteViaCallee(b)
+	total += checksTooLate(b, 3) + checksFirst(b, 3)
+	return total
+}

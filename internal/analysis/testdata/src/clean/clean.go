@@ -1,0 +1,13 @@
+// Package clean has no findings: the driver must report nothing and
+// exit 0.
+package clean
+
+import "fmt"
+
+// Add is ordinary code none of the analyzers object to.
+func Add(a, b int) int { return a + b }
+
+// Describe formats non-error operands, which errwrap permits.
+func Describe(a, b int) string {
+	return fmt.Sprintf("%d+%d=%d", a, b, Add(a, b))
+}

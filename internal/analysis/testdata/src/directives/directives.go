@@ -1,0 +1,11 @@
+// Package directives holds deliberately broken //lint:ignore comments
+// for the driver's directive-validation tests (checked directly in
+// driver_test.go rather than with want comments, since the "lint"
+// diagnostics land on the directive line itself).
+package directives
+
+//lint:ignore
+func malformed() {}
+
+//lint:ignore nosuch the named analyzer does not exist
+func unknown() {}

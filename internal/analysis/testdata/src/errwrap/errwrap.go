@@ -1,0 +1,50 @@
+// Package errwrap exercises the errwrap analyzer: fmt.Errorf must
+// wrap error operands with %w, not flatten them with %v or %s.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+func wrapV(err error) error {
+	return fmt.Errorf("solve: %v", err) // want "formats error err with %v; use %w"
+}
+
+func wrapS(err error) error {
+	return fmt.Errorf("parse: %s", err) // want "formats error err with %s; use %w"
+}
+
+// wrapMixed checks operand mapping across other verbs and %%.
+func wrapMixed(name string, n int, err error) error {
+	return fmt.Errorf("%s[%d]: 100%% failed: %v", name, n, err) // want "formats error err with %v"
+}
+
+// wrapOK already wraps.
+func wrapOK(err error) error {
+	return fmt.Errorf("solve: %w", err)
+}
+
+// notError formats a non-error operand: fine.
+func notError(n int) error {
+	return fmt.Errorf("count: %v", n)
+}
+
+// indexedSkipped uses explicit argument indexes, which the analyzer
+// declines to reason about.
+func indexedSkipped(err error) error {
+	return fmt.Errorf("%[1]v", err)
+}
+
+// flagged checks that verb flags are parsed through.
+func flagged(err error) error {
+	return fmt.Errorf("detail: %+v", err) // want "formats error err with %v"
+}
+
+// suppressed demonstrates //lint:ignore: no diagnostic survives.
+func suppressed(err error) error {
+	//lint:ignore errwrap human-readable rendering is intentional here
+	return fmt.Errorf("rendered: %v", err)
+}

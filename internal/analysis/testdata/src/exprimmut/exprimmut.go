@@ -1,0 +1,36 @@
+// Package exprimmut exercises the exprimmut analyzer against the real
+// protected packages: it imports mbasolver/internal/expr and
+// mbasolver/internal/bv and mutates their node fields from outside.
+package exprimmut
+
+import (
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+)
+
+// mutateShared writes a shared node in place: both the pointer-field
+// assignment and the increment are findings.
+func mutateShared(e *expr.Expr) {
+	e.X = expr.Const(1) // want "mutation of Expr.X outside mbasolver/internal/expr"
+	e.Val++             // want "mutation of Expr.Val outside mbasolver/internal/expr"
+}
+
+// copyOnWrite is the allowed idiom: mutate a fresh value copy, never
+// the shared node.
+func copyOnWrite(e *expr.Expr) *expr.Expr {
+	c := *e
+	c.X, c.Y = nil, nil
+	return &c
+}
+
+// sliceAlias copies the node but then writes through the copied slice
+// header, whose backing array is still the original node's: finding.
+func sliceAlias(t *bv.Term) {
+	c := *t
+	c.Args[0] = nil // want "mutation of Term.Args outside mbasolver/internal/bv"
+}
+
+// setWidth mutates through a pointer: finding.
+func setWidth(t *bv.Term, w uint) {
+	t.Width = w // want "mutation of Term.Width outside mbasolver/internal/bv"
+}

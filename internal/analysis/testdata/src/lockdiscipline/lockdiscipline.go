@@ -1,0 +1,106 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer:
+// locks released on every path, and no blocking or foreign work while
+// a mutex is held.
+package lockdiscipline
+
+import (
+	"net"
+	"sync"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	ch    chan int
+	cb    func()
+	count int
+}
+
+// ok is the canonical clean shape.
+func (g *guarded) ok() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.count++
+}
+
+// okExplicit releases without defer; still balanced.
+func (g *guarded) okExplicit() {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+}
+
+func (g *guarded) leakOnReturn(x int) {
+	g.mu.Lock()
+	if x > 0 {
+		return // want "return while g.mu is held"
+	}
+	g.mu.Unlock()
+}
+
+func (g *guarded) leakAtEnd() {
+	g.mu.Lock() // want "g.mu is not released on every path"
+	g.count++
+}
+
+func (g *guarded) sendWhileHeld() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send on g.ch while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) recvWhileHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive from g.ch while g.mu is held"
+}
+
+func (g *guarded) selectWhileHeld() {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	select { // want "select statement while g.rw is held"
+	case v := <-g.ch:
+		g.count = v
+	default:
+	}
+}
+
+func (g *guarded) callbackWhileHeld() {
+	g.mu.Lock()
+	g.cb() // want "call through function value g.cb while g.mu is held"
+	g.mu.Unlock()
+}
+
+func (g *guarded) netWhileHeld() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, err := net.Dial("tcp", "localhost:1") // want "network call net.Dial while g.mu is held"
+	return err
+}
+
+func (g *guarded) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // want "g.mu locked again while already held"
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// branchesOK releases on both the early-return path and the fall
+// through: clean.
+func (g *guarded) branchesOK(x int) {
+	g.mu.Lock()
+	if x > 0 {
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+}
+
+// callbackAfterUnlock runs the callback outside the critical section:
+// clean.
+func (g *guarded) callbackAfterUnlock() {
+	g.mu.Lock()
+	g.count++
+	g.mu.Unlock()
+	g.cb()
+}

@@ -283,6 +283,11 @@ func (s *Server) submit(ctx context.Context, deadline time.Time, run func(*worke
 		s.admitMu.RUnlock()
 		return errShuttingDown
 	}
+	// The select cannot block: the send arm is paired with a default.
+	// Holding the read lock across it is the admission fence — Shutdown
+	// takes the write lock, flips closing, then drains, so a task
+	// enqueued here is guaranteed to be seen by the drain loop.
+	//lint:ignore lockdiscipline non-blocking send under the admission fence; both arms release the read lock immediately
 	select {
 	case s.queue <- t:
 		s.admitMu.RUnlock()

@@ -46,6 +46,16 @@ type SatResult struct {
 // preprocessing and search configuration.
 func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult {
 	start := time.Now()
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+	// Consult the budget before the rewrite loop: per-assertion
+	// rewriting is the heavy phase on large inputs, and an exhausted
+	// budget must not buy any of it.
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+	}
 	rw := bv.NewRewriter(s.level)
 
 	vars := map[string]uint{}
@@ -75,10 +85,6 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 		return SatResult{Status: Satisfiable, Model: model, Elapsed: time.Since(start)}
 	}
 
-	var deadline time.Time
-	if budget.Timeout > 0 {
-		deadline = start.Add(budget.Timeout)
-	}
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
 		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
 	}

@@ -1,0 +1,93 @@
+package smt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+)
+
+// deepProduct builds Π_{i<n} (x_i + y_i) over distinct variables.
+// Its polynomial expansion has 2^n monomials, so any phase that
+// expands it (arithEqual/termPoly) must be guarded by the budget:
+// with n = 26 an unguarded expansion runs for minutes, while a
+// guarded query returns within microseconds.
+func deepProduct(n int) *expr.Expr {
+	t := expr.Add(expr.Var("x0"), expr.Var("y0"))
+	for i := 1; i < n; i++ {
+		t = expr.Mul(t, expr.Add(expr.Var(fmt.Sprintf("x%d", i)), expr.Var(fmt.Sprintf("y%d", i))))
+	}
+	return t
+}
+
+func raisedStop() *atomic.Bool {
+	stop := &atomic.Bool{}
+	stop.Store(true)
+	return stop
+}
+
+// TestCheckTermEquivStopsBeforeRewrite pins the fix in CheckTermEquiv:
+// the budget is consulted before the word-level rewrite/expansion
+// phase. A pre-raised stop flag must yield Timeout without buying any
+// of the exponential polynomial expansion.
+func TestCheckTermEquivStopsBeforeRewrite(t *testing.T) {
+	a := deepProduct(26)
+	b := expr.Add(deepProduct(26), expr.Const(1))
+	start := time.Now()
+	res := NewZ3Sim().CheckEquiv(a, b, 32, Budget{Stop: raisedStop()})
+	if res.Status != Timeout {
+		t.Fatalf("status = %v, want Timeout for a cancelled query", res.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled query took %v; the budget check must run before the expansion phase", elapsed)
+	}
+}
+
+// TestSolveAssertionsStopsBeforeRewriteLoop pins the same fix in
+// SolveAssertions: an exhausted budget returns SatUnknown before the
+// per-assertion rewrite loop touches anything.
+func TestSolveAssertionsStopsBeforeRewriteLoop(t *testing.T) {
+	nest := bv.FromExpr(deepProduct(26), 32)
+	zero := bv.NewConst(0, 32)
+	assertions := []*bv.Term{bv.Predicate(bv.Eq, nest, zero)}
+	start := time.Now()
+	res := NewZ3Sim().SolveAssertions(assertions, Budget{Stop: raisedStop()})
+	if res.Status != SatUnknown {
+		t.Fatalf("status = %v, want SatUnknown for a cancelled query", res.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled query took %v", elapsed)
+	}
+}
+
+// TestFindWitnessHonorsBudget pins the fix in findWitness: probing
+// evaluates both terms per round, so a raised stop flag or an expired
+// deadline must end the search immediately with the empty (non-nil)
+// witness.
+func TestFindWitnessHonorsBudget(t *testing.T) {
+	ta := bv.FromExpr(expr.Var("x"), 8)
+	tb := bv.FromExpr(expr.Or(expr.Var("x"), expr.Const(1)), 8)
+
+	w := findWitness(ta, tb, Budget{Stop: raisedStop()}, time.Time{})
+	if w == nil || len(w) != 0 {
+		t.Fatalf("raised stop: witness = %v, want empty non-nil map", w)
+	}
+
+	w = findWitness(ta, tb, Budget{}, time.Now().Add(-time.Hour))
+	if w == nil || len(w) != 0 {
+		t.Fatalf("expired deadline: witness = %v, want empty non-nil map", w)
+	}
+
+	// Sanity: with budget headroom the probe still finds a real
+	// distinguishing input (x and x|1 differ on any even x).
+	w = findWitness(ta, tb, Budget{}, time.Time{})
+	if len(w) == 0 {
+		t.Fatal("unbudgeted probe found no witness for x vs x|1")
+	}
+	if bv.Eval(ta, w) == bv.Eval(tb, w) {
+		t.Fatalf("witness %v does not distinguish the terms", w)
+	}
+}

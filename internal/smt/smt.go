@@ -149,6 +149,15 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		deadline = start.Add(budget.Timeout)
 	}
 
+	// Consult the budget before the word-level phase, not only after:
+	// rewriting and polynomial expansion can themselves be the
+	// expensive part (termPoly is exponential on adversarial Mul
+	// nests), and a query whose budget is already exhausted must not
+	// buy any of it.
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
+
 	rw := bv.NewRewriter(s.level)
 	if s.level != bv.RewriteNone {
 		ta, tb = rw.Rewrite(ta), rw.Rewrite(tb)
@@ -180,7 +189,7 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 			// The fold proves the sides differ but carries no model;
 			// probe the original terms for a concrete distinguishing
 			// input so callers can always replay the counterexample.
-			res.Witness = findWitness(origA, origB)
+			res.Witness = findWitness(origA, origB, budget, deadline)
 		}
 		return res
 	}

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"sort"
+	"time"
 
 	"mbasolver/internal/bv"
 )
@@ -24,7 +25,17 @@ func termVars(ta, tb *bv.Term) map[string]uint {
 // non-degenerate queries a random point distinguishes them with high
 // probability; if none of the probes does, an empty (all-zeros, via
 // replay semantics) map is returned rather than nil.
-func findWitness(ta, tb *bv.Term) map[string]uint64 {
+//
+// Each probe evaluates both terms, which on deep shared DAGs is
+// expensive, so the search honours the query budget: a raised stop
+// flag or an expired deadline ends it with the empty map immediately.
+func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) map[string]uint64 {
+	expired := func() bool {
+		return budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline))
+	}
+	if expired() {
+		return map[string]uint64{}
+	}
 	vars := termVars(ta, tb)
 	names := make([]string, 0, len(vars))
 	for name := range vars {
@@ -39,7 +50,12 @@ func findWitness(ta, tb *bv.Term) map[string]uint64 {
 	}
 
 	env := make(map[string]uint64, len(names))
+	bailed := false
 	try := func(value func(i int) uint64) map[string]uint64 {
+		if expired() {
+			bailed = true
+			return nil
+		}
 		for i, name := range names {
 			env[name] = value(i) & mask
 		}
@@ -58,6 +74,9 @@ func findWitness(ta, tb *bv.Term) map[string]uint64 {
 		if w := try(func(int) uint64 { return c }); w != nil {
 			return w
 		}
+		if bailed {
+			return map[string]uint64{}
+		}
 	}
 	// Deterministic pseudo-random probes (splitmix64).
 	seed := uint64(0x9e3779b97f4a7c15)
@@ -68,7 +87,7 @@ func findWitness(ta, tb *bv.Term) map[string]uint64 {
 		z = (z ^ z>>27) * 0x94d049bb133111eb
 		return z ^ z>>31
 	}
-	for round := 0; round < 256; round++ {
+	for round := 0; round < 256 && !bailed; round++ {
 		vals := make([]uint64, len(names))
 		for i := range vals {
 			vals[i] = next()

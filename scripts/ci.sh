@@ -9,6 +9,11 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
+# Project-specific static analysis: budget discipline in the solver
+# hot paths, atomic/plain access mixing, lock discipline, expr/bv
+# immutability, and fmt.Errorf %w wrapping. Exits non-zero on any
+# finding; suppress only with a reasoned //lint:ignore.
+go run ./cmd/mbalint ./...
 go test -race ./...
 
 # --- mbaserved boot + selfcheck smoke ---------------------------------
