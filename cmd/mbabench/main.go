@@ -14,6 +14,18 @@
 // -portfolio adds a virtual solver column racing all three
 // personalities per query with first-verdict-wins cancellation — the
 // analogue of the paper's virtual best solver.
+//
+// -incremental runs the experiment queries through warm per-worker
+// incremental solver contexts instead of a fresh solver per query
+// (verdicts are identical; see internal/smt's differential tests). The
+// default stays fresh so the tables reproduce the paper's
+// query-isolated setup.
+//
+// -bench FILE switches to the incremental-vs-fresh solver benchmark:
+// it runs every personality over a repeated corpus in both modes,
+// writes the JSON report (scripts/bench.sh keeps it in
+// BENCH_solver.json) to FILE ("-" = stdout) and exits. -repeats and
+// -bench-samples size the workload; -seed and -width apply.
 package main
 
 import (
@@ -39,7 +51,36 @@ func main() {
 	corpusFile := flag.String("corpus", "", "load corpus from file instead of generating")
 	csvOut := flag.String("csv", "", "also export raw per-query outcomes as CSV to this file")
 	usePortfolio := flag.Bool("portfolio", false, "add a virtual solver column racing all personalities per query")
+	incremental := flag.Bool("incremental", false, "solve through warm incremental contexts instead of a fresh solver per query")
+	benchOut := flag.String("bench", "", "run the incremental-vs-fresh solver benchmark and write the JSON report to this file (- = stdout)")
+	repeats := flag.Int("repeats", 4, "bench: round-robin passes over the corpus")
+	benchSamples := flag.Int("bench-samples", 6, "bench: corpus equations")
 	flag.Parse()
+
+	if *benchOut != "" {
+		step("benchmarking incremental vs fresh solving (%d equations x %d repeats, width %d)...",
+			*benchSamples, *repeats, *width)
+		report := harness.RunSolverBench(harness.BenchConfig{
+			Samples: *benchSamples,
+			Seed:    *seed,
+			Width:   *width,
+			Repeats: *repeats,
+		})
+		out := os.Stdout
+		if *benchOut != "-" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := harness.WriteBenchJSON(out, report); err != nil {
+			fatal(err)
+		}
+		step("overall speedup %.2fx, %d verdict mismatches", report.Overall, report.Mismatches)
+		return
+	}
 
 	var samples []gen.Sample
 	if *corpusFile != "" {
@@ -62,7 +103,8 @@ func main() {
 			Conflicts: *conflicts,
 			Timeout:   time.Duration(*timeout * float64(time.Second)),
 		},
-		Portfolio: *usePortfolio,
+		Portfolio:   *usePortfolio,
+		Incremental: *incremental,
 	}
 	solvers := smt.All()
 	names := make([]string, len(solvers))

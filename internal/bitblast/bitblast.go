@@ -37,7 +37,25 @@ type Blaster struct {
 	stopped   bool         // a Blast call was interrupted by stop/deadline
 	nodeCount int          // term nodes encoded since the last budget check
 	gateCount int          // gate literals allocated since the last budget check
+
+	stats Stats // encoding reuse counters
 }
+
+// Stats counts encoding-cache reuse. CacheHits/CacheMisses track the
+// per-term-node encoding cache (hits require pointer-equal subterms, so
+// they measure how much hash-consing pays off across queries);
+// GateHits/GateMisses track the structural gate hash one level down.
+type Stats struct {
+	CacheHits   int64
+	CacheMisses int64
+	GateHits    int64
+	GateMisses  int64
+}
+
+// Stats returns the Blaster's lifetime encoding counters. Callers
+// measuring a single query on a long-lived Blaster should diff two
+// snapshots.
+func (b *Blaster) Stats() Stats { return b.stats }
 
 // gate operator tags for the structural hash.
 const (
@@ -108,14 +126,31 @@ func (b *Blaster) Stopped() bool { return b.stopped }
 // Blaster whose encoding was interrupted reports Unknown without
 // searching, and the stop flag installed with SetStop is threaded into
 // the budget so solving stays cancellable end-to-end.
-func (b *Blaster) Solve(budget sat.Budget) sat.Status {
+// Assumptions are passed through to the SAT solver and hold only for
+// this call, which is what makes a long-lived Blaster reusable across
+// queries: assert per-query constraints under an activation literal
+// (see Assume) instead of as permanent unit clauses.
+func (b *Blaster) Solve(budget sat.Budget, assumptions ...sat.Lit) sat.Status {
 	if b.stopped {
 		return sat.Unknown
 	}
 	if budget.Stop == nil {
 		budget.Stop = b.stop
 	}
-	return b.S.Solve(budget)
+	return b.S.Solve(budget, assumptions...)
+}
+
+// Assume returns a fresh activation literal act with the clause
+// (¬act ∨ l) asserted, so passing act as a Solve assumption temporarily
+// asserts l without committing the circuit to it. While act is not
+// assumed the clause is vacuously satisfiable, so the shared circuit
+// stays reusable for later queries; callers should cache and reuse the
+// returned literal per distinct l rather than minting a new one each
+// time.
+func (b *Blaster) Assume(l sat.Lit) sat.Lit {
+	act := sat.MkLit(b.S.NewVar(), false)
+	b.S.AddClause(act.Not(), l)
+	return act
 }
 
 // stopBlast unwinds an in-progress Blast recursion after the stop flag
@@ -169,8 +204,10 @@ func (b *Blaster) Blast(t *bv.Term) (out []sat.Lit) {
 
 func (b *Blaster) blast(t *bv.Term) []sat.Lit {
 	if out, ok := b.cache[t]; ok {
+		b.stats.CacheHits++
 		return out
 	}
+	b.stats.CacheMisses++
 	if b.bounded() {
 		b.nodeCount++
 		if b.nodeCount%blastNodeCheckPeriod == 0 && b.interrupted() {
@@ -293,8 +330,10 @@ func (b *Blaster) mkAnd(a, c sat.Lit) sat.Lit {
 	}
 	k := gateKey(gAnd, a, c)
 	if o, ok := b.gates[k]; ok {
+		b.stats.GateHits++
 		return o
 	}
+	b.stats.GateMisses++
 	o := b.freshLit()
 	// o <-> a & c.
 	b.S.AddClause(o.Not(), a)
@@ -327,13 +366,16 @@ func (b *Blaster) mkXor(a, c sat.Lit) sat.Lit {
 	}
 	k := gateKey(gXor, a, c)
 	if o, ok := b.gates[k]; ok {
+		b.stats.GateHits++
 		return o
 	}
 	// Normalize polarity: x ^ ~y = ~(x ^ y).
 	k2 := gateKey(gXor, a.Not(), c.Not())
 	if o, ok := b.gates[k2]; ok {
+		b.stats.GateHits++
 		return o
 	}
+	b.stats.GateMisses++
 	o := b.freshLit()
 	b.S.AddClause(o.Not(), a, c)
 	b.S.AddClause(o.Not(), a.Not(), c.Not())
@@ -413,13 +455,12 @@ func (b *Blaster) Model(name string) (uint64, bool) {
 	if !ok {
 		return 0, false
 	}
-	m := b.S.Model()
-	if m == nil {
-		return 0, false
-	}
 	var v uint64
 	for i, l := range bits {
-		bit := m[l.Var()]
+		bit, ok := b.S.ModelBit(l.Var())
+		if !ok {
+			return 0, false
+		}
 		if l.Neg() {
 			bit = !bit
 		}

@@ -191,11 +191,18 @@ func Eval(t *Term, env map[string]uint64) uint64 {
 	panic("bv: unknown op in Eval")
 }
 
-// Vars returns the set of variable names in t.
+// Vars returns the set of variable names in t. Shared subterms are
+// visited once, so the walk is linear in the DAG size even on heavily
+// hash-consed terms.
 func Vars(t *Term) map[string]uint {
 	out := map[string]uint{}
+	seen := map[*Term]bool{}
 	var walk func(*Term)
 	walk = func(n *Term) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
 		if n.Op == Var {
 			out[n.Name] = n.Width
 			return

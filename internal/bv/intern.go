@@ -1,0 +1,169 @@
+package bv
+
+import (
+	"mbasolver/internal/eval"
+	"mbasolver/internal/expr"
+)
+
+// Hash-consed interning for terms. An Interner guarantees that
+// structurally equal terms built through it are pointer-equal, which
+// turns trees into DAGs at construction time and — more importantly —
+// makes pointer-keyed caches downstream (the Rewriter's memo, the
+// Blaster's per-node encoding cache and gate hash) hit across queries,
+// not just within one. The incremental smt.Context keeps one Interner
+// per personality so a corpus of structurally overlapping queries is
+// rewritten and bit-blasted once per distinct subterm.
+//
+// Unlike the Rewriter's string-keyed cons table, the interner key is a
+// small comparable struct whose child slots are the (already interned)
+// argument pointers, so interning a node is O(1) after its children —
+// no canonical string is ever built.
+
+// internKey identifies a term node up to structural equality, given
+// that argument pointers are themselves interned. The struct is
+// comparable, so aliasing between e.g. Var("ab") and Var("a")+garbage
+// is impossible by construction — every field lives in its own slot.
+type internKey struct {
+	op    Op
+	width uint
+	name  string
+	val   uint64
+	a, b  *Term
+}
+
+// InternStats reports interning reuse counters.
+type InternStats struct {
+	Hits   int64 // nodes served from the table
+	Misses int64 // fresh nodes entered into the table
+	Terms  int   // distinct live terms (table size)
+}
+
+// Interner hash-conses terms. It is single-goroutine, like the
+// Rewriter; share one per solver context, not across goroutines.
+type Interner struct {
+	table map[internKey]*Term
+	memo  map[*Term]*Term // Intern() results for foreign nodes
+	hits  int64
+	miss  int64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{
+		table: map[internKey]*Term{},
+		memo:  map[*Term]*Term{},
+	}
+}
+
+// Stats returns the interner's reuse counters.
+func (in *Interner) Stats() InternStats {
+	return InternStats{Hits: in.hits, Misses: in.miss, Terms: len(in.table)}
+}
+
+// Len returns the number of distinct interned terms.
+func (in *Interner) Len() int { return len(in.table) }
+
+// get returns the canonical node for key, entering cand if absent.
+func (in *Interner) get(key internKey, cand func() *Term) *Term {
+	if t, ok := in.table[key]; ok {
+		in.hits++
+		return t
+	}
+	in.miss++
+	t := cand()
+	in.table[key] = t
+	return t
+}
+
+// Const returns the interned width-bit constant (value reduced mod
+// 2^width).
+func (in *Interner) Const(v uint64, width uint) *Term {
+	v &= eval.Mask(width)
+	return in.get(internKey{op: Const, width: width, val: v},
+		func() *Term { return NewConst(v, width) })
+}
+
+// Var returns the interned width-bit free variable.
+func (in *Interner) Var(name string, width uint) *Term {
+	return in.get(internKey{op: Var, width: width, name: name},
+		func() *Term { return NewVar(name, width) })
+}
+
+// Unary returns the interned bvnot/bvneg over an interned argument.
+func (in *Interner) Unary(op Op, a *Term) *Term {
+	a = in.Intern(a)
+	return in.get(internKey{op: op, width: a.Width, a: a},
+		func() *Term { return Unary(op, a) })
+}
+
+// Binary returns the interned binary term over interned arguments.
+func (in *Interner) Binary(op Op, a, b *Term) *Term {
+	a, b = in.Intern(a), in.Intern(b)
+	return in.get(internKey{op: op, width: a.Width, a: a, b: b},
+		func() *Term { return Binary(op, a, b) })
+}
+
+// Predicate returns the interned =, distinct or bvult predicate over
+// interned arguments.
+func (in *Interner) Predicate(op Op, a, b *Term) *Term {
+	a, b = in.Intern(a), in.Intern(b)
+	return in.get(internKey{op: op, width: 1, a: a, b: b},
+		func() *Term { return Predicate(op, a, b) })
+}
+
+// Intern returns the canonical interned node for t, rebuilding the
+// term bottom-up so every reachable node is interned. Results are
+// memoized per input pointer, so re-interning a term already produced
+// by this interner — or any foreign tree seen before — is O(1).
+func (in *Interner) Intern(t *Term) *Term {
+	if out, ok := in.memo[t]; ok {
+		return out
+	}
+	var out *Term
+	switch t.Op {
+	case Const:
+		out = in.Const(t.Val, t.Width)
+	case Var:
+		out = in.Var(t.Name, t.Width)
+	case Not, Neg:
+		out = in.Unary(t.Op, in.Intern(t.Args[0]))
+	case Eq, Ne, Ult:
+		out = in.Predicate(t.Op, in.Intern(t.Args[0]), in.Intern(t.Args[1]))
+	default:
+		out = in.Binary(t.Op, in.Intern(t.Args[0]), in.Intern(t.Args[1]))
+	}
+	in.memo[t] = out
+	in.memo[out] = out // canonical nodes map to themselves
+	return out
+}
+
+// FromExpr translates an MBA expression directly into an interned term
+// at the given width — the interned analogue of FromExpr.
+func (in *Interner) FromExpr(e *expr.Expr, width uint) *Term {
+	switch e.Op {
+	case expr.OpVar:
+		return in.Var(e.Name, width)
+	case expr.OpConst:
+		return in.Const(e.Val, width)
+	case expr.OpNot:
+		return in.Unary(Not, in.FromExpr(e.X, width))
+	case expr.OpNeg:
+		return in.Unary(Neg, in.FromExpr(e.X, width))
+	}
+	x, y := in.FromExpr(e.X, width), in.FromExpr(e.Y, width)
+	switch e.Op {
+	case expr.OpAnd:
+		return in.Binary(And, x, y)
+	case expr.OpOr:
+		return in.Binary(Or, x, y)
+	case expr.OpXor:
+		return in.Binary(Xor, x, y)
+	case expr.OpAdd:
+		return in.Binary(Add, x, y)
+	case expr.OpSub:
+		return in.Binary(Sub, x, y)
+	case expr.OpMul:
+		return in.Binary(Mul, x, y)
+	}
+	panic("bv: unsupported expression operator in Interner.FromExpr")
+}

@@ -37,6 +37,12 @@ type Config struct {
 	// cancellation — the experimental analogue of the paper's virtual
 	// best solver.
 	Portfolio bool
+	// Incremental solves through warm per-worker smt.Contexts instead
+	// of a fresh solver per query: corpus samples share interned
+	// structure, encoded circuits and learned clauses within each
+	// worker. Verdicts are unchanged (see the differential tests in
+	// internal/smt); per-query budgets still apply individually.
+	Incremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +176,20 @@ func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Incremental mode: each worker owns one warm context per
+			// personality (contexts are single-goroutine) plus one
+			// racing set for portfolio jobs, reused across its jobs.
+			var ctxs map[*smt.Solver]*smt.Context
+			var cset *portfolio.ContextSet
+			if cfg.Incremental {
+				ctxs = make(map[*smt.Solver]*smt.Context, len(solvers))
+				for _, sv := range solvers {
+					ctxs[sv] = sv.NewContext(smt.ContextOptions{})
+				}
+				if cfg.Portfolio {
+					cset = portfolio.NewContextSet(solvers, smt.ContextOptions{})
+				}
+			}
 			for j := range jobs {
 				lhs, rhs := sides(j.sample)
 				o := Outcome{
@@ -177,12 +197,22 @@ func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 					Metrics: metrics.Measure(lhs),
 				}
 				if j.portfolio {
-					res := portfolio.CheckEquiv(solvers, lhs, rhs, cfg.Width, cfg.Budget)
+					var res portfolio.Result
+					if cset != nil {
+						res = cset.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
+					} else {
+						res = portfolio.CheckEquiv(solvers, lhs, rhs, cfg.Width, cfg.Budget)
+					}
 					o.Solver = portfolio.Name
 					o.Status = res.Status
 					o.Elapsed = res.Elapsed
 				} else {
-					res := j.solver.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
+					var res smt.Result
+					if ctxs != nil {
+						res = ctxs[j.solver].CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
+					} else {
+						res = j.solver.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
+					}
 					o.Solver = j.solver.Name()
 					o.Status = res.Status
 					o.Elapsed = res.Elapsed

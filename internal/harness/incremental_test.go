@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"testing"
+
+	"mbasolver/internal/gen"
+	"mbasolver/internal/smt"
+)
+
+// TestIncrementalMatchesFresh: the incremental harness mode must never
+// contradict fresh-solver verdicts on corpus identities — and since
+// every sample is an identity, neither mode may refute anything. Warm
+// contexts may solve strictly more within the conflict budget, never
+// less accurately.
+func TestIncrementalMatchesFresh(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus run is slow")
+	}
+	// Kept deliberately small: the heavyweight differential coverage
+	// (full corpus, budgets, cancellation) lives in internal/smt; this
+	// test pins the harness wiring, and the package is near the race
+	// detector's 10-minute budget already.
+	g := gen.New(gen.Config{Seed: 33, LinearTerms: 3, CoeffRange: 3})
+	var samples []gen.Sample
+	for i := 0; i < 4; i++ {
+		samples = append(samples, g.Linear())
+	}
+	solvers := smt.All()
+	cfg := Config{Width: 8, Budget: smt.Budget{Conflicts: 2000}, Parallelism: 2, Portfolio: true}
+
+	fresh := RunBaseline(samples, solvers, cfg)
+	cfg.Incremental = true
+	inc := RunBaseline(samples, solvers, cfg)
+
+	if len(fresh) != len(inc) {
+		t.Fatalf("outcome count differs: fresh %d vs incremental %d", len(fresh), len(inc))
+	}
+	freshSolved, incSolved := 0, 0
+	for i := range fresh {
+		if fresh[i].Sample.ID != inc[i].Sample.ID || fresh[i].Solver != inc[i].Solver {
+			t.Fatalf("outcome %d misaligned: fresh (%d,%s) vs incremental (%d,%s)",
+				i, fresh[i].Sample.ID, fresh[i].Solver, inc[i].Sample.ID, inc[i].Solver)
+		}
+		for _, o := range []Outcome{fresh[i], inc[i]} {
+			if o.Status == smt.NotEquivalent {
+				t.Fatalf("%s refuted identity sample %d", o.Solver, o.Sample.ID)
+			}
+		}
+		if fresh[i].Solved() {
+			freshSolved++
+		}
+		if inc[i].Solved() {
+			incSolved++
+		}
+	}
+	// Warm contexts usually solve at least as much (learned clauses
+	// carry over), but branching-heuristic state differs from a cold
+	// solver's, so allow slack before calling it a regression.
+	if incSolved+2 < freshSolved {
+		t.Errorf("incremental mode solved markedly fewer: %d vs fresh %d", incSolved, freshSolved)
+	}
+}

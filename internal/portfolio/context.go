@@ -1,0 +1,94 @@
+package portfolio
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/smt"
+)
+
+// ContextSet is the incremental counterpart of the stateless portfolio
+// entry points: one warm smt.Context per personality, raced on every
+// query. Across a corpus the engines keep their interned terms, encoded
+// circuits, learned clauses and branching heuristics, so the set gets
+// faster as it sees more structurally related queries — while verdicts
+// stay those of the underlying personalities.
+//
+// A ContextSet is single-caller: one query at a time (the engines race
+// internally, but each context is only ever touched by the goroutine
+// racing it). Use one set per worker.
+type ContextSet struct {
+	solvers  []*smt.Solver
+	contexts []*smt.Context
+}
+
+// NewContextSet builds one incremental context per personality.
+func NewContextSet(solvers []*smt.Solver, opts smt.ContextOptions) *ContextSet {
+	cs := &ContextSet{solvers: solvers}
+	for _, s := range solvers {
+		cs.contexts = append(cs.contexts, s.NewContext(opts))
+	}
+	return cs
+}
+
+// Solvers returns the racing personalities.
+func (cs *ContextSet) Solvers() []*smt.Solver { return cs.solvers }
+
+// Stats returns per-engine context counters, index-aligned with the
+// solver list.
+func (cs *ContextSet) Stats() []smt.ContextStats {
+	out := make([]smt.ContextStats, len(cs.contexts))
+	for i, c := range cs.contexts {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// Reset invalidates every engine's accumulated state.
+func (cs *ContextSet) Reset() {
+	for _, c := range cs.contexts {
+		c.Reset()
+	}
+}
+
+// CheckTermEquiv races the warm contexts on one term-equivalence
+// query; semantics match the package-level CheckTermEquiv.
+func (cs *ContextSet) CheckTermEquiv(ta, tb *bv.Term, budget smt.Budget) Result {
+	start := time.Now()
+	if len(cs.contexts) == 0 {
+		return Result{Result: smt.Result{Status: smt.Timeout}}
+	}
+	results, winner, stops := race(len(cs.contexts), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.Result {
+			b := budget
+			b.Stop = stop
+			return cs.contexts[i].CheckTermEquiv(ta, tb, b)
+		},
+		equivDefinitive)
+	return assembleResult(cs.solvers, results, winner, stops, start)
+}
+
+// CheckEquiv is CheckTermEquiv over expressions at the given width.
+func (cs *ContextSet) CheckEquiv(a, b *expr.Expr, width uint, budget smt.Budget) Result {
+	return cs.CheckTermEquiv(bv.FromExpr(a, width), bv.FromExpr(b, width), budget)
+}
+
+// SolveAssertions races the warm contexts on the conjunction of
+// asserted width-1 terms; semantics match the package-level
+// SolveAssertions.
+func (cs *ContextSet) SolveAssertions(assertions []*bv.Term, budget smt.Budget) SatResult {
+	start := time.Now()
+	if len(cs.contexts) == 0 {
+		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
+	}
+	results, winner, stops := race(len(cs.contexts), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.SatResult {
+			b := budget
+			b.Stop = stop
+			return cs.contexts[i].SolveAssertions(assertions, b)
+		},
+		satDefinitive)
+	return assembleSatResult(cs.solvers, results, winner, stops, start)
+}

@@ -115,26 +115,20 @@ func race[T any](n int, parent *atomic.Bool, fn func(i int, stop *atomic.Bool) T
 	return results, winner, stops
 }
 
-// CheckTermEquiv races the solvers on one term-equivalence query. The
-// first Equivalent/NotEquivalent verdict wins and the remaining
-// engines are cancelled; if every engine exhausts the budget the
-// result is Timeout. budget.Stop, when set, cancels the entire
-// portfolio.
-func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) Result {
-	start := time.Now()
-	if len(solvers) == 0 {
-		return Result{Result: smt.Result{Status: smt.Timeout}}
-	}
+// equivDefinitive reports whether an equivalence result settles a race.
+func equivDefinitive(r smt.Result) bool {
+	return r.Status == smt.Equivalent || r.Status == smt.NotEquivalent
+}
 
-	results, winner, stops := race(len(solvers), budget.Stop,
-		func(i int, stop *atomic.Bool) smt.Result {
-			b := budget
-			b.Stop = stop
-			return solvers[i].CheckTermEquiv(ta, tb, b)
-		},
-		func(r smt.Result) bool {
-			return r.Status == smt.Equivalent || r.Status == smt.NotEquivalent
-		})
+// satDefinitive reports whether a sat result settles a race.
+func satDefinitive(r smt.SatResult) bool {
+	return r.Status == smt.Satisfiable || r.Status == smt.Unsatisfiable
+}
+
+// assembleResult folds per-engine equivalence results into a portfolio
+// Result, shared by the stateless and incremental entry points.
+func assembleResult(solvers []*smt.Solver, results []smt.Result, winner int,
+	stops []*atomic.Bool, start time.Time) Result {
 
 	out := Result{Engines: make([]Engine, len(solvers))}
 	for i, r := range results {
@@ -159,28 +153,9 @@ func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) R
 	return out
 }
 
-// CheckEquiv is CheckTermEquiv over expressions at the given width.
-func CheckEquiv(solvers []*smt.Solver, a, b *expr.Expr, width uint, budget smt.Budget) Result {
-	return CheckTermEquiv(solvers, bv.FromExpr(a, width), bv.FromExpr(b, width), budget)
-}
-
-// SolveAssertions races the solvers on the conjunction of asserted
-// width-1 terms; the first sat/unsat verdict wins.
-func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Budget) SatResult {
-	start := time.Now()
-	if len(solvers) == 0 {
-		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
-	}
-
-	results, winner, stops := race(len(solvers), budget.Stop,
-		func(i int, stop *atomic.Bool) smt.SatResult {
-			b := budget
-			b.Stop = stop
-			return solvers[i].SolveAssertions(assertions, b)
-		},
-		func(r smt.SatResult) bool {
-			return r.Status == smt.Satisfiable || r.Status == smt.Unsatisfiable
-		})
+// assembleSatResult is assembleResult for satisfiability races.
+func assembleSatResult(solvers []*smt.Solver, results []smt.SatResult, winner int,
+	stops []*atomic.Bool, start time.Time) SatResult {
 
 	out := SatResult{Engines: make([]Engine, len(solvers))}
 	for i, r := range results {
@@ -202,4 +177,48 @@ func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Bu
 	}
 	out.Elapsed = time.Since(start)
 	return out
+}
+
+// CheckTermEquiv races the solvers on one term-equivalence query. The
+// first Equivalent/NotEquivalent verdict wins and the remaining
+// engines are cancelled; if every engine exhausts the budget the
+// result is Timeout. budget.Stop, when set, cancels the entire
+// portfolio.
+func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) Result {
+	start := time.Now()
+	if len(solvers) == 0 {
+		return Result{Result: smt.Result{Status: smt.Timeout}}
+	}
+
+	results, winner, stops := race(len(solvers), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.Result {
+			b := budget
+			b.Stop = stop
+			return solvers[i].CheckTermEquiv(ta, tb, b)
+		},
+		equivDefinitive)
+	return assembleResult(solvers, results, winner, stops, start)
+}
+
+// CheckEquiv is CheckTermEquiv over expressions at the given width.
+func CheckEquiv(solvers []*smt.Solver, a, b *expr.Expr, width uint, budget smt.Budget) Result {
+	return CheckTermEquiv(solvers, bv.FromExpr(a, width), bv.FromExpr(b, width), budget)
+}
+
+// SolveAssertions races the solvers on the conjunction of asserted
+// width-1 terms; the first sat/unsat verdict wins.
+func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Budget) SatResult {
+	start := time.Now()
+	if len(solvers) == 0 {
+		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
+	}
+
+	results, winner, stops := race(len(solvers), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.SatResult {
+			b := budget
+			b.Stop = stop
+			return solvers[i].SolveAssertions(assertions, b)
+		},
+		satDefinitive)
+	return assembleSatResult(solvers, results, winner, stops, start)
 }

@@ -1,0 +1,168 @@
+package sat
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeometricRestartLimitSaturates drives the geometric restart
+// schedule far past the point where the old O(count) float
+// recomputation left the int64 range. The limit must stay positive,
+// monotonically non-decreasing, and pin to MaxInt64 instead of
+// wrapping to garbage.
+func TestGeometricRestartLimitSaturates(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RestartLuby = false
+	opts.RestartBase = 150
+	opts.RestartInc = 1.5
+	s := New(opts)
+
+	lim := s.firstRestartLimit()
+	if lim != 150 {
+		t.Fatalf("first geometric limit = %d, want RestartBase", lim)
+	}
+	saturatedAt := int64(-1)
+	for count := int64(1); count <= 2000; count++ {
+		next := s.nextRestartLimit(count, lim)
+		if next < lim {
+			t.Fatalf("restart %d: limit regressed %d -> %d", count, lim, next)
+		}
+		if next < 0 {
+			t.Fatalf("restart %d: negative limit %d", count, next)
+		}
+		lim = next
+		if lim == math.MaxInt64 && saturatedAt < 0 {
+			saturatedAt = count
+		}
+	}
+	if saturatedAt < 0 {
+		t.Fatalf("limit never saturated; final %d", lim)
+	}
+	// Base 150 at factor 1.5 crosses 2^63 after ~105 restarts; make
+	// sure saturation kicked in around there and then held.
+	if saturatedAt > 200 {
+		t.Fatalf("saturated only after %d restarts", saturatedAt)
+	}
+	if got := s.nextRestartLimit(5000, math.MaxInt64); got != math.MaxInt64 {
+		t.Fatalf("saturated limit must stay pinned, got %d", got)
+	}
+}
+
+// TestLubyRestartLimitClamps: the Luby schedule's product with the
+// base also saturates instead of overflowing.
+func TestLubyRestartLimitClamps(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RestartLuby = true
+	opts.RestartBase = 100
+	s := New(opts)
+	if lim := s.firstRestartLimit(); lim != 100 {
+		t.Fatalf("first Luby limit = %d, want 100", lim)
+	}
+	// luby(2^61 - 1) = 2^60; times base 100 overflows int64.
+	count := int64(1)<<61 - 2 // nextRestartLimit computes luby(count+1)
+	if got := s.nextRestartLimit(count, 0); got != math.MaxInt64 {
+		t.Fatalf("Luby product must saturate, got %d", got)
+	}
+	// Ordinary counts are unaffected.
+	if got := s.nextRestartLimit(2, 0); got != 200 {
+		t.Fatalf("luby(3)*100 = %d, want 200", got)
+	}
+}
+
+// TestGeometricScheduleStillRestarts: end-to-end, a geometric-restart
+// solver on an unsatisfiable formula records restarts (the schedule is
+// live, not pinned at MaxInt64 from the start).
+func TestGeometricScheduleStillRestarts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RestartLuby = false
+	opts.RestartBase = 1
+	opts.RestartInc = 1.1
+	s := New(opts)
+	// Pigeonhole PHP(6,5): 6 pigeons into 5 holes, unsatisfiable and
+	// resistant to pure unit propagation, so the solver must search and
+	// (with RestartBase 1) restart.
+	const pigeons, holes = 6, 5
+	p := make([][]Var, pigeons)
+	for i := range p {
+		p[i] = make([]Var, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		row := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			row[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(row...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+	if status := s.Solve(Budget{}); status != Unsat {
+		t.Fatalf("PHP(6,5) solve = %v, want unsat", status)
+	}
+	if s.Stats().Restarts == 0 {
+		t.Fatalf("geometric schedule with base 1 never restarted (conflicts=%d)", s.Stats().Conflicts)
+	}
+}
+
+// TestModelReturnsCopy pins the aliasing fix: the slice returned by
+// Model is the caller's own; mutating it does not corrupt the solver,
+// and a model taken before a later Solve is not rewritten by it.
+func TestModelReturnsCopy(t *testing.T) {
+	s := New(DefaultOptions())
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false))                 // a
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a -> b
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("solve = %v, want sat", got)
+	}
+	m1 := s.Model()
+	if !m1[a] || !m1[b] {
+		t.Fatalf("model %v, want a and b true", m1)
+	}
+	m1[a], m1[b] = false, false // caller scribbles on its copy
+	m2 := s.Model()
+	if !m2[a] || !m2[b] {
+		t.Fatalf("mutating a returned model corrupted solver state: %v", m2)
+	}
+
+	// A later solve (new variable forced true) must not rewrite m2.
+	c := s.NewVar()
+	s.AddClause(MkLit(c, false))
+	if got := s.Solve(Budget{}); got != Sat {
+		t.Fatalf("second solve = %v, want sat", got)
+	}
+	if len(m2) != 2 {
+		t.Fatalf("earlier model grew after a later solve: %v", m2)
+	}
+	if !m2[a] || !m2[b] {
+		t.Fatalf("earlier model rewritten by a later solve: %v", m2)
+	}
+
+	// ModelBit agrees with the copy and rejects out-of-range vars.
+	if v, ok := s.ModelBit(c); !ok || !v {
+		t.Fatalf("ModelBit(c) = %v,%v want true,true", v, ok)
+	}
+	if _, ok := s.ModelBit(Var(99)); ok {
+		t.Fatal("ModelBit accepted a variable beyond the model")
+	}
+}
+
+// TestModelNilBeforeSat: no model before any Sat verdict.
+func TestModelNilBeforeSat(t *testing.T) {
+	s := New(DefaultOptions())
+	v := s.NewVar()
+	_ = v
+	if s.Model() != nil {
+		t.Fatal("model must be nil before a Sat result")
+	}
+	if _, ok := s.ModelBit(v); ok {
+		t.Fatal("ModelBit must report no model before a Sat result")
+	}
+}

@@ -15,6 +15,7 @@ package sat
 import (
 	"bufio"
 	"errors"
+	"math"
 	"sync/atomic"
 	"time"
 )
@@ -655,7 +656,7 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 	conflictBudgetAtStart := s.stats.Conflicts
 	propBudgetAtStart := s.stats.Propagations
 	conflictsSinceRestart := int64(0)
-	restartLimit := s.restartLimit(restartCount)
+	restartLimit := s.firstRestartLimit()
 	maxLearnts := float64(len(s.clauses))*s.opts.LearntsFraction + 100
 
 	// checkBudget runs on every conflict, every restart, and every
@@ -747,7 +748,7 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 		if conflictsSinceRestart >= restartLimit {
 			restartCount++
 			conflictsSinceRestart = 0
-			restartLimit = s.restartLimit(restartCount)
+			restartLimit = s.nextRestartLimit(restartCount, restartLimit)
 			s.stats.Restarts++
 			s.backtrackTo(s.assumptionLevel(len(assumptions)))
 			if !checkBudget() {
@@ -800,20 +801,82 @@ func (s *Solver) assumptionLevel(n int) int32 {
 	return int32(n)
 }
 
-func (s *Solver) restartLimit(count int64) int64 {
+// firstRestartLimit returns the restart interval used before any
+// restart has happened.
+func (s *Solver) firstRestartLimit() int64 {
 	if s.opts.RestartLuby {
-		return luby(count+1) * int64(s.opts.RestartBase)
+		return satMul64(luby(1), int64(s.opts.RestartBase))
 	}
-	lim := float64(s.opts.RestartBase)
-	for i := int64(0); i < count; i++ {
-		lim *= s.opts.RestartInc
-	}
-	return int64(lim)
+	return int64(s.opts.RestartBase)
 }
 
-// Model returns the satisfying assignment found by the last Sat result;
-// index by Var.
-func (s *Solver) Model() []bool { return s.model }
+// nextRestartLimit returns the interval to use after the count-th
+// restart. Geometric limits are derived incrementally from the
+// previous limit — one multiply per restart instead of the old
+// O(restartCount) recomputation — and saturate at MaxInt64: the
+// float64→int64 conversion is implementation-defined once the value
+// leaves the int64 range, and before this clamp a long-running
+// geometric schedule could wrap to a negative limit, turning every
+// conflict into a restart and degenerating the search.
+func (s *Solver) nextRestartLimit(count, prev int64) int64 {
+	if s.opts.RestartLuby {
+		return satMul64(luby(count+1), int64(s.opts.RestartBase))
+	}
+	if prev == math.MaxInt64 {
+		return prev
+	}
+	inc := s.opts.RestartInc
+	if inc <= 1 {
+		return prev // degenerate configuration: keep a constant schedule
+	}
+	next := float64(prev) * inc
+	// float64(MaxInt64) is exactly 2^63; anything at or above it (or a
+	// non-finite product) must clamp before the int64 conversion.
+	if !(next < float64(math.MaxInt64)) {
+		return math.MaxInt64
+	}
+	return int64(next)
+}
+
+// satMul64 multiplies two non-negative int64s, saturating at MaxInt64.
+func satMul64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// Model returns a copy of the satisfying assignment found by the last
+// Sat result (nil if none); index by Var. Each call returns a fresh
+// slice, so callers may mutate it — and hold it across later Solve
+// calls — without corrupting or observing the solver's internal state.
+func (s *Solver) Model() []bool {
+	if s.model == nil {
+		return nil
+	}
+	return append([]bool(nil), s.model...)
+}
+
+// ModelBit returns variable v's value in the last Sat model without
+// copying the whole assignment; ok is false when no model is available
+// or v was allocated after the model was captured.
+func (s *Solver) ModelBit(v Var) (value, ok bool) {
+	if s.model == nil || int(v) >= len(s.model) {
+		return false, false
+	}
+	return s.model[v], true
+}
+
+// NumClauses returns the number of attached problem clauses (level-0
+// units and satisfied clauses are absorbed at AddClause time and not
+// counted).
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NumLearnts returns the current learnt-clause count.
+func (s *Solver) NumLearnts() int { return len(s.learnts) }
 
 // Stats returns cumulative search statistics.
 func (s *Solver) Stats() Stats { return s.stats }

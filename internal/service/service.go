@@ -45,6 +45,15 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429/503 answers
 	// (default 1s).
 	RetryAfter time.Duration
+	// DisableIncremental makes every solve build a fresh solver instead
+	// of using the per-worker incremental smt.Contexts. Incremental
+	// solving keeps interned terms, encoded circuits and learned clauses
+	// warm across the queries a worker serves (bounded by the contexts'
+	// internal watermarks, which recycle oversized state automatically);
+	// verdicts are identical either way, so this switch exists for
+	// memory-constrained deployments and A/B measurement, not
+	// correctness.
+	DisableIncremental bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,10 +116,15 @@ type simpKey struct {
 	disj  bool
 }
 
-// workerCtx is the per-worker state handed to task closures.
+// workerCtx is the per-worker state handed to task closures. Each
+// worker runs tasks strictly sequentially, so the incremental contexts
+// (single-goroutine by contract) are safe here and accumulate warm
+// state across every query the worker serves.
 type workerCtx struct {
 	stop  *atomic.Bool
 	simps map[simpKey]*core.Simplifier
+	solo  map[string]*smt.Context // per-personality incremental contexts
+	cset  *portfolio.ContextSet   // incremental portfolio line-up
 }
 
 func (w *workerCtx) simplifier(width uint, disj bool) *core.Simplifier {
@@ -218,6 +232,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	w := &workerCtx{simps: map[simpKey]*core.Simplifier{}}
+	if !s.cfg.DisableIncremental {
+		w.solo = make(map[string]*smt.Context, len(s.all))
+		for _, sv := range s.all {
+			w.solo[sv.Name()] = sv.NewContext(smt.ContextOptions{})
+		}
+		w.cset = portfolio.NewContextSet(s.all, smt.ContextOptions{})
+	}
 	for {
 		select {
 		case t := <-s.queue:
@@ -522,7 +543,12 @@ func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solve
 	}
 	resp := &SolveResponse{Width: width}
 	if spec.portfolio {
-		res := portfolio.CheckEquiv(s.all, a, b, width, budget)
+		var res portfolio.Result
+		if wc.cset != nil {
+			res = wc.cset.CheckEquiv(a, b, width, budget)
+		} else {
+			res = portfolio.CheckEquiv(s.all, a, b, width, budget)
+		}
 		resp.Status = res.Status.String()
 		resp.Witness = res.Witness
 		resp.Solver = res.Winner
@@ -541,7 +567,12 @@ func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solve
 		if name == "" {
 			name = "btorsim"
 		}
-		res := s.solvers[name].CheckEquiv(a, b, width, budget)
+		var res smt.Result
+		if ctx := wc.solo[name]; ctx != nil {
+			res = ctx.CheckEquiv(a, b, width, budget)
+		} else {
+			res = s.solvers[name].CheckEquiv(a, b, width, budget)
+		}
 		resp.Status = res.Status.String()
 		resp.Witness = res.Witness
 		resp.Solver = name

@@ -1,0 +1,488 @@
+package smt
+
+import (
+	"time"
+
+	"mbasolver/internal/bitblast"
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/sat"
+)
+
+// Context is a reusable incremental solving context for one solver
+// personality. Where Solver builds a fresh rewriter, bit-blaster and
+// SAT instance per query, a Context keeps all three alive across
+// queries:
+//
+//   - an Interner hash-conses every incoming term, so structurally
+//     equal subterms of successive queries are pointer-equal and the
+//     pointer-keyed caches downstream (the Rewriter's memo, the
+//     Blaster's per-node encoding cache and structural gate hash) hit
+//     across queries, not just within one;
+//   - one Blaster (and thus one SAT solver) per result width encodes
+//     the union of all queries seen so far as a shared circuit, and
+//     each query is checked under a per-query activation literal passed
+//     to Solve as an assumption (MiniSat-style incremental solving), so
+//     learned clauses, variable activities and saved phases survive
+//     from query to query;
+//   - activation literals are cached per distinct query term, so
+//     re-checking a query the context has already seen re-runs only the
+//     SAT search — which is itself near-instant when the previous
+//     verdict's learned clauses still apply.
+//
+// The shared circuit stays satisfiable by construction: Tseitin gate
+// clauses are definitional and each query's assertion is guarded by its
+// activation literal, which is free unless assumed. Every learned
+// clause is therefore implied by the circuit alone and sound for every
+// later query.
+//
+// Growth is bounded by watermarks (ContextOptions): a width whose
+// solver outgrows MaxVars/MaxClauses is recycled (its blaster and
+// activation cache dropped, to be rebuilt on demand), and when the
+// intern table outgrows MaxTerms the whole context resets. A Blast
+// call interrupted by a stop flag or deadline also forces that width's
+// recycle, per the Blaster contract that a partially encoded circuit
+// must be discarded.
+//
+// A Context is single-goroutine, like the Rewriter it embeds; use one
+// per worker and never share one across goroutines.
+type Context struct {
+	s    *Solver
+	opts ContextOptions
+
+	in     *bv.Interner
+	rw     *bv.Rewriter
+	states map[uint]*ctxState
+
+	stats        ContextStats
+	retiredBlast bitblast.Stats // encoding counters of recycled states
+}
+
+// ContextOptions bounds a Context's memory. Zero fields take the
+// package defaults.
+type ContextOptions struct {
+	// MaxVars recycles a width's solver when its variable count passes
+	// this watermark.
+	MaxVars int
+	// MaxClauses recycles a width's solver when problem plus learned
+	// clauses pass this watermark.
+	MaxClauses int
+	// MaxTerms resets the whole context (interner, rewriter, all
+	// widths) when the intern table passes this watermark.
+	MaxTerms int
+}
+
+// Default watermarks: generous enough that corpus-scale workloads never
+// recycle, small enough that a context cannot grow unboundedly in a
+// long-lived service worker.
+const (
+	defaultMaxVars    = 2_000_000
+	defaultMaxClauses = 8_000_000
+	defaultMaxTerms   = 1_000_000
+)
+
+func (o ContextOptions) withDefaults() ContextOptions {
+	if o.MaxVars <= 0 {
+		o.MaxVars = defaultMaxVars
+	}
+	if o.MaxClauses <= 0 {
+		o.MaxClauses = defaultMaxClauses
+	}
+	if o.MaxTerms <= 0 {
+		o.MaxTerms = defaultMaxTerms
+	}
+	return o
+}
+
+// ContextStats reports a context's reuse and recycling counters.
+type ContextStats struct {
+	Queries    int64 // queries answered through this context
+	ActHits    int64 // queries whose activation literal was reused
+	Recycles   int64 // per-width solver recycles (watermark or interrupt)
+	FullResets int64 // whole-context resets (intern table watermark)
+
+	Intern bv.InternStats // hash-consing reuse
+	Blast  bitblast.Stats // encoding-cache reuse, summed over all states
+
+	// Size of the live shared circuits, summed over width states (the
+	// quantities the MaxVars/MaxClauses watermarks police).
+	Vars    int
+	Clauses int
+	Learnts int
+}
+
+// ctxState is the incremental machinery for one result width.
+type ctxState struct {
+	bl        *bitblast.Blaster
+	acts      map[*bv.Term]sat.Lit // rewritten query term -> activation literal
+	varWidths map[string]uint      // widths declared in bl, to pre-empt VarBits panics
+}
+
+// NewContext returns an incremental context over this personality.
+func (s *Solver) NewContext(opts ContextOptions) *Context {
+	return &Context{
+		s:      s,
+		opts:   opts.withDefaults(),
+		in:     bv.NewInterner(),
+		rw:     bv.NewRewriter(s.level),
+		states: map[uint]*ctxState{},
+	}
+}
+
+// Solver returns the personality this context runs.
+func (c *Context) Solver() *Solver { return c.s }
+
+// Stats returns the context's reuse counters.
+func (c *Context) Stats() ContextStats {
+	out := c.stats
+	out.Intern = c.in.Stats()
+	out.Blast = c.retiredBlast
+	for _, st := range c.states {
+		bs := st.bl.Stats()
+		out.Blast.CacheHits += bs.CacheHits
+		out.Blast.CacheMisses += bs.CacheMisses
+		out.Blast.GateHits += bs.GateHits
+		out.Blast.GateMisses += bs.GateMisses
+		out.Vars += st.bl.S.NumVars()
+		out.Clauses += st.bl.S.NumClauses()
+		out.Learnts += st.bl.S.NumLearnts()
+	}
+	return out
+}
+
+// Reset drops every cached structure — interner, rewriter, all solver
+// states. Callers use it to invalidate a context wholesale (e.g. a
+// service worker recycling between tenants); it is also what the
+// MaxTerms watermark triggers internally.
+func (c *Context) Reset() {
+	c.retireAll()
+	c.in = bv.NewInterner()
+	c.rw = bv.NewRewriter(c.s.level)
+	c.stats.FullResets++
+}
+
+// retireAll folds every live state's encoding counters into the
+// retired total and drops the states.
+func (c *Context) retireAll() {
+	for w := range c.states {
+		c.retire(w)
+	}
+}
+
+// retire drops one width's state, keeping its encoding counters.
+func (c *Context) retire(width uint) {
+	st, ok := c.states[width]
+	if !ok {
+		return
+	}
+	bs := st.bl.Stats()
+	c.retiredBlast.CacheHits += bs.CacheHits
+	c.retiredBlast.CacheMisses += bs.CacheMisses
+	c.retiredBlast.GateHits += bs.GateHits
+	c.retiredBlast.GateMisses += bs.GateMisses
+	delete(c.states, width)
+}
+
+// state returns (building on demand) the incremental state for a
+// result width, recycling first if a previous query left the blaster
+// interrupted mid-encoding.
+func (c *Context) state(width uint) *ctxState {
+	if st, ok := c.states[width]; ok {
+		if !st.bl.Stopped() {
+			return st
+		}
+		c.retire(width)
+		c.stats.Recycles++
+	}
+	st := &ctxState{
+		bl:        bitblast.New(c.s.satOpts),
+		acts:      map[*bv.Term]sat.Lit{},
+		varWidths: map[string]uint{},
+	}
+	c.states[width] = st
+	return st
+}
+
+// reconcileVars recycles the state when an incoming query declares a
+// variable at a different width than the shared circuit already holds
+// (the Blaster treats that as a caller bug and panics; across
+// independent queries it is legitimate, so the context starts the width
+// over instead). It returns the state to use, with the query's
+// variables recorded.
+func (c *Context) reconcileVars(width uint, st *ctxState, vars map[string]uint) *ctxState {
+	for name, w := range vars {
+		if prev, ok := st.varWidths[name]; ok && prev != w {
+			c.retire(width)
+			c.stats.Recycles++
+			st = c.state(width)
+			break
+		}
+	}
+	for name, w := range vars {
+		st.varWidths[name] = w
+	}
+	return st
+}
+
+// recycleIfOverLimit applies the growth watermarks after a query.
+func (c *Context) recycleIfOverLimit(width uint, st *ctxState) {
+	if st.bl.S.NumVars() > c.opts.MaxVars ||
+		st.bl.S.NumClauses()+st.bl.S.NumLearnts() > c.opts.MaxClauses {
+		c.retire(width)
+		c.stats.Recycles++
+	}
+	if c.in.Len() > c.opts.MaxTerms {
+		c.Reset()
+	}
+}
+
+// CheckEquiv is Solver.CheckEquiv through the incremental context.
+func (c *Context) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result {
+	start := time.Now()
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+	// Translation walks both trees; consult the budget first, exactly
+	// like the one-shot path does before its heavy phases.
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
+	ta := c.in.FromExpr(a, width)
+	tb := c.in.FromExpr(b, width)
+	return c.CheckTermEquiv(ta, tb, budget)
+}
+
+// CheckTermEquiv decides ta == tb within the budget, reusing every
+// structure the context has accumulated. It returns the same verdicts
+// as Solver.CheckTermEquiv on the same inputs: the word-level phases
+// are identical, and the SAT phase decides the same query (UNSAT of
+// ta != tb) over the same personality options — only warm-started.
+func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
+	start := time.Now()
+	width := ta.Width
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+
+	// Budget gate before the word-level phase (interning walks the full
+	// trees, rewriting and polynomial expansion can be the expensive
+	// part), mirroring the one-shot path.
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
+
+	// Hash-cons the inputs so repeated structure — across queries, not
+	// just within this one — collapses to shared pointers before any
+	// pointer-keyed cache sees it.
+	ta, tb = c.in.Intern(ta), c.in.Intern(tb)
+	origA, origB := ta, tb
+
+	if c.s.level != bv.RewriteNone {
+		ta, tb = c.rw.Rewrite(ta), c.rw.Rewrite(tb)
+		if ta == tb {
+			c.stats.Queries++
+			return Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
+		}
+		if arithEqual(ta, tb, c.rw, width) {
+			c.stats.Queries++
+			return Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
+		}
+	}
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return Result{Status: Timeout, Elapsed: time.Since(start)}
+	}
+
+	// The rewriter's memo is pointer-keyed, so building the disequality
+	// through the interner makes a repeated query hit it immediately and
+	// yield the exact query pointer previous repetitions produced —
+	// which is what keys the activation-literal cache below.
+	query := c.in.Predicate(bv.Ne, ta, tb)
+	query = c.rw.Rewrite(query)
+
+	if query.Op == bv.Const {
+		c.stats.Queries++
+		res := Result{Elapsed: time.Since(start), Rewritten: true}
+		if query.Val == 0 {
+			res.Status = Equivalent
+		} else {
+			res.Status = NotEquivalent
+			res.Witness = findWitness(origA, origB, budget, deadline)
+		}
+		return res
+	}
+
+	st := c.state(width)
+	st = c.reconcileVars(width, st, bv.Vars(query))
+	bl := st.bl
+	bl.SetStop(budget.Stop)
+	bl.SetDeadline(deadline)
+
+	act, ok := st.acts[query]
+	if !ok {
+		out := bl.Blast(query)
+		if out == nil {
+			// Interrupted mid-encoding: the partial circuit is unusable,
+			// drop this width and report the timeout.
+			c.retire(width)
+			c.stats.Recycles++
+			return Result{Status: Timeout, Elapsed: time.Since(start)}
+		}
+		act = bl.Assume(out[0])
+		st.acts[query] = act
+	} else {
+		c.stats.ActHits++
+	}
+
+	// The persistent solver accumulates lifetime counters; report this
+	// query's spend as a delta.
+	before := bl.S.Stats()
+	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	verdict := bl.Solve(sb, act)
+	after := bl.S.Stats()
+
+	c.stats.Queries++
+	res := Result{
+		Elapsed:      time.Since(start),
+		Conflicts:    after.Conflicts - before.Conflicts,
+		Propagations: after.Propagations - before.Propagations,
+	}
+	switch verdict {
+	case sat.Unsat:
+		res.Status = Equivalent
+	case sat.Sat:
+		res.Status = NotEquivalent
+		res.Witness = map[string]uint64{}
+		for name := range bv.Vars(query) {
+			if v, ok := bl.Model(name); ok {
+				res.Witness[name] = v
+			}
+		}
+		for name := range termVars(origA, origB) {
+			if _, ok := res.Witness[name]; !ok {
+				res.Witness[name] = 0
+			}
+		}
+	default:
+		res.Status = Timeout
+	}
+	c.recycleIfOverLimit(width, st)
+	return res
+}
+
+// CheckZero decides e == 0 for all inputs through the context.
+func (c *Context) CheckZero(e *expr.Expr, width uint, budget Budget) Result {
+	return c.CheckEquiv(e, expr.Const(0), width, budget)
+}
+
+// SolveAssertions is Solver.SolveAssertions through the incremental
+// context: the conjunction of width-1 assertions is guarded by one
+// activation literal per distinct assertion term, so assertion sets
+// that share members share their encodings and learned clauses.
+func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult {
+	start := time.Now()
+	var deadline time.Time
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+	}
+
+	vars := map[string]uint{}
+	rewritten := make([]*bv.Term, 0, len(assertions))
+	for _, a := range assertions {
+		a = c.in.Intern(a)
+		for name, width := range bv.Vars(a) {
+			vars[name] = width
+		}
+		t := a
+		if c.s.level != bv.RewriteNone {
+			t = c.rw.Rewrite(a)
+		}
+		if t.Op == bv.Const {
+			if t.Val == 0 {
+				c.stats.Queries++
+				return SatResult{Status: Unsatisfiable, Elapsed: time.Since(start)}
+			}
+			continue // trivially true assertion
+		}
+		rewritten = append(rewritten, t)
+	}
+	if len(rewritten) == 0 {
+		c.stats.Queries++
+		model := map[string]uint64{}
+		for name := range vars {
+			model[name] = 0
+		}
+		return SatResult{Status: Satisfiable, Model: model, Elapsed: time.Since(start)}
+	}
+
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+	}
+
+	// Assertion sets share one state, keyed by the widest variable in
+	// play; sets over clashing variable widths recycle it (reconcileVars)
+	// rather than panicking in VarBits.
+	var stateKey uint = 1
+	for _, w := range vars {
+		if w > stateKey {
+			stateKey = w
+		}
+	}
+	st := c.state(stateKey)
+	st = c.reconcileVars(stateKey, st, vars)
+	bl := st.bl
+	bl.SetStop(budget.Stop)
+	bl.SetDeadline(deadline)
+
+	acts := make([]sat.Lit, 0, len(rewritten))
+	for _, t := range rewritten {
+		act, ok := st.acts[t]
+		if !ok {
+			out := bl.Blast(t)
+			if out == nil {
+				c.retire(stateKey)
+				c.stats.Recycles++
+				return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+			}
+			act = bl.Assume(out[0])
+			st.acts[t] = act
+		} else {
+			c.stats.ActHits++
+		}
+		acts = append(acts, act)
+	}
+
+	before := bl.S.Stats()
+	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	verdict := bl.Solve(sb, acts...)
+	after := bl.S.Stats()
+
+	c.stats.Queries++
+	res := SatResult{
+		Elapsed:      time.Since(start),
+		Conflicts:    after.Conflicts - before.Conflicts,
+		Propagations: after.Propagations - before.Propagations,
+	}
+	switch verdict {
+	case sat.Sat:
+		res.Status = Satisfiable
+		res.Model = map[string]uint64{}
+		for name := range vars {
+			if v, ok := bl.Model(name); ok {
+				res.Model[name] = v
+			} else {
+				res.Model[name] = 0 // unconstrained by the circuit
+			}
+		}
+	case sat.Unsat:
+		res.Status = Unsatisfiable
+	default:
+		res.Status = SatUnknown
+	}
+	c.recycleIfOverLimit(stateKey, st)
+	return res
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Solver benchmark: measures incremental contexts (hash-consed terms +
+# one warm SAT solver per personality, queries checked under activation
+# literals) against the fresh-solver-per-query baseline on a repeated
+# corpus, and writes the JSON report to BENCH_solver.json at the repo
+# root. The report also cross-checks verdicts between the two modes;
+# "mismatches" must be 0.
+#
+# Tunables (env):
+#   BENCH_N        corpus equations            (default 6)
+#   BENCH_REPEATS  round-robin passes          (default 4)
+#   BENCH_SEED     corpus generator seed       (default 11)
+#   BENCH_WIDTH    bitvector width             (default 8)
+#   BENCH_OUT      output file                 (default BENCH_solver.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${BENCH_OUT:-BENCH_solver.json}"
+go run ./cmd/mbabench \
+    -bench "$out" \
+    -bench-samples "${BENCH_N:-6}" \
+    -repeats "${BENCH_REPEATS:-4}" \
+    -seed "${BENCH_SEED:-11}" \
+    -width "${BENCH_WIDTH:-8}"
+echo "bench: wrote $out"

@@ -14,7 +14,16 @@ go build ./...
 # immutability, and fmt.Errorf %w wrapping. Exits non-zero on any
 # finding; suppress only with a reasoned //lint:ignore.
 go run ./cmd/mbalint ./...
-go test -race ./...
+# internal/harness alone runs several corpus experiments and sits near
+# the default 10-minute per-package ceiling under the race detector's
+# slowdown; give the suite explicit headroom for loaded CI machines.
+go test -race -timeout 20m ./...
+
+# Bench smoke: the miniature incremental-vs-fresh solver benchmark must
+# run end to end with zero verdict mismatches, and the Go benchmarks
+# must still execute (full numbers: scripts/bench.sh).
+go test ./internal/harness/ -run TestSolverBenchSmoke
+go test ./internal/smt/ -run '^$' -bench CheckTermEquiv -benchtime 1x
 
 # --- mbaserved boot + selfcheck smoke ---------------------------------
 bin=$(mktemp -d)
