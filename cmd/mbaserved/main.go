@@ -4,6 +4,7 @@
 //
 //	mbaserved [-addr 127.0.0.1:8391] [-workers N] [-queue N] [-cache N]
 //	          [-timeout 5s] [-max-timeout 60s] [-width 64]
+//	          [-breaker-threshold N] [-breaker-cooldown 250ms]
 //	mbaserved -selfcheck [-target http://host:port]
 //
 // In server mode it listens on -addr (port 0 picks a free port), prints
@@ -46,17 +47,21 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request solve budget")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "hard cap on requested budgets")
 	width := flag.Uint("width", 64, "default ring width when requests omit one")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive panic/resource failures opening a personality's circuit breaker (0 = 3, negative disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "initial cooldown of an open circuit breaker (0 = 250ms)")
 	selfcheck := flag.Bool("selfcheck", false, "run the end-to-end smoke instead of serving")
 	target := flag.String("target", "", "with -selfcheck: smoke this base URL instead of an in-process server")
 	flag.Parse()
 
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheSize:      *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultWidth:   *width,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DefaultWidth:     *width,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	}
 
 	if *selfcheck {

@@ -20,6 +20,10 @@
 //     immutability).
 //   - errwrap:        fmt.Errorf verbs formatting error operands must
 //     be %w so callers can errors.Is/As through the wrap.
+//   - recoverguard:   every recover() must re-panic or record the
+//     panic via fault.RecordPanic in the same function — the
+//     degradation layer promises that no contained panic goes
+//     unaccounted.
 //
 // Findings can be suppressed with a written reason:
 //
@@ -85,6 +89,7 @@ func Analyzers() []*Analyzer {
 		LockDisciplineAnalyzer(),
 		ExprImmutAnalyzer(),
 		ErrWrapAnalyzer(),
+		RecoverGuardAnalyzer(),
 	}
 }
 

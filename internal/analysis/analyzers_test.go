@@ -22,6 +22,7 @@ func TestFixtures(t *testing.T) {
 		{dir: "lockdiscipline", pkg: "example.com/lockfix", minDiags: 8},
 		{dir: "exprimmut", pkg: "example.com/immut", minDiags: 4},
 		{dir: "errwrap", pkg: "example.com/wrapfix", minDiags: 4},
+		{dir: "recoverguard", pkg: "example.com/recoverguard", minDiags: 3},
 		{dir: "clean", pkg: "example.com/clean", minDiags: 0},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// faultPkgPath is the module's fault-injection/panic-accounting package.
+const faultPkgPath = "mbasolver/internal/fault"
+
+// RecoverGuardAnalyzer flags functions that call recover() but neither
+// re-panic nor record the panic via fault.RecordPanic. The degradation
+// layer's contract is that a contained panic is always visible — in
+// the panics metric, in fault.Panics() for postmortems — so a recover
+// that silently swallows is a hole in the accounting: the process
+// keeps running with no trace that state may be corrupt.
+//
+// Scope is per function: a recover inside a deferred func literal must
+// be guarded inside that same literal, because a panic(...) in the
+// enclosing function is dead by the time the deferred recover runs.
+func RecoverGuardAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "recoverguard",
+		Doc:  "recover() must re-panic or record via fault.RecordPanic",
+		Run:  runRecoverGuard,
+	}
+}
+
+func runRecoverGuard(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := node.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				default:
+					return true
+				}
+				if body != nil {
+					findings = append(findings, recoverGuardBody(pkg, body)...)
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}
+
+// recoverGuardBody checks one function body. Nested function literals
+// are skipped — each is a function of its own and gets its own visit
+// from runRecoverGuard.
+func recoverGuardBody(pkg *Package, body *ast.BlockStmt) []Finding {
+	var recovers []*ast.CallExpr
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinCall(pkg, e.Fun, "recover"):
+				recovers = append(recovers, e)
+			case isBuiltinCall(pkg, e.Fun, "panic"):
+				guarded = true
+			case isPkgFuncCall(pkg, e.Fun, faultPkgPath, "RecordPanic"):
+				guarded = true
+			}
+		}
+		return true
+	})
+	if guarded {
+		return nil
+	}
+	var findings []Finding
+	for _, rc := range recovers {
+		findings = append(findings, Finding{
+			Pos:     rc.Pos(),
+			Message: "recover() without re-panic or fault.RecordPanic in the same function: a swallowed panic leaves no trace",
+		})
+	}
+	return findings
+}
+
+// isBuiltinCall matches a call to the named predeclared function
+// (recover, panic), seeing through parentheses but not through
+// shadowing — a local `recover` variable is not the builtin.
+func isBuiltinCall(pkg *Package, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pkg.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isPkgFuncCall matches a selector call to path.name.
+func isPkgFuncCall(pkg *Package, fun ast.Expr, path, name string) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}

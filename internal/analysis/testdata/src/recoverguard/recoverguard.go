@@ -1,0 +1,55 @@
+// Package recoverguard exercises the recoverguard analyzer: every
+// function that calls recover() must, in the same function, either
+// re-panic or record the panic with fault.RecordPanic.
+package recoverguard
+
+import "mbasolver/internal/fault"
+
+// swallowed drops the panic on the floor: the classic bug the analyzer
+// exists for.
+func swallowed() {
+	defer func() {
+		if r := recover(); r != nil { // want "recover\\(\\) without re-panic or fault.RecordPanic"
+			_ = r
+		}
+	}()
+}
+
+// bareDefer swallows even more tersely.
+func bareDefer() {
+	defer recover() // want "recover\\(\\) without re-panic"
+}
+
+// outerGuardDoesNotCount: the guard must live in the same function as
+// the recover — a panic in the enclosing function is already dead when
+// the deferred literal runs.
+func outerGuardDoesNotCount() {
+	defer func() {
+		_ = recover() // want "recover\\(\\) without re-panic"
+	}()
+	panic("boom")
+}
+
+// recorded contains the panic and accounts for it.
+func recorded() {
+	defer func() {
+		if r := recover(); r != nil {
+			fault.RecordPanic("fixture.recorded", r)
+		}
+	}()
+}
+
+// repanics filters and re-raises.
+func repanics() {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+}
+
+// shadowed calls a local function named recover, not the builtin.
+func shadowed() {
+	recover := func() int { return 0 }
+	_ = recover()
+}

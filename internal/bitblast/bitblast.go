@@ -20,8 +20,14 @@ import (
 	"time"
 
 	"mbasolver/internal/bv"
+	"mbasolver/internal/fault"
 	"mbasolver/internal/sat"
 )
+
+// Fault-injection site (no-op unless a chaos plan arms it):
+// bitblast.gate simulates an allocation failure while emitting gate
+// literals, aborting the encoding like a memory cap would.
+var siteGate = fault.NewSite("bitblast.gate")
 
 // Blaster incrementally encodes terms into a SAT solver.
 type Blaster struct {
@@ -32,11 +38,13 @@ type Blaster struct {
 	gates   map[[3]int64]sat.Lit // structural gate hash: op,a,b -> output
 	trueLit sat.Lit
 
-	stop      *atomic.Bool // optional cancellation flag, checked while encoding
-	deadline  time.Time    // optional wall-clock bound on encoding
-	stopped   bool         // a Blast call was interrupted by stop/deadline
-	nodeCount int          // term nodes encoded since the last budget check
-	gateCount int          // gate literals allocated since the last budget check
+	stop       *atomic.Bool // optional cancellation flag, checked while encoding
+	deadline   time.Time    // optional wall-clock bound on encoding
+	maxVars    int          // optional circuit-size cap (solver variables)
+	stopped    bool         // a Blast call was interrupted (budget or resource)
+	stopReason sat.Reason   // why the interrupted Blast aborted
+	nodeCount  int          // term nodes encoded since the last budget check
+	gateCount  int          // gate literals allocated since the last budget check
 
 	stats Stats // encoding reuse counters
 }
@@ -118,9 +126,31 @@ func (b *Blaster) SetStop(stop *atomic.Bool) { b.stop = stop }
 // search ever looks at the clock.
 func (b *Blaster) SetDeadline(d time.Time) { b.deadline = d }
 
+// SetMaxVars installs a hard cap on the circuit size (SAT variables,
+// which bound gates and clauses within a constant factor). A Blast
+// call that would exceed it aborts and returns nil with StopReason
+// ReasonResource — the blaster-cache half of the memory-accounting
+// contract; zero means unlimited.
+func (b *Blaster) SetMaxVars(n int) { b.maxVars = n }
+
 // Stopped reports whether a Blast call was interrupted by the stop
-// flag or the encoding deadline.
+// flag, the encoding deadline, or a resource cap.
 func (b *Blaster) Stopped() bool { return b.stopped }
+
+// StopReason explains an interrupted Blast (ReasonNone while the
+// blaster is healthy): ReasonBudget for stop/deadline, ReasonResource
+// for the variable cap or a simulated allocation failure.
+func (b *Blaster) StopReason() sat.Reason { return b.stopReason }
+
+// UnknownReason explains the last Unknown verdict end-to-end: the
+// encoding abort reason when the blaster was interrupted, otherwise
+// the SAT search's own reason.
+func (b *Blaster) UnknownReason() sat.Reason {
+	if b.stopped {
+		return b.stopReason
+	}
+	return b.S.UnknownReason()
+}
 
 // Solve runs the underlying SAT solver on the asserted circuit. A
 // Blaster whose encoding was interrupted reports Unknown without
@@ -153,9 +183,10 @@ func (b *Blaster) Assume(l sat.Lit) sat.Lit {
 	return act
 }
 
-// stopBlast unwinds an in-progress Blast recursion after the stop flag
-// or deadline was observed.
-type stopBlast struct{}
+// stopBlast unwinds an in-progress Blast recursion after the stop
+// flag, the deadline, the variable cap, or an injected allocation
+// failure was observed; reason says which kind.
+type stopBlast struct{ reason sat.Reason }
 
 // Budget-check cadence for encoding: the stop flag is consulted every
 // blastNodeCheckPeriod term nodes and the deadline every
@@ -179,23 +210,28 @@ func (b *Blaster) interrupted() bool {
 func (b *Blaster) bounded() bool { return b.stop != nil || !b.deadline.IsZero() }
 
 // Blast encodes the term and returns its bit literals (LSB first;
-// width-1 predicates return a single literal). It returns nil if a
-// stop flag installed with SetStop was raised — or a deadline from
-// SetDeadline expired — mid-encoding.
+// width-1 predicates return a single literal). It returns nil if the
+// encoding aborted mid-way: a stop flag installed with SetStop was
+// raised, a deadline from SetDeadline expired, the SetMaxVars cap was
+// hit, or an armed fault site fired; StopReason says which. The
+// recovery below only contains the blaster's own unwind value — any
+// other panic is a genuine bug and is re-raised.
 func (b *Blaster) Blast(t *bv.Term) (out []sat.Lit) {
-	if !b.bounded() {
-		return b.blast(t)
-	}
 	if b.stopped || b.interrupted() {
 		b.stopped = true
+		if b.stopReason == sat.ReasonNone {
+			b.stopReason = sat.ReasonBudget
+		}
 		return nil
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(stopBlast); !ok {
+			sb, ok := r.(stopBlast)
+			if !ok {
 				panic(r)
 			}
 			b.stopped = true
+			b.stopReason = sb.reason
 			out = nil
 		}
 	}()
@@ -211,7 +247,7 @@ func (b *Blaster) blast(t *bv.Term) []sat.Lit {
 	if b.bounded() {
 		b.nodeCount++
 		if b.nodeCount%blastNodeCheckPeriod == 0 && b.interrupted() {
-			panic(stopBlast{})
+			panic(stopBlast{sat.ReasonBudget})
 		}
 	}
 	var out []sat.Lit
@@ -294,12 +330,16 @@ func (b *Blaster) AssertTrue(l sat.Lit) { b.S.AddClause(l) }
 
 // freshLit allocates a new gate output literal. Gate allocation is the
 // unit of encoding work, so the encoding budget is re-checked here
-// every blastGateCheckPeriod gates.
+// every blastGateCheckPeriod gates, and it is where both the circuit-
+// size cap and the simulated allocation failure strike.
 func (b *Blaster) freshLit() sat.Lit {
+	if siteGate.Fire() || (b.maxVars > 0 && b.S.NumVars() >= b.maxVars) {
+		panic(stopBlast{sat.ReasonResource})
+	}
 	if b.bounded() {
 		b.gateCount++
 		if b.gateCount%blastGateCheckPeriod == 0 && b.interrupted() {
-			panic(stopBlast{})
+			panic(stopBlast{sat.ReasonBudget})
 		}
 	}
 	return sat.MkLit(b.S.NewVar(), false)

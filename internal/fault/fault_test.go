@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests share the process-global registry, so they restore a disabled
+// state on exit and never run in parallel.
+
+func TestDisarmedSiteNeverFires(t *testing.T) {
+	s := NewSite("test.disarmed")
+	for i := 0; i < 1000; i++ {
+		if s.Fire() {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if s.Hits() != 0 {
+		t.Fatalf("disarmed site counted %d hits", s.Hits())
+	}
+}
+
+func TestNthHitFiresExactlyOnce(t *testing.T) {
+	defer Disable()
+	s := NewSite("test.nth")
+	if err := EnableSpec("test.nth:hit=3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if s.Fire() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("hit=3 fired at %v, want exactly [3]", fired)
+	}
+	if s.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", s.Fired())
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	defer Disable()
+	s := NewSite("test.every")
+	if err := EnableSpec("test.every:every=4"); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if s.Fire() {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{4, 8, 12}
+	if len(fired) != len(want) {
+		t.Fatalf("every=4 fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("every=4 fired at %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestProbabilityDeterministic: the same seed yields the same firing
+// schedule, a different seed a different one, and the empirical rate
+// tracks p.
+func TestProbabilityDeterministic(t *testing.T) {
+	defer Disable()
+	s := NewSite("test.prob")
+	run := func(spec string) []bool {
+		if err := EnableSpec(spec); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 2000)
+		for i := range out {
+			out[i] = s.Fire()
+		}
+		return out
+	}
+	a := run("test.prob:p=0.1,seed=7")
+	b := run("test.prob:p=0.1,seed=7")
+	c := run("test.prob:p=0.1,seed=8")
+	same, diff, fires := true, false, 0
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different schedules")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if fires < 120 || fires > 280 {
+		t.Fatalf("p=0.1 fired %d/2000 times, want ~200", fires)
+	}
+}
+
+func TestEnableResetsCountersAndDisarmsOthers(t *testing.T) {
+	defer Disable()
+	a := NewSite("test.reset.a")
+	b := NewSite("test.reset.b")
+	if err := EnableSpec("test.reset.a:hit=1;test.reset.b:hit=1"); err != nil {
+		t.Fatal(err)
+	}
+	a.Fire()
+	b.Fire()
+	// A new plan naming only a must disarm b and reset a's counters.
+	if err := EnableSpec("test.reset.a:hit=1"); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Fire() {
+		t.Fatal("a's hit counter was not reset by re-Enable")
+	}
+	if b.Fire() {
+		t.Fatal("b stayed armed after a plan that does not name it")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"nocolon",
+		"x:hit=0",
+		"x:p=1.5",
+		"x:hit=1,every=2",
+		"x:wat=1",
+		"x:",
+	}
+	for _, spec := range cases {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	if _, err := Parse("a.b:hit=2; c.d:p=0.5,seed=1"); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestEnableRejectsUnknownSite(t *testing.T) {
+	defer Disable()
+	err := EnableSpec("test.never-registered-xyz:hit=1")
+	if err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Fatalf("plan over unknown site: err = %v, want unregistered-site error", err)
+	}
+}
+
+func TestInjectedPanicAndRecord(t *testing.T) {
+	before := PanicCount()
+	func() {
+		defer func() {
+			r := recover()
+			if !IsInjected(r) {
+				t.Fatalf("recovered %v, want injected panic", r)
+			}
+			RecordPanic("test.recovery", r)
+		}()
+		PanicAt("test.site")
+	}()
+	if IsInjected("plain string") || IsInjected(nil) {
+		t.Fatal("IsInjected misclassifies non-injected values")
+	}
+	if PanicCount() != before+1 {
+		t.Fatalf("PanicCount = %d, want %d", PanicCount(), before+1)
+	}
+	log := Panics()
+	last := log[len(log)-1]
+	if last.Site != "test.recovery" || !last.Injected || last.Stack == "" {
+		t.Fatalf("panic record %+v incomplete", last)
+	}
+}
+
+func TestFireConcurrentSafe(t *testing.T) {
+	defer Disable()
+	s := NewSite("test.concurrent")
+	if err := EnableSpec("test.concurrent:p=0.5,seed=3"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			n := 0
+			for i := 0; i < 10000; i++ {
+				if s.Fire() {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for g := 0; g < 8; g++ {
+		total += <-done
+	}
+	if total < 30000 || total > 50000 {
+		t.Fatalf("concurrent p=0.5 fired %d/80000, want ~40000", total)
+	}
+	if s.Hits() != 80000 {
+		t.Fatalf("hits = %d, want 80000", s.Hits())
+	}
+}

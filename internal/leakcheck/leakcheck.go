@@ -1,0 +1,49 @@
+// Package leakcheck asserts that a test leaves no goroutines behind.
+// The solver stack leans on short-lived goroutines — portfolio races,
+// race watchers, request watchers in the service, retry loops in the
+// client — and a leaked one is exactly the kind of failure that stays
+// invisible until a long-lived process slowly drowns. The check is a
+// before/after count with a settle loop, which is robust against the
+// runtime's own background goroutines as long as the test registers it
+// before starting any servers (so teardown runs first).
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settleTimeout bounds how long Check waits for goroutines wound down
+// by test cleanup (connection readers, race losers observing their
+// stop flags) to actually exit.
+const settleTimeout = 5 * time.Second
+
+// Check snapshots the goroutine count and returns a function that
+// fails the test if the count has not settled back by the time it
+// runs. Register it so it runs after every other teardown:
+//
+//	t.Cleanup(leakcheck.Check(t))   // FIRST, before starting servers
+//
+// t.Cleanup order is last-in-first-out, so registering the check
+// before the server's own cleanup means the server is fully shut down
+// by the time the count is compared.
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(settleTimeout)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("leaked %d goroutine(s): %d before, %d after settle\n%s",
+				after-before, before, after, buf[:n])
+		}
+	}
+}

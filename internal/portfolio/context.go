@@ -22,6 +22,7 @@ import (
 type ContextSet struct {
 	solvers  []*smt.Solver
 	contexts []*smt.Context
+	breakers []*Breaker // nil until EnableBreakers; index-aligned with solvers
 }
 
 // NewContextSet builds one incremental context per personality.
@@ -35,6 +36,59 @@ func NewContextSet(solvers []*smt.Solver, opts smt.ContextOptions) *ContextSet {
 
 // Solvers returns the racing personalities.
 func (cs *ContextSet) Solvers() []*smt.Solver { return cs.solvers }
+
+// EnableBreakers guards each personality with a circuit breaker: an
+// engine that keeps panicking or blowing resource caps is skipped
+// until its cooldown admits a probe. Call before the first query.
+func (cs *ContextSet) EnableBreakers(opts BreakerOptions) {
+	cs.breakers = make([]*Breaker, len(cs.solvers))
+	for i, s := range cs.solvers {
+		cs.breakers[i] = NewBreaker(s.Name(), opts)
+	}
+}
+
+// Breakers returns the per-personality breakers (nil when disabled),
+// index-aligned with Solvers.
+func (cs *ContextSet) Breakers() []*Breaker { return cs.breakers }
+
+// admitted returns the indices of engines allowed to race now. If
+// every breaker refuses, all engines run anyway: answering the query
+// degraded beats refusing it, and a success will close the breakers.
+func (cs *ContextSet) admitted() []int {
+	all := make([]int, len(cs.contexts))
+	for i := range all {
+		all[i] = i
+	}
+	if cs.breakers == nil {
+		return all
+	}
+	idx := make([]int, 0, len(all))
+	for i, b := range cs.breakers {
+		if b.Allow() {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return all
+	}
+	return idx
+}
+
+// reportOutcome feeds one engine's run back to its breaker. Cancelled
+// runs (the race was already won) say nothing about the engine's
+// health and are not reported; definitive verdicts and plain budget
+// exhaustion are successes; panic and resource degradations are the
+// failures the breaker exists to contain.
+func (cs *ContextSet) reportOutcome(i int, reason smt.Reason, definitive, cancelled bool) {
+	if cs.breakers == nil || cancelled {
+		return
+	}
+	if !definitive && (reason == smt.ReasonPanic || reason == smt.ReasonResource) {
+		cs.breakers[i].ReportFailure()
+		return
+	}
+	cs.breakers[i].ReportSuccess()
+}
 
 // Stats returns per-engine context counters, index-aligned with the
 // solver list.
@@ -54,20 +108,40 @@ func (cs *ContextSet) Reset() {
 }
 
 // CheckTermEquiv races the warm contexts on one term-equivalence
-// query; semantics match the package-level CheckTermEquiv.
+// query; semantics match the package-level CheckTermEquiv, except that
+// engines whose circuit breaker is open sit the race out (reported as
+// Skipped in Engines).
 func (cs *ContextSet) CheckTermEquiv(ta, tb *bv.Term, budget smt.Budget) Result {
 	start := time.Now()
 	if len(cs.contexts) == 0 {
 		return Result{Result: smt.Result{Status: smt.Timeout}}
 	}
-	results, winner, stops := race(len(cs.contexts), budget.Stop,
-		func(i int, stop *atomic.Bool) smt.Result {
+	idx := cs.admitted()
+	raced, winnerK, rstops := race(len(idx), budget.Stop,
+		func(k int, stop *atomic.Bool) smt.Result {
 			b := budget
 			b.Stop = stop
-			return cs.contexts[i].CheckTermEquiv(ta, tb, b)
+			return cs.contexts[idx[k]].CheckTermEquiv(ta, tb, b)
 		},
 		equivDefinitive)
-	return assembleResult(cs.solvers, results, winner, stops, start)
+
+	// Scatter the compacted race back to solver-aligned slices.
+	results := make([]smt.Result, len(cs.contexts))
+	stops := make([]*atomic.Bool, len(cs.contexts))
+	skipped := make([]bool, len(cs.contexts))
+	for i := range skipped {
+		skipped[i] = true
+	}
+	winner := -1
+	for k, i := range idx {
+		results[i], stops[i], skipped[i] = raced[k], rstops[k], false
+		if k == winnerK {
+			winner = i
+		}
+		cs.reportOutcome(i, raced[k].Reason, equivDefinitive(raced[k]),
+			raced[k].Status == smt.Timeout && rstops[k].Load())
+	}
+	return assembleResult(cs.solvers, results, winner, stops, skipped, start)
 }
 
 // CheckEquiv is CheckTermEquiv over expressions at the given width.
@@ -77,18 +151,35 @@ func (cs *ContextSet) CheckEquiv(a, b *expr.Expr, width uint, budget smt.Budget)
 
 // SolveAssertions races the warm contexts on the conjunction of
 // asserted width-1 terms; semantics match the package-level
-// SolveAssertions.
+// SolveAssertions, with breaker-skipped engines as in CheckTermEquiv.
 func (cs *ContextSet) SolveAssertions(assertions []*bv.Term, budget smt.Budget) SatResult {
 	start := time.Now()
 	if len(cs.contexts) == 0 {
 		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
 	}
-	results, winner, stops := race(len(cs.contexts), budget.Stop,
-		func(i int, stop *atomic.Bool) smt.SatResult {
+	idx := cs.admitted()
+	raced, winnerK, rstops := race(len(idx), budget.Stop,
+		func(k int, stop *atomic.Bool) smt.SatResult {
 			b := budget
 			b.Stop = stop
-			return cs.contexts[i].SolveAssertions(assertions, b)
+			return cs.contexts[idx[k]].SolveAssertions(assertions, b)
 		},
 		satDefinitive)
-	return assembleSatResult(cs.solvers, results, winner, stops, start)
+
+	results := make([]smt.SatResult, len(cs.contexts))
+	stops := make([]*atomic.Bool, len(cs.contexts))
+	skipped := make([]bool, len(cs.contexts))
+	for i := range skipped {
+		skipped[i] = true
+	}
+	winner := -1
+	for k, i := range idx {
+		results[i], stops[i], skipped[i] = raced[k], rstops[k], false
+		if k == winnerK {
+			winner = i
+		}
+		cs.reportOutcome(i, raced[k].Reason, satDefinitive(raced[k]),
+			raced[k].Status == smt.SatUnknown && rstops[k].Load())
+	}
+	return assembleSatResult(cs.solvers, results, winner, stops, skipped, start)
 }

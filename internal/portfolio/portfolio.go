@@ -36,6 +36,7 @@ type Engine struct {
 	Propagations int64
 	Rewritten    bool // verdict reached by word-level rewriting alone
 	Cancelled    bool // stopped without a verdict because the race was over
+	Skipped      bool // not run: the personality's circuit breaker was open
 	Won          bool // first definitive verdict
 }
 
@@ -126,12 +127,18 @@ func satDefinitive(r smt.SatResult) bool {
 }
 
 // assembleResult folds per-engine equivalence results into a portfolio
-// Result, shared by the stateless and incremental entry points.
+// Result, shared by the stateless and incremental entry points. A nil
+// entry in skipped/stops marks an engine the circuit breaker kept out
+// of the race.
 func assembleResult(solvers []*smt.Solver, results []smt.Result, winner int,
-	stops []*atomic.Bool, start time.Time) Result {
+	stops []*atomic.Bool, skipped []bool, start time.Time) Result {
 
 	out := Result{Engines: make([]Engine, len(solvers))}
 	for i, r := range results {
+		if skipped != nil && skipped[i] {
+			out.Engines[i] = Engine{Solver: solvers[i].Name(), Verdict: "skipped", Skipped: true}
+			continue
+		}
 		out.Engines[i] = Engine{
 			Solver:       solvers[i].Name(),
 			Verdict:      r.Status.String(),
@@ -139,7 +146,7 @@ func assembleResult(solvers []*smt.Solver, results []smt.Result, winner int,
 			Conflicts:    r.Conflicts,
 			Propagations: r.Propagations,
 			Rewritten:    r.Rewritten,
-			Cancelled:    r.Status == smt.Timeout && stops[i].Load(),
+			Cancelled:    r.Status == smt.Timeout && stops[i] != nil && stops[i].Load(),
 			Won:          i == winner,
 		}
 	}
@@ -148,24 +155,52 @@ func assembleResult(solvers []*smt.Solver, results []smt.Result, winner int,
 		out.Winner = solvers[winner].Name()
 	} else {
 		out.Status = smt.Timeout
+		reasons := make([]smt.Reason, 0, len(results))
+		for i, r := range results {
+			if skipped == nil || !skipped[i] {
+				reasons = append(reasons, r.Reason)
+			}
+		}
+		out.Reason = portfolioReason(reasons)
 	}
 	out.Elapsed = time.Since(start)
 	return out
 }
 
+// portfolioReason summarizes why a whole race came back Unknown. Any
+// engine that merely ran out of budget makes the verdict ReasonBudget
+// — a retry with a bigger budget could still succeed — and only a race
+// where every engine failed structurally reports resource/panic.
+func portfolioReason(reasons []smt.Reason) smt.Reason {
+	var fallback smt.Reason
+	for _, r := range reasons {
+		if r == smt.ReasonBudget {
+			return r
+		}
+		if fallback == smt.ReasonNone {
+			fallback = r
+		}
+	}
+	return fallback
+}
+
 // assembleSatResult is assembleResult for satisfiability races.
 func assembleSatResult(solvers []*smt.Solver, results []smt.SatResult, winner int,
-	stops []*atomic.Bool, start time.Time) SatResult {
+	stops []*atomic.Bool, skipped []bool, start time.Time) SatResult {
 
 	out := SatResult{Engines: make([]Engine, len(solvers))}
 	for i, r := range results {
+		if skipped != nil && skipped[i] {
+			out.Engines[i] = Engine{Solver: solvers[i].Name(), Verdict: "skipped", Skipped: true}
+			continue
+		}
 		out.Engines[i] = Engine{
 			Solver:       solvers[i].Name(),
 			Verdict:      r.Status.String(),
 			Elapsed:      r.Elapsed,
 			Conflicts:    r.Conflicts,
 			Propagations: r.Propagations,
-			Cancelled:    r.Status == smt.SatUnknown && stops[i].Load(),
+			Cancelled:    r.Status == smt.SatUnknown && stops[i] != nil && stops[i].Load(),
 			Won:          i == winner,
 		}
 	}
@@ -174,6 +209,13 @@ func assembleSatResult(solvers []*smt.Solver, results []smt.SatResult, winner in
 		out.Winner = solvers[winner].Name()
 	} else {
 		out.Status = smt.SatUnknown
+		reasons := make([]smt.Reason, 0, len(results))
+		for i, r := range results {
+			if skipped == nil || !skipped[i] {
+				reasons = append(reasons, r.Reason)
+			}
+		}
+		out.Reason = portfolioReason(reasons)
 	}
 	out.Elapsed = time.Since(start)
 	return out
@@ -197,7 +239,7 @@ func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) R
 			return solvers[i].CheckTermEquiv(ta, tb, b)
 		},
 		equivDefinitive)
-	return assembleResult(solvers, results, winner, stops, start)
+	return assembleResult(solvers, results, winner, stops, nil, start)
 }
 
 // CheckEquiv is CheckTermEquiv over expressions at the given width.
@@ -220,5 +262,5 @@ func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Bu
 			return solvers[i].SolveAssertions(assertions, b)
 		},
 		satDefinitive)
-	return assembleSatResult(solvers, results, winner, stops, start)
+	return assembleSatResult(solvers, results, winner, stops, nil, start)
 }

@@ -9,6 +9,7 @@ import (
 	"mbasolver/internal/bv"
 	"mbasolver/internal/eval"
 	"mbasolver/internal/gen"
+	"mbasolver/internal/leakcheck"
 	"mbasolver/internal/parser"
 	"mbasolver/internal/smt"
 )
@@ -104,6 +105,7 @@ func TestPortfolioTimeoutWithinBound(t *testing.T) {
 // even though two of three engines would otherwise run unbounded, and
 // the losers must be cancelled rather than run to completion.
 func TestPortfolioCancelsLosers(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	// x & y == y & x: btorsim decides it at the word level instantly;
 	// z3sim/stpsim would need real SAT search at width 32.
 	a := bv.FromExpr(parser.MustParse("x&y"), 32)
@@ -122,6 +124,7 @@ func TestPortfolioCancelsLosers(t *testing.T) {
 // TestPortfolioExternalCancel: a caller-supplied stop flag cancels the
 // entire portfolio mid-flight.
 func TestPortfolioExternalCancel(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
 	a, b := hardTerms()
 	var stop atomic.Bool
 	go func() {

@@ -1,0 +1,38 @@
+package sat
+
+// Reason explains an Unknown verdict. The solver stack's graceful-
+// degradation contract is that every failure mode — exhausted budget,
+// memory cap, contained panic — ends in an Unknown verdict labeled
+// with its reason instead of a crash or, worse, a wrong answer.
+// Reasons propagate unchanged through bitblast and smt (smt re-exports
+// the type), so a service response can tell a client whether a retry
+// with a bigger budget could help (budget), the query is too big for
+// the configured caps (resource), or an internal fault was contained
+// (panic).
+type Reason int8
+
+const (
+	// ReasonNone: the verdict was definitive (Sat/Unsat), or no query
+	// ran yet.
+	ReasonNone Reason = iota
+	// ReasonBudget: deadline, conflict/propagation budget, or external
+	// Stop cancellation.
+	ReasonBudget
+	// ReasonResource: a memory cap fired (clause-database literal cap,
+	// circuit variable cap, or a simulated allocation failure).
+	ReasonResource
+	// ReasonPanic: a panic was contained at a solver boundary.
+	ReasonPanic
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonBudget:
+		return "budget"
+	case ReasonResource:
+		return "resource"
+	case ReasonPanic:
+		return "panic"
+	}
+	return ""
+}

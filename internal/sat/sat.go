@@ -18,6 +18,17 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"mbasolver/internal/fault"
+)
+
+// Fault-injection sites (no-ops unless a chaos plan arms them):
+// sat.learn simulates an allocation failure in the learnt-clause
+// database, sat.propagate forces a budget expiry from inside the
+// search loop's budget check.
+var (
+	siteLearn     = fault.NewSite("sat.learn")
+	sitePropagate = fault.NewSite("sat.propagate")
 )
 
 // Status is the outcome of a Solve call.
@@ -127,6 +138,12 @@ type Budget struct {
 	Conflicts    int64
 	Propagations int64
 	Deadline     time.Time
+	// MaxLits caps the live literal count of the clause database
+	// (problem plus learnt clauses). When learning a clause would
+	// exceed the cap, Solve returns Unknown with ReasonResource instead
+	// of growing without bound — the memory-accounting half of the
+	// graceful-degradation contract.
+	MaxLits int64
 	// Stop is an optional external cancellation flag. When another
 	// goroutine sets it, Solve returns Unknown within a bounded amount
 	// of search work (at most one conflict, one restart or
@@ -202,10 +219,12 @@ type Solver struct {
 	analyzeTs []Lit
 	minimizeS []Lit
 
-	okay  bool // false once UNSAT at level 0
-	model []bool
-	stats Stats
-	proof *bufio.Writer // DRAT output; nil when disabled
+	okay     bool // false once UNSAT at level 0
+	model    []bool
+	stats    Stats
+	litsLive int64         // literals attached across problem + learnt clauses
+	whyUnk   Reason        // why the last Solve returned Unknown
+	proof    *bufio.Writer // DRAT output; nil when disabled
 	// origClauses records clauses exactly as given to AddClause while
 	// proof logging is enabled; DRAT proofs refute the original
 	// formula, not its normalized form.
@@ -316,6 +335,7 @@ func (s *Solver) AddClause(lits ...Lit) error {
 	}
 	c := &clause{lits: out}
 	s.clauses = append(s.clauses, c)
+	s.litsLive += int64(len(out))
 	s.attach(c)
 	return nil
 }
@@ -601,6 +621,7 @@ func (s *Solver) reduceDB() {
 		}
 		s.detach(c)
 		s.proofDelete(c.lits)
+		s.litsLive -= int64(len(c.lits))
 		s.stats.Removed++
 	}
 	s.learnts = kept
@@ -642,6 +663,7 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 	if s.proof != nil && len(assumptions) > 0 {
 		panic("sat: proof logging is not supported with assumptions")
 	}
+	s.whyUnk = ReasonNone
 	if !s.okay {
 		return Unsat
 	}
@@ -670,16 +692,26 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 	checkBudget := func() bool {
 		checks++
 		lastCheckProps = s.stats.Propagations
+		// Chaos hook: a forced budget expiry injected mid-search, taking
+		// exactly the path a real deadline would.
+		if sitePropagate.Fire() {
+			s.whyUnk = ReasonBudget
+			return false
+		}
 		if budget.Stop != nil && budget.Stop.Load() {
+			s.whyUnk = ReasonBudget
 			return false
 		}
 		if budget.Conflicts > 0 && s.stats.Conflicts-conflictBudgetAtStart >= budget.Conflicts {
+			s.whyUnk = ReasonBudget
 			return false
 		}
 		if budget.Propagations > 0 && s.stats.Propagations-propBudgetAtStart >= budget.Propagations {
+			s.whyUnk = ReasonBudget
 			return false
 		}
 		if !budget.Deadline.IsZero() && checks%deadlineCheckPeriod == 0 && time.Now().After(budget.Deadline) {
+			s.whyUnk = ReasonBudget
 			return false
 		}
 		return true
@@ -690,9 +722,11 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 	// A budget that is already exhausted on entry (expired deadline,
 	// raised stop flag) must not buy any search at all.
 	if budget.Stop != nil && budget.Stop.Load() {
+		s.whyUnk = ReasonBudget
 		return Unknown
 	}
 	if !budget.Deadline.IsZero() && time.Now().After(budget.Deadline) {
+		s.whyUnk = ReasonBudget
 		return Unknown
 	}
 
@@ -710,12 +744,24 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 				return Unsat
 			}
 			learnt, bt := s.analyze(conflict)
+			// Clause-database memory accounting: learning the clause
+			// would cross the literal cap (or a chaos plan simulates the
+			// allocation failing) — degrade to Unknown(ReasonResource)
+			// rather than grow without bound. Unit learnts occupy no
+			// clause storage and are exempt from the cap; the deferred
+			// backtrackTo(0) leaves the solver consistent and reusable.
+			if siteLearn.Fire() ||
+				(budget.MaxLits > 0 && len(learnt) > 1 && s.litsLive+int64(len(learnt)) > budget.MaxLits) {
+				s.whyUnk = ReasonResource
+				return Unknown
+			}
 			s.proofAdd(learnt)
 			s.backtrackTo(bt)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
 				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				s.litsLive += int64(len(learnt))
 				if c.lbd > s.stats.MaxLBD {
 					s.stats.MaxLBD = c.lbd
 				}
@@ -877,6 +923,14 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 
 // NumLearnts returns the current learnt-clause count.
 func (s *Solver) NumLearnts() int { return len(s.learnts) }
+
+// NumLits returns the live literal count across problem and learnt
+// clauses — the quantity Budget.MaxLits caps.
+func (s *Solver) NumLits() int64 { return s.litsLive }
+
+// UnknownReason explains the most recent Unknown verdict (ReasonNone
+// after a definitive verdict or before any Solve call).
+func (s *Solver) UnknownReason() Reason { return s.whyUnk }
 
 // Stats returns cumulative search statistics.
 func (s *Solver) Stats() Stats { return s.stats }

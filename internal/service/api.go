@@ -112,6 +112,7 @@ type EngineStats struct {
 	Propagations int64   `json:"propagations"`
 	Rewritten    bool    `json:"rewritten,omitempty"`
 	Cancelled    bool    `json:"cancelled,omitempty"`
+	Skipped      bool    `json:"skipped,omitempty"` // circuit breaker kept the engine out
 	Won          bool    `json:"won,omitempty"`
 }
 
@@ -130,6 +131,7 @@ func EnginesOf(engines []portfolio.Engine) []EngineStats {
 			Propagations: e.Propagations,
 			Rewritten:    e.Rewritten,
 			Cancelled:    e.Cancelled,
+			Skipped:      e.Skipped,
 			Won:          e.Won,
 		}
 	}
@@ -141,6 +143,11 @@ type SolveResponse struct {
 	// Status is equivalent | not-equivalent | timeout (smt.Status
 	// strings).
 	Status string `json:"status"`
+	// Reason explains a timeout status: "budget" (retry with a larger
+	// budget could help), "resource" (the query exceeded a memory cap),
+	// or "panic" (an internal fault was contained). Empty on definitive
+	// verdicts.
+	Reason string `json:"reason,omitempty"`
 	// Witness is a distinguishing assignment when not equivalent.
 	Witness map[string]uint64 `json:"witness,omitempty"`
 	// Solver is the personality that produced the verdict (the portfolio
@@ -176,6 +183,8 @@ type ClassifyResponse struct {
 type SatResponse struct {
 	// Status is sat | unsat | unknown (smt.SatStatus strings).
 	Status string `json:"status"`
+	// Reason explains an unknown status (budget | resource | panic).
+	Reason string `json:"reason,omitempty"`
 	// Model is a satisfying assignment when sat.
 	Model map[string]uint64 `json:"model,omitempty"`
 	// Solver is the personality (or portfolio winner) that answered.
@@ -190,6 +199,7 @@ type SatResponse struct {
 func SatResponseOf(res smt.SatResult, solver string) SatResponse {
 	return SatResponse{
 		Status:       res.Status.String(),
+		Reason:       res.Reason.String(),
 		Model:        res.Model,
 		Solver:       solver,
 		Conflicts:    res.Conflicts,
@@ -253,6 +263,7 @@ type PoolSnapshot struct {
 	Admitted      int64 `json:"admitted"`
 	Rejected      int64 `json:"rejected"`  // 429s
 	Cancelled     int64 `json:"cancelled"` // client went away before/while running
+	Panics        int64 `json:"panics"`    // worker panics contained (task got 500, worker lived)
 }
 
 // MetricsSnapshot is the /debug/metrics body.

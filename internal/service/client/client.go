@@ -21,8 +21,9 @@ import (
 
 // Client talks to one mbaserved instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy // nil = single attempt
 }
 
 // Option customizes a Client.
@@ -116,20 +117,20 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("encoding request: %w", err)
 	}
-	hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	hr.Header.Set("Content-Type", "application/json")
-	return c.do(hr, resp)
+	return c.doRetry(func() (*http.Request, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return hr, nil
+	}, resp)
 }
 
 func (c *Client) get(ctx context.Context, path string, resp any) error {
-	hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(hr, resp)
+	return c.doRetry(func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	}, resp)
 }
 
 func (c *Client) do(hr *http.Request, out any) error {

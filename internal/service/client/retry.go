@@ -1,0 +1,124 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// RetryPolicy configures automatic client-side retry. Every request
+// this client issues is a pure query (simplify/solve/classify compute
+// a function of the request body; health/metrics read state), so
+// retrying is always idempotent-safe; what the policy bounds is how
+// hard to hammer an overloaded server.
+//
+// Retried outcomes are exactly the transient ones: 429 and 503 answers
+// (the server's shed-load responses) and transport failures
+// (connection refused/reset). Everything else — 4xx, 500, decode
+// errors — reflects the request or the server's state and is returned
+// immediately. Backoff doubles per attempt from BaseBackoff up to
+// MaxBackoff, with equal jitter (half fixed, half random) so a fleet
+// of clients shedding together does not retry in lockstep, and the
+// server's Retry-After hint acts as a floor when it is longer.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first wait (default 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+
+	// rand yields jitter in [0,1); tests inject a deterministic source.
+	rand func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.rand == nil {
+		p.rand = rand.Float64
+	}
+	return p
+}
+
+// WithRetry enables automatic retry of overload answers and transport
+// failures under the policy.
+func WithRetry(p RetryPolicy) Option {
+	pol := p.withDefaults()
+	return func(c *Client) { c.retry = &pol }
+}
+
+// retryable classifies an attempt's failure. Overload answers carry
+// the server's own backoff hint; transport failures (*url.Error from
+// the HTTP client) are worth retrying because the server may just be
+// restarting — but not when the request's own context was cancelled,
+// which is the caller abandoning the call.
+func retryable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Overloaded()
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// doRetry runs build+do under the client's retry policy (single
+// attempt when none is configured). build is called per attempt
+// because a request body reader cannot be replayed.
+func (c *Client) doRetry(build func() (*http.Request, error), out any) error {
+	attempts := 1
+	var p RetryPolicy
+	if c.retry != nil {
+		p = *c.retry
+		attempts = p.MaxAttempts
+	}
+	backoff := p.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		hr, err := build()
+		if err != nil {
+			return err
+		}
+		err = c.do(hr, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || attempt == attempts-1 {
+			return lastErr
+		}
+		if ctxErr := hr.Context().Err(); ctxErr != nil {
+			return lastErr
+		}
+
+		wait := backoff/2 + time.Duration(p.rand()*float64(backoff/2))
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > wait {
+			wait = se.RetryAfter
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-hr.Context().Done():
+			timer.Stop()
+			// Abandoned mid-backoff: the transient error is more useful
+			// to the caller than "context canceled".
+			return lastErr
+		case <-timer.C:
+		}
+		backoff *= 2
+		if backoff > p.MaxBackoff {
+			backoff = p.MaxBackoff
+		}
+	}
+	return lastErr
+}

@@ -66,6 +66,7 @@ type serverMetrics struct {
 	admitted  atomic.Int64
 	rejected  atomic.Int64
 	cancelled atomic.Int64
+	panics    atomic.Int64
 
 	inFlight    atomic.Int64
 	maxInFlight atomic.Int64
@@ -152,6 +153,7 @@ func (m *serverMetrics) snapshot(cache CacheSnapshot, pool PoolSnapshot) Metrics
 	s.Pool.Admitted = m.admitted.Load()
 	s.Pool.Rejected = m.rejected.Load()
 	s.Pool.Cancelled = m.cancelled.Load()
+	s.Pool.Panics = m.panics.Load()
 	m.mu.Lock()
 	for solver, per := range m.verdicts {
 		cp := make(map[string]int64, len(per))

@@ -13,10 +13,21 @@ import (
 
 	"mbasolver/internal/core"
 	"mbasolver/internal/expr"
+	"mbasolver/internal/fault"
 	"mbasolver/internal/metrics"
 	"mbasolver/internal/parser"
 	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
+)
+
+// Fault-injection sites (no-ops unless a chaos plan arms them):
+// service.admit simulates allocation failure at queue admission (the
+// request sheds with 429 exactly like a full queue); service.worker
+// panics inside the worker body, exercising the per-task containment
+// that keeps the worker alive.
+var (
+	siteAdmit  = fault.NewSite("service.admit")
+	siteWorker = fault.NewSite("service.worker")
 )
 
 // Config sizes the service. The zero value yields sensible defaults.
@@ -45,6 +56,18 @@ type Config struct {
 	// RetryAfter is the backoff hint attached to 429/503 answers
 	// (default 1s).
 	RetryAfter time.Duration
+	// BreakerThreshold is the consecutive structural-failure count
+	// (contained panics, blown memory caps — not ordinary timeouts)
+	// that opens a personality's circuit breaker on the incremental
+	// paths. Default 3; negative disables the breakers. While a
+	// breaker is open the portfolio skips that engine and solo queries
+	// fall back to a stateless fresh solver, so requests keep being
+	// answered.
+	BreakerThreshold int
+	// BreakerCooldown is the open interval before a breaker admits a
+	// probe query (default 250ms; backs off exponentially on repeated
+	// failures).
+	BreakerCooldown time.Duration
 	// DisableIncremental makes every solve build a fresh solver instead
 	// of using the per-worker incremental smt.Contexts. Incremental
 	// solving keeps interned terms, encoded circuits and learned clauses
@@ -96,6 +119,7 @@ const (
 var (
 	errOverloaded   = errors.New("admission queue full")
 	errShuttingDown = errors.New("server is shutting down")
+	errWorkerPanic  = errors.New("internal solver error")
 )
 
 // task is one admitted unit of work. The worker runs it under a
@@ -105,6 +129,10 @@ type task struct {
 	ctx      context.Context
 	deadline time.Time // absolute request deadline, set at admission
 	run      func(w *workerCtx)
+	// panicked reports that the task died to a contained panic; written
+	// by the worker before done is closed (the close is the
+	// happens-before edge submit reads it across).
+	panicked bool
 	done     chan struct{}
 }
 
@@ -121,10 +149,25 @@ type simpKey struct {
 // (single-goroutine by contract) are safe here and accumulate warm
 // state across every query the worker serves.
 type workerCtx struct {
-	stop  *atomic.Bool
-	simps map[simpKey]*core.Simplifier
-	solo  map[string]*smt.Context // per-personality incremental contexts
-	cset  *portfolio.ContextSet   // incremental portfolio line-up
+	stop     *atomic.Bool
+	simps    map[simpKey]*core.Simplifier
+	solo     map[string]*smt.Context       // per-personality incremental contexts
+	cset     *portfolio.ContextSet         // incremental portfolio line-up
+	breakers map[string]*portfolio.Breaker // guards the solo contexts; nil when disabled
+}
+
+// resetSolvers rebuilds the worker's accumulated solver state after a
+// contained panic: the unwind may have interrupted any of the warm
+// structures mid-update, and a rebuilt cache is strictly cheaper than
+// a wrong verdict from a half-updated one.
+func (w *workerCtx) resetSolvers() {
+	w.simps = map[simpKey]*core.Simplifier{}
+	for _, c := range w.solo {
+		c.Reset()
+	}
+	if w.cset != nil {
+		w.cset.Reset()
+	}
 }
 
 func (w *workerCtx) simplifier(width uint, disj bool) *core.Simplifier {
@@ -238,6 +281,17 @@ func (s *Server) worker() {
 			w.solo[sv.Name()] = sv.NewContext(smt.ContextOptions{})
 		}
 		w.cset = portfolio.NewContextSet(s.all, smt.ContextOptions{})
+		if s.cfg.BreakerThreshold >= 0 {
+			bo := portfolio.BreakerOptions{
+				Threshold: s.cfg.BreakerThreshold,
+				Cooldown:  s.cfg.BreakerCooldown,
+			}
+			w.cset.EnableBreakers(bo)
+			w.breakers = make(map[string]*portfolio.Breaker, len(s.all))
+			for _, sv := range s.all {
+				w.breakers[sv.Name()] = portfolio.NewBreaker(sv.Name(), bo)
+			}
+		}
 	}
 	for {
 		select {
@@ -288,6 +342,22 @@ func (s *Server) runTask(w *workerCtx, t *task) {
 	exit := s.met.enterFlight()
 	defer exit()
 	w.stop = &stop
+
+	// Contain panics to the one task that raised them: the request gets
+	// a 500 (via task.panicked), the worker stays alive for the next
+	// task, and the worker's warm solver state — which the unwind may
+	// have left half-updated — is rebuilt from scratch.
+	defer func() {
+		if r := recover(); r != nil {
+			t.panicked = true
+			s.met.panics.Add(1)
+			fault.RecordPanic("service.worker", r)
+			w.resetSolvers()
+		}
+	}()
+	if siteWorker.Fire() {
+		fault.PanicAt("service.worker")
+	}
 	t.run(w)
 }
 
@@ -303,6 +373,13 @@ func (s *Server) submit(ctx context.Context, deadline time.Time, run func(*worke
 	if s.closing.Load() {
 		s.admitMu.RUnlock()
 		return errShuttingDown
+	}
+	if siteAdmit.Fire() {
+		// Simulated allocation failure at admission: shed exactly like a
+		// full queue.
+		s.admitMu.RUnlock()
+		s.met.rejected.Add(1)
+		return errOverloaded
 	}
 	// The select cannot block: the send arm is paired with a default.
 	// Holding the read lock across it is the admission fence — Shutdown
@@ -320,6 +397,9 @@ func (s *Server) submit(ctx context.Context, deadline time.Time, run func(*worke
 	}
 	select {
 	case <-t.done:
+		if t.panicked {
+			return errWorkerPanic
+		}
 		return nil
 	case <-ctx.Done():
 		<-t.done
@@ -396,6 +476,8 @@ func submitErrorStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, errShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errWorkerPanic):
+		return http.StatusInternalServerError
 	default:
 		return 499
 	}
@@ -528,7 +610,7 @@ type solveSpec struct {
 func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solveSpec) *SolveResponse {
 	remaining := time.Until(spec.deadline)
 	if remaining <= 0 || wc.stop.Load() {
-		resp := &SolveResponse{Status: smt.Timeout.String(), Width: width}
+		resp := &SolveResponse{Status: smt.Timeout.String(), Reason: smt.ReasonBudget.String(), Width: width}
 		s.met.verdict("none", resp.Status)
 		return resp
 	}
@@ -550,6 +632,7 @@ func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solve
 			res = portfolio.CheckEquiv(s.all, a, b, width, budget)
 		}
 		resp.Status = res.Status.String()
+		resp.Reason = res.Reason.String()
 		resp.Witness = res.Witness
 		resp.Solver = res.Winner
 		resp.Conflicts = res.Conflicts
@@ -568,12 +651,26 @@ func (s *Server) runSolve(wc *workerCtx, a, b *expr.Expr, width uint, spec solve
 			name = "btorsim"
 		}
 		var res smt.Result
-		if ctx := wc.solo[name]; ctx != nil {
+		// The breaker guards the warm incremental context; while it is
+		// open the query still runs, on a stateless fresh solver, so
+		// clients see degraded latency rather than refusals. Only runs
+		// that actually used the context feed the breaker.
+		br := wc.breakers[name]
+		if ctx := wc.solo[name]; ctx != nil && (br == nil || br.Allow()) {
 			res = ctx.CheckEquiv(a, b, width, budget)
+			if br != nil {
+				if res.Status == smt.Unknown &&
+					(res.Reason == smt.ReasonPanic || res.Reason == smt.ReasonResource) {
+					br.ReportFailure()
+				} else {
+					br.ReportSuccess()
+				}
+			}
 		} else {
 			res = s.solvers[name].CheckEquiv(a, b, width, budget)
 		}
 		resp.Status = res.Status.String()
+		resp.Reason = res.Reason.String()
 		resp.Witness = res.Witness
 		resp.Solver = name
 		resp.Conflicts = res.Conflicts

@@ -6,6 +6,7 @@ import (
 	"mbasolver/internal/bitblast"
 	"mbasolver/internal/bv"
 	"mbasolver/internal/core"
+	"mbasolver/internal/fault"
 	"mbasolver/internal/sat"
 )
 
@@ -35,6 +36,7 @@ func (s SatStatus) String() string {
 // SatResult reports a satisfiability query.
 type SatResult struct {
 	Status       SatStatus
+	Reason       Reason            // why Status is SatUnknown (ReasonNone otherwise)
 	Model        map[string]uint64 // variable values when Satisfiable
 	Elapsed      time.Duration
 	Conflicts    int64
@@ -43,9 +45,21 @@ type SatResult struct {
 
 // SolveAssertions decides the conjunction of width-1 terms (the
 // SMT-LIB (assert ...) view of a problem) under this personality's
-// preprocessing and search configuration.
-func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult {
+// preprocessing and search configuration. Like CheckTermEquiv it is a
+// solver boundary: panics below it degrade to SatUnknown with
+// ReasonPanic and are recorded, never propagated.
+func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) (res SatResult) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			fault.RecordPanic("smt.SolveAssertions", r)
+			res = SatResult{Status: SatUnknown, Reason: ReasonPanic, Elapsed: time.Since(start)}
+		}
+	}()
+	return s.solveAssertions(start, assertions, budget)
+}
+
+func (s *Solver) solveAssertions(start time.Time, assertions []*bv.Term, budget Budget) SatResult {
 	var deadline time.Time
 	if budget.Timeout > 0 {
 		deadline = start.Add(budget.Timeout)
@@ -54,7 +68,10 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 	// rewriting is the heavy phase on large inputs, and an exhausted
 	// budget must not buy any of it.
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+		return SatResult{Status: SatUnknown, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+	if siteRewrite.Fire() {
+		fault.PanicAt("smt.rewrite")
 	}
 	rw := bv.NewRewriter(s.level)
 
@@ -86,7 +103,7 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 	}
 
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+		return SatResult{Status: SatUnknown, Reason: ReasonBudget, Elapsed: time.Since(start)}
 	}
 	bl := bitblast.New(s.satOpts)
 	if budget.Stop != nil {
@@ -95,15 +112,16 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 	if !deadline.IsZero() {
 		bl.SetDeadline(deadline)
 	}
+	bl.SetMaxVars(budget.MaxVars)
 	for _, t := range rewritten {
 		out := bl.Blast(t)
 		if out == nil {
-			// Cancelled (or out of time) mid-encoding.
-			return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+			// Cancelled, out of time, or over the circuit cap mid-encoding.
+			return SatResult{Status: SatUnknown, Reason: bl.StopReason(), Elapsed: time.Since(start)}
 		}
 		bl.AssertTrue(out[0])
 	}
-	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb)
 	res := SatResult{
 		Elapsed:      time.Since(start),
@@ -125,6 +143,7 @@ func (s *Solver) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult
 		res.Status = Unsatisfiable
 	default:
 		res.Status = SatUnknown
+		res.Reason = bl.UnknownReason()
 	}
 	return res
 }

@@ -6,6 +6,7 @@ import (
 	"mbasolver/internal/bitblast"
 	"mbasolver/internal/bv"
 	"mbasolver/internal/expr"
+	"mbasolver/internal/fault"
 	"mbasolver/internal/sat"
 )
 
@@ -53,6 +54,13 @@ type Context struct {
 	in     *bv.Interner
 	rw     *bv.Rewriter
 	states map[uint]*ctxState
+
+	// poisoned marks the context as possibly corrupted: a panic escaped
+	// a query mid-way (leaving interner/rewriter/circuit in an arbitrary
+	// state), or Corrupt was called. The next query fully Resets before
+	// answering — a poisoned context must never serve from its caches,
+	// because a wrong cached verdict is strictly worse than the rebuild.
+	poisoned bool
 
 	stats        ContextStats
 	retiredBlast bitblast.Stats // encoding counters of recycled states
@@ -158,7 +166,34 @@ func (c *Context) Reset() {
 	c.retireAll()
 	c.in = bv.NewInterner()
 	c.rw = bv.NewRewriter(c.s.level)
+	c.poisoned = false
 	c.stats.FullResets++
+}
+
+// Corrupt simulates internal-state corruption: it scrambles every
+// width's activation-literal cache (reusing one would answer the wrong
+// query) and marks the context poisoned. The next query detects the
+// mark and fully Resets before answering, so verdicts stay correct.
+// Chaos tests use it to prove the poison-and-reset path; production
+// code never calls it.
+func (c *Context) Corrupt() {
+	for _, st := range c.states {
+		for q := range st.acts {
+			st.acts[q] = st.acts[q].Not()
+		}
+	}
+	c.poisoned = true
+}
+
+// Poisoned reports whether the context is marked corrupted and will
+// reset on its next query.
+func (c *Context) Poisoned() bool { return c.poisoned }
+
+// ensureHealthy rebuilds a poisoned context before it serves a query.
+func (c *Context) ensureHealthy() {
+	if c.poisoned {
+		c.Reset()
+	}
 }
 
 // retireAll folds every live state's encoding counters into the
@@ -237,8 +272,16 @@ func (c *Context) recycleIfOverLimit(width uint, st *ctxState) {
 }
 
 // CheckEquiv is Solver.CheckEquiv through the incremental context.
-func (c *Context) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result {
+func (c *Context) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) (res Result) {
+	c.ensureHealthy()
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			c.poisoned = true
+			fault.RecordPanic("smt.Context.CheckEquiv", r)
+			res = Result{Status: Unknown, Reason: ReasonPanic, Elapsed: time.Since(start)}
+		}
+	}()
 	var deadline time.Time
 	if budget.Timeout > 0 {
 		deadline = start.Add(budget.Timeout)
@@ -246,11 +289,11 @@ func (c *Context) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result 
 	// Translation walks both trees; consult the budget first, exactly
 	// like the one-shot path does before its heavy phases.
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
 	}
 	ta := c.in.FromExpr(a, width)
 	tb := c.in.FromExpr(b, width)
-	return c.CheckTermEquiv(ta, tb, budget)
+	return c.checkTermEquiv(start, ta, tb, budget)
 }
 
 // CheckTermEquiv decides ta == tb within the budget, reusing every
@@ -258,8 +301,25 @@ func (c *Context) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result 
 // as Solver.CheckTermEquiv on the same inputs: the word-level phases
 // are identical, and the SAT phase decides the same query (UNSAT of
 // ta != tb) over the same personality options — only warm-started.
-func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
+//
+// Like the one-shot path it is a solver boundary: a panic below it is
+// contained to Unknown with ReasonPanic — and additionally poisons the
+// context, because the panic may have left shared caches half-updated;
+// the next query rebuilds from scratch rather than trusting them.
+func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) (res Result) {
+	c.ensureHealthy()
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			c.poisoned = true
+			fault.RecordPanic("smt.Context.CheckTermEquiv", r)
+			res = Result{Status: Unknown, Reason: ReasonPanic, Elapsed: time.Since(start)}
+		}
+	}()
+	return c.checkTermEquiv(start, ta, tb, budget)
+}
+
+func (c *Context) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget) Result {
 	width := ta.Width
 	var deadline time.Time
 	if budget.Timeout > 0 {
@@ -270,7 +330,17 @@ func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	// trees, rewriting and polynomial expansion can be the expensive
 	// part), mirroring the one-shot path.
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+	if siteContext.Fire() {
+		// Simulated context corruption: damage the caches for real, then
+		// panic; the boundary recover poisons the context and the next
+		// query proves the reset path by answering correctly anyway.
+		c.Corrupt()
+		fault.PanicAt("smt.context")
+	}
+	if siteRewrite.Fire() {
+		fault.PanicAt("smt.rewrite")
 	}
 
 	// Hash-cons the inputs so repeated structure — across queries, not
@@ -291,7 +361,7 @@ func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		}
 	}
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
 	}
 
 	// The rewriter's memo is pointer-keyed, so building the disequality
@@ -318,16 +388,17 @@ func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	bl := st.bl
 	bl.SetStop(budget.Stop)
 	bl.SetDeadline(deadline)
+	bl.SetMaxVars(budget.MaxVars)
 
 	act, ok := st.acts[query]
 	if !ok {
 		out := bl.Blast(query)
 		if out == nil {
 			// Interrupted mid-encoding: the partial circuit is unusable,
-			// drop this width and report the timeout.
+			// drop this width and report the degradation.
 			c.retire(width)
 			c.stats.Recycles++
-			return Result{Status: Timeout, Elapsed: time.Since(start)}
+			return Result{Status: Timeout, Reason: bl.StopReason(), Elapsed: time.Since(start)}
 		}
 		act = bl.Assume(out[0])
 		st.acts[query] = act
@@ -338,7 +409,7 @@ func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	// The persistent solver accumulates lifetime counters; report this
 	// query's spend as a delta.
 	before := bl.S.Stats()
-	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb, act)
 	after := bl.S.Stats()
 
@@ -366,6 +437,7 @@ func (c *Context) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		}
 	default:
 		res.Status = Timeout
+		res.Reason = bl.UnknownReason()
 	}
 	c.recycleIfOverLimit(width, st)
 	return res
@@ -380,14 +452,35 @@ func (c *Context) CheckZero(e *expr.Expr, width uint, budget Budget) Result {
 // context: the conjunction of width-1 assertions is guarded by one
 // activation literal per distinct assertion term, so assertion sets
 // that share members share their encodings and learned clauses.
-func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResult {
+// Panics below are contained to SatUnknown/ReasonPanic and poison the
+// context, exactly like CheckTermEquiv.
+func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) (res SatResult) {
+	c.ensureHealthy()
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			c.poisoned = true
+			fault.RecordPanic("smt.Context.SolveAssertions", r)
+			res = SatResult{Status: SatUnknown, Reason: ReasonPanic, Elapsed: time.Since(start)}
+		}
+	}()
+	return c.solveAssertions(start, assertions, budget)
+}
+
+func (c *Context) solveAssertions(start time.Time, assertions []*bv.Term, budget Budget) SatResult {
 	var deadline time.Time
 	if budget.Timeout > 0 {
 		deadline = start.Add(budget.Timeout)
 	}
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+		return SatResult{Status: SatUnknown, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+	if siteContext.Fire() {
+		c.Corrupt()
+		fault.PanicAt("smt.context")
+	}
+	if siteRewrite.Fire() {
+		fault.PanicAt("smt.rewrite")
 	}
 
 	vars := map[string]uint{}
@@ -420,7 +513,7 @@ func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResul
 	}
 
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+		return SatResult{Status: SatUnknown, Reason: ReasonBudget, Elapsed: time.Since(start)}
 	}
 
 	// Assertion sets share one state, keyed by the widest variable in
@@ -437,6 +530,7 @@ func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResul
 	bl := st.bl
 	bl.SetStop(budget.Stop)
 	bl.SetDeadline(deadline)
+	bl.SetMaxVars(budget.MaxVars)
 
 	acts := make([]sat.Lit, 0, len(rewritten))
 	for _, t := range rewritten {
@@ -446,7 +540,7 @@ func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResul
 			if out == nil {
 				c.retire(stateKey)
 				c.stats.Recycles++
-				return SatResult{Status: SatUnknown, Elapsed: time.Since(start)}
+				return SatResult{Status: SatUnknown, Reason: bl.StopReason(), Elapsed: time.Since(start)}
 			}
 			act = bl.Assume(out[0])
 			st.acts[t] = act
@@ -457,7 +551,7 @@ func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResul
 	}
 
 	before := bl.S.Stats()
-	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb, acts...)
 	after := bl.S.Stats()
 
@@ -482,6 +576,7 @@ func (c *Context) SolveAssertions(assertions []*bv.Term, budget Budget) SatResul
 		res.Status = Unsatisfiable
 	default:
 		res.Status = SatUnknown
+		res.Reason = bl.UnknownReason()
 	}
 	c.recycleIfOverLimit(stateKey, st)
 	return res

@@ -1,0 +1,26 @@
+package smt
+
+import "mbasolver/internal/sat"
+
+// Unknown is the graceful-degradation name for the indefinite verdict:
+// every contained failure — exhausted budget, memory cap, recovered
+// panic — ends in this status with Result.Reason saying why. It is the
+// same enum value as Timeout (so existing switches keep working); new
+// code should use Unknown and consult the reason.
+const Unknown = Timeout
+
+// Reason re-exports sat.Reason so callers of this package can label
+// and inspect Unknown verdicts without importing internal/sat.
+type Reason = sat.Reason
+
+const (
+	// ReasonNone: the verdict was definitive.
+	ReasonNone = sat.ReasonNone
+	// ReasonBudget: deadline, conflict budget, or Stop cancellation.
+	ReasonBudget = sat.ReasonBudget
+	// ReasonResource: a memory cap (Budget.MaxLits, Budget.MaxVars) or
+	// simulated allocation failure fired.
+	ReasonResource = sat.ReasonResource
+	// ReasonPanic: a panic was contained at the solver boundary.
+	ReasonPanic = sat.ReasonPanic
+)

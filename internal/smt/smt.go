@@ -23,7 +23,17 @@ import (
 	"mbasolver/internal/bitblast"
 	"mbasolver/internal/bv"
 	"mbasolver/internal/expr"
+	"mbasolver/internal/fault"
 	"mbasolver/internal/sat"
+)
+
+// Fault-injection sites (no-ops unless a chaos plan arms them):
+// smt.rewrite panics inside the word-level phase to exercise the
+// boundary containment below; smt.context corrupts an incremental
+// Context's caches before panicking, exercising poison-and-reset.
+var (
+	siteRewrite = fault.NewSite("smt.rewrite")
+	siteContext = fault.NewSite("smt.context")
 )
 
 // Status is the outcome of an equivalence check.
@@ -60,6 +70,13 @@ type Budget struct {
 	// rewriting, bit-blasting or searching. The portfolio solver uses
 	// it to cancel losing engines.
 	Stop *atomic.Bool
+	// MaxLits caps the SAT clause database in literals (problem plus
+	// learned). A query that would exceed it degrades to Unknown with
+	// ReasonResource instead of growing without bound.
+	MaxLits int64
+	// MaxVars caps the bit-blasted circuit in SAT variables; exceeding
+	// it mid-encoding degrades to Unknown with ReasonResource.
+	MaxVars int
 }
 
 // stopped reports whether the external cancellation flag is raised.
@@ -68,6 +85,7 @@ func (b Budget) stopped() bool { return b.Stop != nil && b.Stop.Load() }
 // Result reports one equivalence query.
 type Result struct {
 	Status       Status
+	Reason       Reason            // why Status is Unknown (ReasonNone otherwise)
 	Witness      map[string]uint64 // distinguishing input when NotEquivalent
 	Elapsed      time.Duration
 	Conflicts    int64 // CDCL conflicts spent
@@ -139,9 +157,23 @@ func (s *Solver) CheckEquiv(a, b *expr.Expr, width uint, budget Budget) Result {
 	return s.CheckTermEquiv(ta, tb, budget)
 }
 
-// CheckTermEquiv is CheckEquiv over pre-built bitvector terms.
-func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
+// CheckTermEquiv is CheckEquiv over pre-built bitvector terms. It is a
+// solver boundary: any panic below it — a genuine bug or an injected
+// fault — is contained here and degrades to Unknown with ReasonPanic
+// rather than crashing the caller; the panic is recorded through
+// fault.RecordPanic so containment stays observable.
+func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) (res Result) {
 	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			fault.RecordPanic("smt.CheckTermEquiv", r)
+			res = Result{Status: Unknown, Reason: ReasonPanic, Elapsed: time.Since(start)}
+		}
+	}()
+	return s.checkTermEquiv(start, ta, tb, budget)
+}
+
+func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget) Result {
 	width := ta.Width
 	origA, origB := ta, tb
 	var deadline time.Time
@@ -155,7 +187,10 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	// nests), and a query whose budget is already exhausted must not
 	// buy any of it.
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+	if siteRewrite.Fire() {
+		fault.PanicAt("smt.rewrite")
 	}
 
 	rw := bv.NewRewriter(s.level)
@@ -173,7 +208,7 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		}
 	}
 	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
 	}
 
 	query := bv.Predicate(bv.Ne, ta, tb)
@@ -201,14 +236,15 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 	if !deadline.IsZero() {
 		bl.SetDeadline(deadline)
 	}
+	bl.SetMaxVars(budget.MaxVars)
 	out := bl.Blast(query)
 	if out == nil {
-		// Cancelled (or out of time) mid-encoding.
-		return Result{Status: Timeout, Elapsed: time.Since(start)}
+		// Cancelled, out of time, or over the circuit cap mid-encoding.
+		return Result{Status: Timeout, Reason: bl.StopReason(), Elapsed: time.Since(start)}
 	}
 	bl.AssertTrue(out[0])
 
-	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline}
+	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb)
 	res := Result{
 		Elapsed:      time.Since(start),
@@ -236,6 +272,7 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) Result {
 		}
 	default:
 		res.Status = Timeout
+		res.Reason = bl.UnknownReason()
 	}
 	return res
 }

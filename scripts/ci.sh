@@ -19,6 +19,15 @@ go run ./cmd/mbalint ./...
 # slowdown; give the suite explicit headroom for loaded CI machines.
 go test -race -timeout 20m ./...
 
+# Chaos smoke: the known-answer corpus under every injectable fault
+# class, across fresh/context/portfolio/service execution, under the
+# race detector. Faults may only ever produce extra Unknowns — a wrong
+# verdict, a leaked goroutine or a dead worker fails the stage. (The
+# full -race ./... run above already includes this package; re-running
+# it by name keeps the degradation contract visible as its own stage
+# and catches a skipped-package CI edit.)
+go test -race -count=1 ./internal/chaos/
+
 # Bench smoke: the miniature incremental-vs-fresh solver benchmark must
 # run end to end with zero verdict mismatches, and the Go benchmarks
 # must still execute (full numbers: scripts/bench.sh).
