@@ -10,8 +10,11 @@ import (
 
 // budgetScopePkgs are the solver hot-path packages whose loops must
 // stay budget-aware (matched by import-path suffix so fixtures can
-// pose as them).
-var budgetScopePkgs = []string{"internal/sat", "internal/bitblast", "internal/smt"}
+// pose as them). internal/portfolio joined the list with the
+// clause-sharing/cube work: cube workers and the share import loop run
+// unbounded search under the same cooperative-cancellation contract as
+// the core solver.
+var budgetScopePkgs = []string{"internal/sat", "internal/bitblast", "internal/smt", "internal/portfolio"}
 
 func inBudgetScope(pkg *Package) bool {
 	for _, suffix := range budgetScopePkgs {

@@ -34,9 +34,15 @@ type Blaster struct {
 	S *sat.Solver
 
 	vars    map[string][]sat.Lit // BV variable -> bit literals, LSB first
+	owner   map[sat.Var]varBit   // reverse map: solver variable -> named bit
 	cache   map[*bv.Term][]sat.Lit
 	gates   map[[3]int64]sat.Lit // structural gate hash: op,a,b -> output
 	trueLit sat.Lit
+
+	// Clause sharing (see share.go).
+	share       *Endpoint
+	shareAct    sat.Lit
+	shareActSet bool
 
 	stop       *atomic.Bool // optional cancellation flag, checked while encoding
 	deadline   time.Time    // optional wall-clock bound on encoding
@@ -77,6 +83,7 @@ func New(opts sat.Options) *Blaster {
 	b := &Blaster{
 		S:     sat.New(opts),
 		vars:  map[string][]sat.Lit{},
+		owner: map[sat.Var]varBit{},
 		cache: map[*bv.Term][]sat.Lit{},
 		gates: map[[3]int64]sat.Lit{},
 	}
@@ -105,7 +112,9 @@ func (b *Blaster) VarBits(name string, width uint) []sat.Lit {
 	}
 	bits := make([]sat.Lit, width)
 	for i := range bits {
-		bits[i] = sat.MkLit(b.S.NewVar(), false)
+		v := b.S.NewVar()
+		bits[i] = sat.MkLit(v, false)
+		b.owner[v] = varBit{name: name, bit: i}
 	}
 	b.vars[name] = bits
 	return bits

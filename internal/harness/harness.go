@@ -43,6 +43,12 @@ type Config struct {
 	// worker. Verdicts are unchanged (see the differential tests in
 	// internal/smt); per-query budgets still apply individually.
 	Incremental bool
+	// Share lets the portfolio personalities exchange short learned
+	// clauses during each race (only meaningful with Portfolio).
+	Share bool
+	// Cubes adds a cube-and-conquer fallback to portfolio queries the
+	// screen race cannot decide (only meaningful with Portfolio).
+	Cubes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -188,7 +194,20 @@ func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 				}
 				if cfg.Portfolio {
 					cset = portfolio.NewContextSet(solvers, smt.ContextOptions{})
+					if cfg.Share {
+						cset.EnableSharing(0)
+					}
+					if cfg.Cubes {
+						cset.EnableCubes(smt.CubeOptions{})
+					}
 				}
+			}
+			var popts portfolio.ParallelOptions
+			if cfg.Share {
+				popts.ShareCapacity = 256
+			}
+			if cfg.Cubes {
+				popts.Cubes = &smt.CubeOptions{}
 			}
 			for j := range jobs {
 				lhs, rhs := sides(j.sample)
@@ -198,9 +217,12 @@ func runQueries(samples []gen.Sample, solvers []*smt.Solver, cfg Config,
 				}
 				if j.portfolio {
 					var res portfolio.Result
-					if cset != nil {
+					switch {
+					case cset != nil:
 						res = cset.CheckEquiv(lhs, rhs, cfg.Width, cfg.Budget)
-					} else {
+					case cfg.Share || cfg.Cubes:
+						res = portfolio.CheckEquivParallel(solvers, lhs, rhs, cfg.Width, cfg.Budget, popts)
+					default:
 						res = portfolio.CheckEquiv(solvers, lhs, rhs, cfg.Width, cfg.Budget)
 					}
 					o.Solver = portfolio.Name

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mbasolver/internal/bitblast"
 	"mbasolver/internal/bv"
 	"mbasolver/internal/expr"
 	"mbasolver/internal/smt"
@@ -22,7 +23,9 @@ import (
 type ContextSet struct {
 	solvers  []*smt.Solver
 	contexts []*smt.Context
-	breakers []*Breaker // nil until EnableBreakers; index-aligned with solvers
+	breakers []*Breaker       // nil until EnableBreakers; index-aligned with solvers
+	pool     *bitblast.Pool   // nil until EnableSharing; endpoints index-aligned with solvers
+	cubeOpts *smt.CubeOptions // nil until EnableCubes
 }
 
 // NewContextSet builds one incremental context per personality.
@@ -51,6 +54,39 @@ func (cs *ContextSet) EnableBreakers(opts BreakerOptions) {
 // index-aligned with Solvers.
 func (cs *ContextSet) Breakers() []*Breaker { return cs.breakers }
 
+// EnableSharing lets the racing personalities exchange short learned
+// clauses over a persistent pool: each engine exports its glue clauses
+// as it learns them and imports foreign ones at restart boundaries,
+// translated through its own encoding's variable map. The pool lives
+// across queries — CheckTermEquiv stamps a new generation per query so
+// clauses learned under one query's assertions can never leak into the
+// next (they are only implied modulo that query's activation guard).
+// Call before the first query. Capacity is the per-engine channel
+// depth (0 takes the default).
+func (cs *ContextSet) EnableSharing(capacity int) {
+	cs.pool = bitblast.NewPool(len(cs.solvers), capacity)
+}
+
+// ShareStats returns the sharing pool's counters (zero when sharing is
+// disabled).
+func (cs *ContextSet) ShareStats() bitblast.PoolStats {
+	if cs.pool == nil {
+		return bitblast.PoolStats{}
+	}
+	return cs.pool.Stats()
+}
+
+// EnableCubes turns CheckTermEquiv into a two-phase solve: the race is
+// clamped to opts.ScreenConflicts and doubles as the screening solve,
+// and a race that ends in budget-kind Unknown falls through to
+// cube-and-conquer on the strongest personality with the remaining
+// budget. The cube phase is stateless (fresh encodings), so warm
+// contexts are untouched by it. Call before the first query.
+func (cs *ContextSet) EnableCubes(opts smt.CubeOptions) {
+	o := opts.WithDefaults()
+	cs.cubeOpts = &o
+}
+
 // admitted returns the indices of engines allowed to race now. If
 // every breaker refuses, all engines run anyway: answering the query
 // degraded beats refusing it, and a success will close the breakers.
@@ -75,10 +111,14 @@ func (cs *ContextSet) admitted() []int {
 }
 
 // reportOutcome feeds one engine's run back to its breaker. Cancelled
-// runs (the race was already won) say nothing about the engine's
-// health and are not reported; definitive verdicts and plain budget
-// exhaustion are successes; panic and resource degradations are the
-// failures the breaker exists to contain.
+// runs (the race was already won and the engine stopped healthy) say
+// nothing about the engine's health and are not reported; definitive
+// verdicts and plain budget exhaustion are successes; panic and
+// resource degradations are the failures the breaker exists to
+// contain. Callers must compute cancelled as budget-kind Unknown under
+// a raised stop flag — an engine that panicked while the flag happened
+// to be up still failed, and hiding that from the breaker would let a
+// crashing personality race (and crash) forever.
 func (cs *ContextSet) reportOutcome(i int, reason smt.Reason, definitive, cancelled bool) {
 	if cs.breakers == nil || cancelled {
 		return
@@ -116,11 +156,28 @@ func (cs *ContextSet) CheckTermEquiv(ta, tb *bv.Term, budget smt.Budget) Result 
 	if len(cs.contexts) == 0 {
 		return Result{Result: smt.Result{Status: smt.Timeout}}
 	}
+	if cs.pool != nil {
+		// New generation: clauses still in flight from the previous
+		// query become stale and are dropped at drain. Safe to bump here
+		// because race() joins every engine before returning, so no
+		// context is mid-solve now.
+		cs.pool.NextQuery()
+	}
+	raceBudget := budget
+	if cs.cubeOpts != nil && (raceBudget.Conflicts == 0 || raceBudget.Conflicts > cs.cubeOpts.ScreenConflicts) {
+		raceBudget.Conflicts = cs.cubeOpts.ScreenConflicts
+	}
 	idx := cs.admitted()
 	raced, winnerK, rstops := race(len(idx), budget.Stop,
 		func(k int, stop *atomic.Bool) smt.Result {
-			b := budget
+			b := raceBudget
 			b.Stop = stop
+			if cs.pool != nil {
+				// Endpoint by solver index, not compacted race index:
+				// an engine must keep the same mailbox across queries
+				// even when breakers change who races.
+				b.Share = cs.pool.Endpoint(idx[k])
+			}
 			return cs.contexts[idx[k]].CheckTermEquiv(ta, tb, b)
 		},
 		equivDefinitive)
@@ -139,9 +196,13 @@ func (cs *ContextSet) CheckTermEquiv(ta, tb *bv.Term, budget smt.Budget) Result 
 			winner = i
 		}
 		cs.reportOutcome(i, raced[k].Reason, equivDefinitive(raced[k]),
-			raced[k].Status == smt.Timeout && rstops[k].Load())
+			raced[k].Status == smt.Timeout && raced[k].Reason == smt.ReasonBudget && rstops[k].Load())
 	}
-	return assembleResult(cs.solvers, results, winner, stops, skipped, start)
+	res := assembleResult(cs.solvers, results, winner, stops, skipped, start)
+	if winner >= 0 || cs.cubeOpts == nil {
+		return res
+	}
+	return runCubePhase(res, cubeSolver(cs.solvers), ta, tb, budget, *cs.cubeOpts, start)
 }
 
 // CheckEquiv is CheckTermEquiv over expressions at the given width.
@@ -179,7 +240,7 @@ func (cs *ContextSet) SolveAssertions(assertions []*bv.Term, budget smt.Budget) 
 			winner = i
 		}
 		cs.reportOutcome(i, raced[k].Reason, satDefinitive(raced[k]),
-			raced[k].Status == smt.SatUnknown && rstops[k].Load())
+			raced[k].Status == smt.SatUnknown && raced[k].Reason == smt.ReasonBudget && rstops[k].Load())
 	}
 	return assembleSatResult(cs.solvers, results, winner, stops, skipped, start)
 }

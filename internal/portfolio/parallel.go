@@ -1,0 +1,138 @@
+package portfolio
+
+import (
+	"sync/atomic"
+	"time"
+
+	"mbasolver/internal/bitblast"
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/smt"
+)
+
+// ParallelOptions tunes the cooperating portfolio entry points
+// (CheckTermEquivParallel): the plain race, plus clause sharing
+// between the personalities and a cube-and-conquer second phase.
+type ParallelOptions struct {
+	// ShareCapacity, when positive, lets the racing personalities
+	// exchange short learned clauses (glue clauses over input-variable
+	// bits, translated through each engine's own variable map) over a
+	// bounded non-blocking pool of this per-engine depth.
+	ShareCapacity int
+	// Cubes, when non-nil, turns the race into a screening phase: the
+	// race runs clamped to Cubes.ScreenConflicts, and if it ends in a
+	// budget-kind Unknown the query is split by cube-and-conquer on the
+	// strongest personality with whatever budget remains.
+	Cubes *smt.CubeOptions
+}
+
+// CheckTermEquivParallel is CheckTermEquiv with the engines
+// cooperating instead of merely racing. With sharing enabled each
+// personality exports its short learned clauses and imports the
+// others' at restart boundaries; with cubes enabled a race that ends
+// in budget-kind Unknown falls through to splitting the query on the
+// screen's most active variables. Verdicts are those of the
+// underlying engines — sharing and cubing change who answers and how
+// fast, never what is answered.
+func CheckTermEquivParallel(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget, opts ParallelOptions) Result {
+	start := time.Now()
+	if len(solvers) == 0 {
+		return Result{Result: smt.Result{Status: smt.Timeout}}
+	}
+	var pool *bitblast.Pool
+	if opts.ShareCapacity > 0 {
+		pool = bitblast.NewPool(len(solvers), opts.ShareCapacity)
+	}
+	var cubes *smt.CubeOptions
+	if opts.Cubes != nil {
+		c := opts.Cubes.WithDefaults()
+		cubes = &c
+	}
+
+	// With a cube phase waiting, the race doubles as the screen: clamp
+	// it to the screen's conflict budget so a hard query fails over to
+	// splitting instead of burning the whole budget three ways.
+	raceBudget := budget
+	if cubes != nil && (raceBudget.Conflicts == 0 || raceBudget.Conflicts > cubes.ScreenConflicts) {
+		raceBudget.Conflicts = cubes.ScreenConflicts
+	}
+
+	results, winner, stops := race(len(solvers), budget.Stop,
+		func(i int, stop *atomic.Bool) smt.Result {
+			b := raceBudget
+			b.Stop = stop
+			if pool != nil {
+				b.Share = pool.Endpoint(i)
+			}
+			return solvers[i].CheckTermEquiv(ta, tb, b)
+		},
+		equivDefinitive)
+	res := assembleResult(solvers, results, winner, stops, nil, start)
+	if winner >= 0 || cubes == nil {
+		return res
+	}
+	return runCubePhase(res, cubeSolver(solvers), ta, tb, budget, *cubes, start)
+}
+
+// CheckEquivParallel is CheckTermEquivParallel over expressions at the
+// given width.
+func CheckEquivParallel(solvers []*smt.Solver, a, b *expr.Expr, width uint, budget smt.Budget, opts ParallelOptions) Result {
+	return CheckTermEquivParallel(solvers, bv.FromExpr(a, width), bv.FromExpr(b, width), budget, opts)
+}
+
+// cubeSolver picks the personality that runs the cube phase: the
+// btorsim personality when present (full rewriting, fastest simulated
+// core — the strongest single engine on hard residuals), else the last
+// in the list.
+func cubeSolver(solvers []*smt.Solver) *smt.Solver {
+	for _, s := range solvers {
+		if s.Name() == "btorsim" {
+			return s
+		}
+	}
+	return solvers[len(solvers)-1]
+}
+
+// runCubePhase runs cube-and-conquer after a race came back Unknown
+// and folds the outcome into res as one more Engine entry. Only a
+// budget-kind Unknown earns the phase: an external stop means the
+// whole query is out of time, and a structural (resource/panic)
+// failure would only repeat 2^k times. The cube solve gets the
+// caller's original budget with the wall clock already spent by the
+// race subtracted, so the two phases together still respect the
+// caller's Timeout.
+func runCubePhase(res Result, cuber *smt.Solver, ta, tb *bv.Term, budget smt.Budget,
+	opts smt.CubeOptions, start time.Time) Result {
+
+	if res.Reason != smt.ReasonBudget || (budget.Stop != nil && budget.Stop.Load()) {
+		return res
+	}
+	cb := budget
+	cb.Share = nil // the race's pool endpoints are not the cube workers'
+	if budget.Timeout > 0 {
+		remaining := budget.Timeout - time.Since(start)
+		if remaining <= 0 {
+			return res
+		}
+		cb.Timeout = remaining
+	}
+	cres := cuber.CheckTermEquivCube(ta, tb, cb, opts)
+	eng := Engine{
+		Solver:       "cubes:" + cuber.Name(),
+		Verdict:      cres.Status.String(),
+		Reason:       cres.Reason,
+		Elapsed:      cres.Elapsed,
+		Conflicts:    cres.Conflicts,
+		Propagations: cres.Propagations,
+	}
+	if equivDefinitive(cres) {
+		eng.Won = true
+		res.Result = cres
+		res.Winner = eng.Solver
+	} else {
+		res.Reason = portfolioReason([]smt.Reason{res.Reason, cres.Reason})
+	}
+	res.Engines = append(res.Engines, eng)
+	res.Elapsed = time.Since(start)
+	return res
+}

@@ -31,6 +31,7 @@ const Name = "portfolio"
 type Engine struct {
 	Solver       string        // personality name
 	Verdict      string        // that engine's own outcome
+	Reason       smt.Reason    // why the engine's own verdict was Unknown
 	Elapsed      time.Duration // that engine's own wall clock
 	Conflicts    int64
 	Propagations int64
@@ -142,12 +143,21 @@ func assembleResult(solvers []*smt.Solver, results []smt.Result, winner int,
 		out.Engines[i] = Engine{
 			Solver:       solvers[i].Name(),
 			Verdict:      r.Status.String(),
+			Reason:       r.Reason,
 			Elapsed:      r.Elapsed,
 			Conflicts:    r.Conflicts,
 			Propagations: r.Propagations,
 			Rewritten:    r.Rewritten,
-			Cancelled:    r.Status == smt.Timeout && stops[i] != nil && stops[i].Load(),
-			Won:          i == winner,
+			// "Cancelled" means the engine was healthy but the race
+			// ended under it: the stop flag was raised AND its own
+			// degradation was the budget/stop kind. A panic or resource
+			// Unknown keeps its true label even when the flag is up —
+			// before this distinction, any engine that failed fast in a
+			// race someone else won was mislabeled as cancelled, hiding
+			// real failures from observability and circuit breakers.
+			Cancelled: r.Status == smt.Timeout && r.Reason == smt.ReasonBudget &&
+				stops[i] != nil && stops[i].Load(),
+			Won: i == winner,
 		}
 	}
 	if winner >= 0 {
@@ -197,11 +207,15 @@ func assembleSatResult(solvers []*smt.Solver, results []smt.SatResult, winner in
 		out.Engines[i] = Engine{
 			Solver:       solvers[i].Name(),
 			Verdict:      r.Status.String(),
+			Reason:       r.Reason,
 			Elapsed:      r.Elapsed,
 			Conflicts:    r.Conflicts,
 			Propagations: r.Propagations,
-			Cancelled:    r.Status == smt.SatUnknown && stops[i] != nil && stops[i].Load(),
-			Won:          i == winner,
+			// See assembleResult: only budget-kind Unknowns under a
+			// raised flag count as cancelled.
+			Cancelled: r.Status == smt.SatUnknown && r.Reason == smt.ReasonBudget &&
+				stops[i] != nil && stops[i].Load(),
+			Won: i == winner,
 		}
 	}
 	if winner >= 0 {

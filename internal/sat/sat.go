@@ -175,6 +175,8 @@ type Stats struct {
 	Learnt       int64
 	Removed      int64
 	MaxLBD       int
+	Exported     int64 // learnt clauses offered to the share export hook
+	Imported     int64 // foreign clauses attached via the share import hook
 }
 
 type clause struct {
@@ -229,6 +231,12 @@ type Solver struct {
 	// proof logging is enabled; DRAT proofs refute the original
 	// formula, not its normalized form.
 	origClauses [][]Lit
+
+	// Clause sharing (see share.go). exportFn receives learnt clauses
+	// passing the caps; importFn supplies foreign clauses at restarts.
+	shareOpts ShareOptions
+	exportFn  func(lits []Lit, lbd int)
+	importFn  func(max int) [][]Lit
 }
 
 // New returns an empty solver with the given options.
@@ -756,11 +764,16 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 				return Unknown
 			}
 			s.proofAdd(learnt)
+			lbd := 1 // unit learnts have glue 1 by definition
+			if len(learnt) > 1 {
+				lbd = s.computeLBD(learnt)
+			}
+			s.exportLearnt(learnt, lbd)
 			s.backtrackTo(bt)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				c := &clause{lits: learnt, learnt: true, lbd: lbd}
 				s.litsLive += int64(len(learnt))
 				if c.lbd > s.stats.MaxLBD {
 					s.stats.MaxLBD = c.lbd
@@ -796,7 +809,22 @@ func (s *Solver) Solve(budget Budget, assumptions ...Lit) Status {
 			conflictsSinceRestart = 0
 			restartLimit = s.nextRestartLimit(restartCount, restartLimit)
 			s.stats.Restarts++
-			s.backtrackTo(s.assumptionLevel(len(assumptions)))
+			if s.importFn != nil {
+				// Foreign clauses attach at level 0, so the restart must
+				// undo assumption levels too; the search loop re-decides
+				// the assumptions immediately afterwards.
+				s.backtrackTo(0)
+				s.importShared(budget)
+				if !s.okay {
+					// An imported clause (implied by the shared formula)
+					// refuted the instance at level 0.
+					s.proofAdd(nil)
+					s.proofFlush()
+					return Unsat
+				}
+			} else {
+				s.backtrackTo(s.assumptionLevel(len(assumptions)))
+			}
 			if !checkBudget() {
 				return Unknown
 			}

@@ -1,0 +1,196 @@
+package sat
+
+import "sort"
+
+// Clause sharing. A portfolio of solvers working on (translations of)
+// the same formula can exchange short learnt clauses: every learnt
+// clause is derived by resolution from problem clauses alone —
+// assumptions are decisions, and conflict analysis never resolves on a
+// decision — so a learnt clause is implied by the clause database and
+// sound to add to any solver whose database entails the same formula.
+// The solver stays agnostic about transport and translation: it calls
+// an export hook when it learns a clause worth sharing and an import
+// hook at restart boundaries, and internal/bitblast supplies hooks
+// that translate clauses between personalities' encodings.
+//
+// Imports happen only at restarts because that is the one point where
+// the solver is about to return to decision level 0 anyway: attaching
+// foreign clauses at level 0 needs no watch surgery against a partial
+// trail, and the cost of the import is amortized against the restart's
+// own backtrack.
+
+// ShareOptions bounds what is exported and imported. Short, low-LBD
+// ("glue") clauses are the ones worth the transport and translation
+// cost; everything else stays local. Zero fields take defaults.
+type ShareOptions struct {
+	// MaxLen caps exported clause length in literals (default 8).
+	MaxLen int
+	// MaxLBD caps the exported clause's LBD/glue (default 3).
+	MaxLBD int
+	// ImportMax caps clauses imported per restart (default 64), so a
+	// noisy pool cannot starve the importer's own search.
+	ImportMax int
+}
+
+const (
+	defaultShareMaxLen    = 8
+	defaultShareMaxLBD    = 3
+	defaultShareImportMax = 64
+)
+
+func (o ShareOptions) withDefaults() ShareOptions {
+	if o.MaxLen <= 0 {
+		o.MaxLen = defaultShareMaxLen
+	}
+	if o.MaxLBD <= 0 {
+		o.MaxLBD = defaultShareMaxLBD
+	}
+	if o.ImportMax <= 0 {
+		o.ImportMax = defaultShareImportMax
+	}
+	return o
+}
+
+// SetShareHooks enables clause sharing. export is called with each
+// learnt clause passing the caps (the slice is owned by the solver:
+// hooks must copy, not retain). imp is called at restart boundaries
+// and returns up to max foreign clauses over this solver's variables;
+// clauses mentioning unallocated variables are skipped. Either hook
+// may be nil to enable one direction only.
+//
+// Sharing is incompatible with DRAT proof logging: imported clauses
+// are not derivable from the local formula, so enabling both panics.
+func (s *Solver) SetShareHooks(opts ShareOptions, export func(lits []Lit, lbd int), imp func(max int) [][]Lit) {
+	if s.proof != nil {
+		panic("sat: clause sharing is not supported with proof logging")
+	}
+	s.shareOpts = opts.withDefaults()
+	s.exportFn = export
+	s.importFn = imp
+}
+
+// ClearShareHooks disables clause sharing.
+func (s *Solver) ClearShareHooks() {
+	s.exportFn = nil
+	s.importFn = nil
+}
+
+// exportLearnt offers a freshly learnt clause to the export hook if it
+// passes the sharing caps.
+func (s *Solver) exportLearnt(lits []Lit, lbd int) {
+	if s.exportFn == nil || len(lits) > s.shareOpts.MaxLen || lbd > s.shareOpts.MaxLBD {
+		return
+	}
+	s.stats.Exported++
+	s.exportFn(lits, lbd)
+}
+
+// importShared drains up to ImportMax clauses from the import hook and
+// attaches them. Must be called at decision level 0. The loop consults
+// Budget.Stop between clauses: an import batch runs inside the search
+// hot path and must not outlive a cancellation.
+func (s *Solver) importShared(budget Budget) {
+	batch := s.importFn(s.shareOpts.ImportMax)
+	for _, lits := range batch {
+		if budget.Stop != nil && budget.Stop.Load() {
+			return
+		}
+		if !s.okay {
+			return
+		}
+		s.importClause(lits, budget.MaxLits)
+	}
+}
+
+// importClause adds one foreign clause at decision level 0, mirroring
+// AddClause's normalization: satisfied clauses and tautologies are
+// dropped, false literals removed. An empty residue makes the solver
+// unsat (the clause is implied, so the formula is refuted); a unit is
+// enqueued and propagated immediately so later clauses in the batch
+// see the strengthened assignment.
+func (s *Solver) importClause(lits []Lit, maxLits int64) {
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assign) {
+			return // unknown variable: encodings diverged, drop the clause
+		}
+		switch s.value(l) {
+		case lTrue:
+			return // already satisfied at level 0
+		case lFalse:
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		// Implied by the shared formula yet false at level 0: unsat.
+		s.okay = false
+		s.stats.Imported++
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.stats.Imported++
+		if s.propagate() != nil {
+			s.okay = false
+		}
+	default:
+		if maxLits > 0 && s.litsLive+int64(len(out)) > maxLits {
+			return // at the database cap: skip rather than grow
+		}
+		// LBD cannot be recomputed here (the exporter's decision levels
+		// are meaningless locally); clause length is a sound upper bound
+		// and keeps short imports safe from reduceDB.
+		c := &clause{lits: out, learnt: true, lbd: len(out)}
+		s.litsLive += int64(len(out))
+		s.learnts = append(s.learnts, c)
+		s.attach(c)
+		s.stats.Imported++
+	}
+}
+
+// TopVars returns up to k distinct unfixed variables ranked by VSIDS
+// activity, most active first (ties broken by index for determinism).
+// Cube-and-conquer calls it after a screening run to pick the split
+// variables the search found most contentious.
+func (s *Solver) TopVars(k int) []Var {
+	if k <= 0 {
+		return nil
+	}
+	type cand struct {
+		v   Var
+		act float64
+	}
+	cands := make([]cand, 0, len(s.activity))
+	for v := range s.activity {
+		if s.assign[v] != lUndef {
+			continue // fixed at level 0 (callers invoke this between Solves)
+		}
+		cands = append(cands, cand{Var(v), s.activity[v]})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].act != cands[j].act {
+			return cands[i].act > cands[j].act
+		}
+		return cands[i].v < cands[j].v
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Var, len(cands))
+	for i, c := range cands {
+		out[i] = c.v
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"mbasolver/internal/service"
@@ -152,9 +153,7 @@ func (c *Client) do(hr *http.Request, out any) error {
 			se.Message = http.StatusText(res.StatusCode)
 		}
 		if ra := res.Header.Get("Retry-After"); ra != "" {
-			if sec, err := strconv.ParseInt(ra, 10, 64); err == nil {
-				se.RetryAfter = time.Duration(sec) * time.Second
-			}
+			se.RetryAfter = parseRetryAfter(ra, time.Now())
 		}
 		return se
 	}
@@ -162,4 +161,27 @@ func (c *Client) do(hr *http.Request, out any) error {
 		return fmt.Errorf("decoding %s response: %w", hr.URL.Path, err)
 	}
 	return nil
+}
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3, which allows both forms: delta-seconds ("120") and an
+// HTTP-date ("Fri, 08 Aug 2026 12:00:00 GMT"). Proxies and load
+// balancers routinely emit the date form, which the old delta-only
+// parsing silently dropped, collapsing the server's requested pause to
+// the default backoff. Negative deltas and dates already in the past
+// clamp to zero (retry immediately); garbage yields zero, leaving the
+// caller's own backoff in charge.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	if sec, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		return time.Duration(sec) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d
+		}
+	}
+	return 0
 }

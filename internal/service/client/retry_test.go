@@ -157,6 +157,60 @@ func TestRetryOnTransportError(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter pins RFC 9110 §10.2.3: the header carries either
+// delta-seconds or an HTTP-date, and both must be honoured. The date
+// form is what real proxies and load balancers emit; before the fix it
+// parsed as garbage and the hint was silently dropped.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		in   string
+		want time.Duration
+	}{
+		{"delta seconds", "120", 120 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta with spaces", "  30 ", 30 * time.Second},
+		{"negative delta clamps", "-5", 0},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past clamps", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"rfc850 date", now.Add(2 * time.Minute).Format("Monday, 02-Jan-06 15:04:05 GMT"), 2 * time.Minute},
+		{"ansi c date", now.Add(45 * time.Second).Format(time.ANSIC), 45 * time.Second},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"fractional seconds rejected", "1.5", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.in, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRetryHonorsRetryAfterDate: end to end, a Retry-After given as an
+// HTTP-date must floor the backoff exactly like the delta form.
+func TestRetryHonorsRetryAfterDate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a ~1s Retry-After date hint")
+	}
+	// http.TimeFormat has second granularity, so aim 2s out to survive
+	// truncation and still dwarf the millisecond policy backoff.
+	date := time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat)
+	srv, attempts := overloadThenOK(t, 1, http.StatusTooManyRequests, date)
+	cl := New(srv.URL, WithRetry(fastRetry(2)))
+	start := time.Now()
+	resp, err := cl.Solve(context.Background(), service.SolveRequest{A: "x", B: "x", Width: 8})
+	if err != nil || resp.Status != "equivalent" {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("%d attempts, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want the date hint to floor the backoff", elapsed)
+	}
+}
+
 func TestNoRetryWithoutPolicy(t *testing.T) {
 	srv, attempts := overloadThenOK(t, 1<<30, http.StatusTooManyRequests, "")
 	cl := New(srv.URL)

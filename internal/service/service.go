@@ -77,6 +77,16 @@ type Config struct {
 	// memory-constrained deployments and A/B measurement, not
 	// correctness.
 	DisableIncremental bool
+	// Share lets each worker's portfolio personalities exchange short
+	// learned clauses during races (see internal/bitblast's clause
+	// pool). Verdicts are unchanged; the point is fewer timeouts at a
+	// fixed budget. Only affects portfolio solves on the incremental
+	// path.
+	Share bool
+	// Cubes adds a cube-and-conquer fallback to portfolio solves the
+	// screen race cannot decide within its conflict budget. Only
+	// affects portfolio solves on the incremental path.
+	Cubes bool
 }
 
 func (c Config) withDefaults() Config {
@@ -281,6 +291,12 @@ func (s *Server) worker() {
 			w.solo[sv.Name()] = sv.NewContext(smt.ContextOptions{})
 		}
 		w.cset = portfolio.NewContextSet(s.all, smt.ContextOptions{})
+		if s.cfg.Share {
+			w.cset.EnableSharing(0)
+		}
+		if s.cfg.Cubes {
+			w.cset.EnableCubes(smt.CubeOptions{})
+		}
 		if s.cfg.BreakerThreshold >= 0 {
 			bo := portfolio.BreakerOptions{
 				Threshold: s.cfg.BreakerThreshold,

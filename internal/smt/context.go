@@ -378,7 +378,11 @@ func (c *Context) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget
 			res.Status = Equivalent
 		} else {
 			res.Status = NotEquivalent
-			res.Witness = findWitness(origA, origB, budget, deadline)
+			// nil Witness = none found (budget bail or probe failure),
+			// never an all-zeros assignment nobody checked.
+			if w, ok := findWitness(origA, origB, budget, deadline); ok {
+				res.Witness = w
+			}
 		}
 		return res
 	}
@@ -406,12 +410,26 @@ func (c *Context) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget
 		c.stats.ActHits++
 	}
 
+	// Clause sharing on a persistent circuit: the query holds only
+	// under its activation literal, so exports carry the guard slot and
+	// imports are re-guarded (see bitblast.SetShareAct). Sharing is
+	// enabled per query and disabled right after the solve — a later
+	// unshared query must not publish under a stale generation.
+	if budget.Share != nil {
+		bl.SetShareAct(act)
+		bl.EnableShare(budget.Share, sat.ShareOptions{})
+	}
+
 	// The persistent solver accumulates lifetime counters; report this
 	// query's spend as a delta.
 	before := bl.S.Stats()
 	sb := sat.Budget{Conflicts: c.s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb, act)
 	after := bl.S.Stats()
+	if budget.Share != nil {
+		bl.DisableShare()
+		bl.ClearShareAct()
+	}
 
 	c.stats.Queries++
 	res := Result{

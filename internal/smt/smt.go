@@ -77,6 +77,12 @@ type Budget struct {
 	// MaxVars caps the bit-blasted circuit in SAT variables; exceeding
 	// it mid-encoding degrades to Unknown with ReasonResource.
 	MaxVars int
+	// Share is an optional clause-sharing endpoint (one member of a
+	// bitblast.Pool). When set, the SAT phase exports short learnt
+	// clauses to the pool and imports foreign ones at restart
+	// boundaries, translated through the blaster's variable map. The
+	// portfolio solver wires one pool across its personalities.
+	Share *bitblast.Endpoint
 }
 
 // stopped reports whether the external cancellation flag is raised.
@@ -174,59 +180,9 @@ func (s *Solver) CheckTermEquiv(ta, tb *bv.Term, budget Budget) (res Result) {
 }
 
 func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget) Result {
-	width := ta.Width
-	origA, origB := ta, tb
-	var deadline time.Time
-	if budget.Timeout > 0 {
-		deadline = start.Add(budget.Timeout)
-	}
-
-	// Consult the budget before the word-level phase, not only after:
-	// rewriting and polynomial expansion can themselves be the
-	// expensive part (termPoly is exponential on adversarial Mul
-	// nests), and a query whose budget is already exhausted must not
-	// buy any of it.
-	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
-	}
-	if siteRewrite.Fire() {
-		fault.PanicAt("smt.rewrite")
-	}
-
-	rw := bv.NewRewriter(s.level)
-	if s.level != bv.RewriteNone {
-		ta, tb = rw.Rewrite(ta), rw.Rewrite(tb)
-		// Hash-consing may already have unified the two sides.
-		if ta == tb {
-			return Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
-		}
-		// Word-level arithmetic normalization (every real solver's
-		// preprocessing does this): expand both sides as polynomials
-		// over bitwise atoms and compare.
-		if arithEqual(ta, tb, rw, width) {
-			return Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
-		}
-	}
-	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
-		return Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
-	}
-
-	query := bv.Predicate(bv.Ne, ta, tb)
-	query = rw.Rewrite(query)
-
-	// The rewriter may still decide the residual query outright.
-	if query.Op == bv.Const {
-		res := Result{Elapsed: time.Since(start), Rewritten: true}
-		if query.Val == 0 {
-			res.Status = Equivalent
-		} else {
-			res.Status = NotEquivalent
-			// The fold proves the sides differ but carries no model;
-			// probe the original terms for a concrete distinguishing
-			// input so callers can always replay the counterexample.
-			res.Witness = findWitness(origA, origB, budget, deadline)
-		}
-		return res
+	query, origA, origB, deadline, early := s.prepareQuery(start, ta, tb, budget)
+	if early != nil {
+		return *early
 	}
 
 	bl := bitblast.New(s.satOpts)
@@ -243,6 +199,11 @@ func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget)
 		return Result{Status: Timeout, Reason: bl.StopReason(), Elapsed: time.Since(start)}
 	}
 	bl.AssertTrue(out[0])
+	if budget.Share != nil {
+		// One-shot solvers assert the query outright, so exported
+		// clauses need no activation guard.
+		bl.EnableShare(budget.Share, sat.ShareOptions{})
+	}
 
 	sb := sat.Budget{Conflicts: s.scaledConflicts(budget.Conflicts), Stop: budget.Stop, Deadline: deadline, MaxLits: budget.MaxLits}
 	verdict := bl.Solve(sb)
@@ -251,6 +212,82 @@ func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget)
 		Conflicts:    bl.S.Stats().Conflicts,
 		Propagations: bl.S.Stats().Propagations,
 	}
+	s.assembleVerdict(&res, verdict, bl, query, origA, origB)
+	return res
+}
+
+// prepareQuery runs the word-level phase shared by the one-shot and
+// cube-and-conquer paths: budget gates, rewriting, arithmetic
+// normalization, and the residual-query fold. A non-nil early result
+// means the query was decided (or degraded) without touching a SAT
+// solver; otherwise the returned residual query must be blasted.
+func (s *Solver) prepareQuery(start time.Time, ta, tb *bv.Term, budget Budget) (query, origA, origB *bv.Term, deadline time.Time, early *Result) {
+	width := ta.Width
+	origA, origB = ta, tb
+	if budget.Timeout > 0 {
+		deadline = start.Add(budget.Timeout)
+	}
+
+	// Consult the budget before the word-level phase, not only after:
+	// rewriting and polynomial expansion can themselves be the
+	// expensive part (termPoly is exponential on adversarial Mul
+	// nests), and a query whose budget is already exhausted must not
+	// buy any of it.
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return nil, origA, origB, deadline, &Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+	if siteRewrite.Fire() {
+		fault.PanicAt("smt.rewrite")
+	}
+
+	rw := bv.NewRewriter(s.level)
+	if s.level != bv.RewriteNone {
+		ta, tb = rw.Rewrite(ta), rw.Rewrite(tb)
+		// Hash-consing may already have unified the two sides.
+		if ta == tb {
+			return nil, origA, origB, deadline, &Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
+		}
+		// Word-level arithmetic normalization (every real solver's
+		// preprocessing does this): expand both sides as polynomials
+		// over bitwise atoms and compare.
+		if arithEqual(ta, tb, rw, width) {
+			return nil, origA, origB, deadline, &Result{Status: Equivalent, Elapsed: time.Since(start), Rewritten: true}
+		}
+	}
+	if budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline)) {
+		return nil, origA, origB, deadline, &Result{Status: Timeout, Reason: ReasonBudget, Elapsed: time.Since(start)}
+	}
+
+	query = bv.Predicate(bv.Ne, ta, tb)
+	query = rw.Rewrite(query)
+
+	// The rewriter may still decide the residual query outright.
+	if query.Op == bv.Const {
+		res := Result{Elapsed: time.Since(start), Rewritten: true}
+		if query.Val == 0 {
+			res.Status = Equivalent
+		} else {
+			res.Status = NotEquivalent
+			// The fold proves the sides differ but carries no model;
+			// probe the original terms for a concrete distinguishing
+			// input so callers can always replay the counterexample. A
+			// nil witness (budget expired mid-probe, or every probe
+			// failed) is reported as "no witness found" rather than an
+			// all-zeros map.
+			if w, ok := findWitness(origA, origB, budget, deadline); ok {
+				res.Witness = w
+			}
+		}
+		return nil, origA, origB, deadline, &res
+	}
+	return query, origA, origB, deadline, nil
+}
+
+// assembleVerdict fills res from a SAT phase outcome, extracting a
+// model-backed witness on Sat (variables the rewriter eliminated are
+// unconstrained by the circuit and pinned to zero so the witness
+// covers every variable of the original query and replays cleanly).
+func (s *Solver) assembleVerdict(res *Result, verdict sat.Status, bl *bitblast.Blaster, query, origA, origB *bv.Term) {
 	switch verdict {
 	case sat.Unsat:
 		res.Status = Equivalent
@@ -262,9 +299,6 @@ func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget)
 				res.Witness[name] = v
 			}
 		}
-		// Variables the rewriter eliminated are unconstrained by the
-		// circuit; pin them to zero so the witness covers every
-		// variable of the original query and replays cleanly.
 		for name := range termVars(origA, origB) {
 			if _, ok := res.Witness[name]; !ok {
 				res.Witness[name] = 0
@@ -274,7 +308,6 @@ func (s *Solver) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget)
 		res.Status = Timeout
 		res.Reason = bl.UnknownReason()
 	}
-	return res
 }
 
 // CheckZero decides whether e == 0 for all inputs (the MBA identity

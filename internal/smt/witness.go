@@ -21,20 +21,24 @@ func termVars(ta, tb *bv.Term) map[string]uint {
 // rewriting alone (which proves the sides differ but yields no model).
 // It probes a deterministic sequence of assignments — the constant
 // corners first, then pseudo-random points — and returns the first
-// distinguishing one. The sides are known non-equivalent, so on
-// non-degenerate queries a random point distinguishes them with high
-// probability; if none of the probes does, an empty (all-zeros, via
-// replay semantics) map is returned rather than nil.
+// distinguishing one with ok=true (a variable-free query yields an
+// empty, non-nil map: the empty assignment is the witness).
+//
+// ok=false means no witness was found — the budget expired mid-probe
+// or every probe failed — and the returned map is nil. Callers must
+// not conflate that with a found witness: an empty map replays as
+// all-zeros, which on a budget bail would assert a distinguishing
+// input nobody ever checked.
 //
 // Each probe evaluates both terms, which on deep shared DAGs is
 // expensive, so the search honours the query budget: a raised stop
-// flag or an expired deadline ends it with the empty map immediately.
-func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) map[string]uint64 {
+// flag or an expired deadline ends it immediately.
+func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) (map[string]uint64, bool) {
 	expired := func() bool {
 		return budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline))
 	}
 	if expired() {
-		return map[string]uint64{}
+		return nil, false
 	}
 	vars := termVars(ta, tb)
 	names := make([]string, 0, len(vars))
@@ -72,10 +76,10 @@ func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) map[string]
 	// Corners: all zeros, all ones, one, alternating bits.
 	for _, c := range []uint64{0, ^uint64(0), 1, 0xaaaaaaaaaaaaaaaa, 0x5555555555555555} {
 		if w := try(func(int) uint64 { return c }); w != nil {
-			return w
+			return w, true
 		}
 		if bailed {
-			return map[string]uint64{}
+			return nil, false
 		}
 	}
 	// Deterministic pseudo-random probes (splitmix64).
@@ -93,8 +97,8 @@ func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) map[string]
 			vals[i] = next()
 		}
 		if w := try(func(i int) uint64 { return vals[i] }); w != nil {
-			return w
+			return w, true
 		}
 	}
-	return map[string]uint64{}
+	return nil, false
 }

@@ -6,6 +6,13 @@
 # root. The report also cross-checks verdicts between the two modes;
 # "mismatches" must be 0.
 #
+# The report's "parallel" section benchmarks the cooperating portfolio
+# (clause sharing + cube-and-conquer) against the solo race on a
+# width-graded hard identity at a fixed conflict budget: fewer timeouts
+# with sharing+cubes, zero verdict mismatches. Conflict budgets, not
+# wall clock, are the yardstick — the numbers are stable on loaded or
+# single-core machines (the report records the core count).
+#
 # Tunables (env):
 #   BENCH_N        corpus equations            (default 6)
 #   BENCH_REPEATS  round-robin passes          (default 4)

@@ -28,10 +28,18 @@ go test -race -timeout 20m ./...
 # and catches a skipped-package CI edit.)
 go test -race -count=1 ./internal/chaos/
 
-# Bench smoke: the miniature incremental-vs-fresh solver benchmark must
-# run end to end with zero verdict mismatches, and the Go benchmarks
-# must still execute (full numbers: scripts/bench.sh).
-go test ./internal/harness/ -run TestSolverBenchSmoke
+# Sharing + cubes smoke: the cooperating portfolio (clause sharing
+# between personalities plus the cube-and-conquer fallback) must agree
+# with the solo race on every verdict, under the race detector — the
+# differential tests cover share on/off x cubes on/off across all
+# personalities.
+go test -race -count=1 ./internal/portfolio/ -run 'TestParallelMatchesSolo|TestParallelCubeFallback|TestContextSetSharingAndCubes'
+
+# Bench smoke: the miniature incremental-vs-fresh solver benchmark and
+# the solo-vs-share+cubes benchmark must run end to end with zero
+# verdict mismatches, and the Go benchmarks must still execute (full
+# numbers: scripts/bench.sh).
+go test ./internal/harness/ -run 'TestSolverBenchSmoke|TestParallelBenchSmoke'
 go test ./internal/smt/ -run '^$' -bench CheckTermEquiv -benchtime 1x
 
 # --- mbaserved boot + selfcheck smoke ---------------------------------
