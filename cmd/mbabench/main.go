@@ -33,6 +33,14 @@
 // writes the JSON report (scripts/bench.sh keeps it in
 // BENCH_solver.json) to FILE ("-" = stdout) and exits. -repeats and
 // -bench-samples size the workload; -seed and -width apply.
+//
+// -cluster-bench FILE switches to the sharded-cluster benchmark: it
+// boots in-process mbaserved nodes behind an mbarouter ring at several
+// node counts, drives one known-answer batch through each cluster cold
+// and warm, verifies every definitive verdict against ground truth,
+// and writes the JSON report (scripts/bench.sh keeps it in
+// BENCH_cluster.json). -bench-samples, -repeats, -seed and -width
+// size the workload.
 package main
 
 import (
@@ -64,10 +72,47 @@ func main() {
 	benchOut := flag.String("bench", "", "run the incremental-vs-fresh solver benchmark and write the JSON report to this file (- = stdout)")
 	repeats := flag.Int("repeats", 4, "bench: round-robin passes over the corpus")
 	benchSamples := flag.Int("bench-samples", 6, "bench: corpus equations")
+	clusterOut := flag.String("cluster-bench", "", "run the sharded-cluster benchmark (in-process nodes behind a router at 1/2/3 nodes, cold vs warm shards) and write the JSON report to this file (- = stdout)")
 	flag.Parse()
 
 	if (*share || *cubes) && !*usePortfolio && *benchOut == "" {
 		fatal(fmt.Errorf("-share and -cubes modify the portfolio column; pass -portfolio too"))
+	}
+
+	if *clusterOut != "" {
+		step("benchmarking the sharded cluster (%d equations + refuted variants, width %d)...",
+			*benchSamples, *width)
+		report, err := harness.RunClusterBench(harness.ClusterBenchConfig{
+			Samples:     *benchSamples,
+			Seed:        *seed,
+			Width:       *width,
+			WarmRepeats: *repeats,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out := os.Stdout
+		if *clusterOut != "-" {
+			f, err := os.Create(*clusterOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := harness.WriteClusterBenchJSON(out, report); err != nil {
+			fatal(err)
+		}
+		for _, n := range report.Config.NodeCounts {
+			key := fmt.Sprintf("%d", n)
+			step("%s node(s): cold scaling %.2fx, warm scaling %.2fx, cold/warm speedup %.2fx",
+				key, report.ColdScaling[key], report.WarmScaling[key], report.ColdWarmSpeedup[key])
+		}
+		step("%d verdict mismatches", report.Mismatches)
+		if report.Mismatches != 0 {
+			fatal(fmt.Errorf("cluster bench found %d verdict mismatches", report.Mismatches))
+		}
+		return
 	}
 
 	if *benchOut != "" {

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"mbasolver/internal/service"
+	"mbasolver/internal/smt"
+)
+
+// This file is the batch fan-out engine shared by the HTTP router and
+// the cluster-aware client: split a batch into per-node sub-batches by
+// each item's canonical digest route key, send the sub-batches
+// concurrently, fail items over to their next ring replica when a node
+// cannot answer, reassemble everything in input order, and degrade
+// items whose every replica failed to reasoned Unknowns instead of
+// failing the batch.
+
+// SendFunc posts one sub-batch to one node. Implementations: the
+// router's raw HTTP forward, the cluster client's typed call, and test
+// doubles. A non-nil error (or a malformed response) counts as a node
+// failure and triggers failover for every item in the sub-batch.
+type SendFunc func(ctx context.Context, node string, req *service.BatchRequest) (*service.BatchResponse, error)
+
+// ExecuteOptions tunes one batch execution.
+type ExecuteOptions struct {
+	// Allow filters routable nodes (the router wires its health
+	// tracker here). When every untried replica of an item is
+	// disallowed, the engine tries them anyway — answering beats
+	// refusing, exactly as the portfolio breakers force-admit when all
+	// engines are open. Nil allows every node.
+	Allow func(node string) bool
+	// Report observes each send outcome (passive health marking).
+	Report func(node string, ok bool)
+}
+
+// batchItemState tracks one item through failover rounds.
+type batchItemState struct {
+	idx  int // position in the original request
+	item service.BatchItem
+	seq  []string        // replica preference order (ring sequence)
+	used map[string]bool // nodes already tried — never the same dead node twice
+}
+
+// next returns the item's next target node honoring allow, falling
+// back to any untried node when allow refuses all of them, and ""
+// when every replica has been tried.
+func (st *batchItemState) next(allow func(string) bool) string {
+	var fallback string
+	for _, n := range st.seq {
+		if st.used[n] {
+			continue
+		}
+		if allow == nil || allow(n) {
+			return n
+		}
+		if fallback == "" {
+			fallback = n
+		}
+	}
+	return fallback
+}
+
+// ExecuteBatch runs req across the ring. The returned response has one
+// result per request item, in input order; Groups/Deduped/CacheHits
+// are summed over the per-node sub-batches (dedup itself happens
+// node-side, and the ring guarantees structurally identical items
+// share a node, so cross-node duplicates cannot split a group).
+func ExecuteBatch(ctx context.Context, ring *Ring, req *service.BatchRequest, send SendFunc, opts ExecuteOptions) *service.BatchResponse {
+	resp := &service.BatchResponse{
+		Items: make([]service.BatchItemResult, len(req.Items)),
+	}
+
+	var pending []*batchItemState
+	for idx, it := range req.Items {
+		resp.Items[idx].Index = idx
+		key, err := it.RouteKey()
+		if err != nil {
+			// Malformed items never reach a node; the router answers them
+			// with the same per-item error a node would produce.
+			resp.Items[idx].Error = err.Error()
+			continue
+		}
+		pending = append(pending, &batchItemState{
+			idx:  idx,
+			item: it,
+			seq:  ring.Sequence(key),
+			used: make(map[string]bool, 1),
+		})
+	}
+
+	// Failover rounds: each round sends every pending item to its next
+	// untried replica, at most once per node per round. len(nodes)
+	// rounds suffice — after that every item has tried every replica.
+	for round := 0; round < len(ring.nodes) && len(pending) > 0; round++ {
+		byNode := make(map[string][]*batchItemState)
+		var exhausted []*batchItemState
+		for _, st := range pending {
+			node := st.next(opts.Allow)
+			if node == "" {
+				exhausted = append(exhausted, st)
+				continue
+			}
+			st.used[node] = true
+			byNode[node] = append(byNode[node], st)
+		}
+		for _, st := range exhausted {
+			degradeItem(&resp.Items[st.idx], st.item)
+		}
+
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		pending = pending[:0]
+		for node, items := range byNode {
+			node, items := node, items
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sub := &service.BatchRequest{
+					Items:     make([]service.BatchItem, len(items)),
+					TimeoutMS: req.TimeoutMS,
+				}
+				for i, st := range items {
+					sub.Items[i] = st.item
+				}
+				nodeResp, err := send(ctx, node, sub)
+				ok := err == nil && len(nodeResp.Items) == len(items)
+				if opts.Report != nil {
+					opts.Report(node, ok)
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				if !ok {
+					// The whole sub-batch failed; its items go another
+					// round on their next replicas.
+					pending = append(pending, items...)
+					return
+				}
+				resp.Groups += nodeResp.Groups
+				resp.Deduped += nodeResp.Deduped
+				resp.CacheHits += nodeResp.CacheHits
+				for i, st := range items {
+					r := nodeResp.Items[i]
+					r.Index = st.idx // restore original position
+					r.Node = node
+					resp.Items[st.idx] = r
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Anything still pending tried every replica and failed.
+	for _, st := range pending {
+		degradeItem(&resp.Items[st.idx], st.item)
+	}
+	return resp
+}
+
+// degradeItem fills the reasoned-Unknown answer for an item no node
+// could take: solve items keep the solver's degradation shape (an
+// Unknown verdict with a reason on the wire), simplify items report a
+// reasoned error because simplification has no indefinite verdict.
+func degradeItem(out *service.BatchItemResult, it service.BatchItem) {
+	if it.Solve != nil {
+		out.Solve = &service.SolveResponse{
+			Status: smt.Unknown.String(),
+			Reason: service.ReasonUnavailable,
+			Width:  it.Solve.Width,
+		}
+		return
+	}
+	out.Error = fmt.Sprintf("%s: no cluster node could run the item", service.ReasonUnavailable)
+}

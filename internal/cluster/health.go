@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracker is the router's per-node health state machine. It mirrors
+// portfolio.Breaker — the same closed/open/half-open shape, renamed
+// for nodes: healthy / ejected / probing — because the problem is the
+// same: a peer that keeps failing structurally should be skipped, but
+// must be given a cheap way back in.
+//
+// Evidence arrives on two paths. Passively, the proxy reports every
+// forwarding outcome (a transport error or 5xx is a failure; a decoded
+// response is a success). Actively, the prober loop polls each node's
+// /readyz — which also covers nodes receiving no traffic, and is the
+// single probe that readmits an ejected node. Threshold consecutive
+// failures eject; after Cooldown one probe is admitted (probing
+// state); a successful probe readmits, a failed one re-ejects with the
+// cooldown doubled up to MaxCooldown.
+type Tracker struct {
+	opts HealthOptions
+	now  func() time.Time // injectable clock for tests
+
+	mu    sync.Mutex
+	nodes map[string]*nodeHealth
+}
+
+// HealthOptions tunes the tracker. Zero fields take defaults.
+type HealthOptions struct {
+	// Threshold is the consecutive-failure count that ejects a node.
+	// Default 3.
+	Threshold int
+	// Cooldown is the first ejection interval. Default 500ms.
+	Cooldown time.Duration
+	// MaxCooldown caps the exponential backoff. Default 16×Cooldown.
+	MaxCooldown time.Duration
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 500 * time.Millisecond
+	}
+	if o.MaxCooldown <= 0 {
+		o.MaxCooldown = 16 * o.Cooldown
+	}
+	return o
+}
+
+type nodeState int8
+
+const (
+	nodeHealthy nodeState = iota
+	nodeEjected
+	nodeProbing // one readmission probe in flight
+)
+
+type nodeHealth struct {
+	state    nodeState
+	failures int
+	cooldown time.Duration
+	until    time.Time // ejection expiry
+	ejects   int64
+}
+
+// NewTracker builds a tracker with every node healthy.
+func NewTracker(nodes []string, opts HealthOptions) *Tracker {
+	o := opts.withDefaults()
+	t := &Tracker{opts: o, now: time.Now, nodes: make(map[string]*nodeHealth, len(nodes))}
+	for _, n := range nodes {
+		t.nodes[n] = &nodeHealth{cooldown: o.Cooldown}
+	}
+	return t
+}
+
+// Routable reports whether the proxy should send work to the node
+// right now: healthy, or mid-probe (the probe's traffic doubles as
+// evidence). Ejected nodes are not routable until readmitted.
+func (t *Tracker) Routable(node string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[node]
+	return n != nil && n.state != nodeEjected
+}
+
+// ShouldProbe reports whether the prober should poll the node this
+// tick, transitioning an ejected node whose cooldown elapsed into the
+// probing state (admitting exactly one probe). Healthy nodes are
+// always probed — that is how silent death is noticed on an idle
+// shard; probing nodes are not re-probed until the outcome lands.
+func (t *Tracker) ShouldProbe(node string) bool {
+	now := t.now() // read the clock outside the lock
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[node]
+	if n == nil {
+		return false
+	}
+	switch n.state {
+	case nodeHealthy:
+		return true
+	case nodeEjected:
+		if now.Before(n.until) {
+			return false
+		}
+		n.state = nodeProbing
+		return true
+	default: // probing: outcome pending
+		return false
+	}
+}
+
+// ReportSuccess records a healthy outcome: failure streak resets, a
+// probing node is readmitted, the cooldown resets.
+func (t *Tracker) ReportSuccess(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[node]
+	if n == nil {
+		return
+	}
+	n.failures = 0
+	n.state = nodeHealthy
+	n.cooldown = t.opts.Cooldown
+}
+
+// ReportFailure records a failed forward or probe. Threshold
+// consecutive failures eject the node; a failed readmission probe
+// re-ejects with the cooldown doubled.
+func (t *Tracker) ReportFailure(node string) {
+	now := t.now() // read the clock outside the lock
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.nodes[node]
+	if n == nil {
+		return
+	}
+	n.failures++
+	switch {
+	case n.state == nodeProbing:
+		n.cooldown *= 2
+		if n.cooldown > t.opts.MaxCooldown {
+			n.cooldown = t.opts.MaxCooldown
+		}
+		t.eject(n, now)
+	case n.state == nodeHealthy && n.failures >= t.opts.Threshold:
+		t.eject(n, now)
+	}
+}
+
+// eject transitions to the ejected state (callers hold t.mu).
+func (t *Tracker) eject(n *nodeHealth, now time.Time) {
+	n.state = nodeEjected
+	n.until = now.Add(n.cooldown)
+	n.ejects++
+}
+
+// States renders every node's state for observability:
+// "healthy", "ejected" or "probing".
+func (t *Tracker) States() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.nodes))
+	for name, n := range t.nodes {
+		switch n.state {
+		case nodeEjected:
+			out[name] = "ejected"
+		case nodeProbing:
+			out[name] = "probing"
+		default:
+			out[name] = "healthy"
+		}
+	}
+	return out
+}
+
+// Ejects returns the total ejection count across nodes.
+func (t *Tracker) Ejects() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var total int64
+	for _, n := range t.nodes {
+		total += n.ejects
+	}
+	return total
+}

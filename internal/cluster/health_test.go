@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the tracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker(nodes ...string) (*Tracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	tr := NewTracker(nodes, HealthOptions{Threshold: 3, Cooldown: time.Second})
+	tr.now = clk.now
+	return tr, clk
+}
+
+func TestTrackerEjectAfterThreshold(t *testing.T) {
+	tr, _ := newTestTracker("a", "b")
+	tr.ReportFailure("a")
+	tr.ReportFailure("a")
+	if !tr.Routable("a") {
+		t.Fatal("node ejected before threshold")
+	}
+	tr.ReportFailure("a")
+	if tr.Routable("a") {
+		t.Fatal("node still routable after threshold failures")
+	}
+	if tr.Routable("b") != true {
+		t.Fatal("unrelated node affected")
+	}
+	if got := tr.States()["a"]; got != "ejected" {
+		t.Fatalf("state = %q, want ejected", got)
+	}
+	if tr.Ejects() != 1 {
+		t.Fatalf("ejects = %d, want 1", tr.Ejects())
+	}
+}
+
+func TestTrackerSuccessResetsStreak(t *testing.T) {
+	tr, _ := newTestTracker("a")
+	tr.ReportFailure("a")
+	tr.ReportFailure("a")
+	tr.ReportSuccess("a")
+	tr.ReportFailure("a")
+	tr.ReportFailure("a")
+	if !tr.Routable("a") {
+		t.Fatal("streak did not reset on success")
+	}
+}
+
+func TestTrackerHalfOpenProbe(t *testing.T) {
+	tr, clk := newTestTracker("a")
+	for i := 0; i < 3; i++ {
+		tr.ReportFailure("a")
+	}
+	if tr.ShouldProbe("a") {
+		t.Fatal("ejected node probed before cooldown")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !tr.ShouldProbe("a") {
+		t.Fatal("ejected node not probed after cooldown")
+	}
+	// Exactly one probe is admitted while the outcome is pending.
+	if tr.ShouldProbe("a") {
+		t.Fatal("second probe admitted while first is pending")
+	}
+	if !tr.Routable("a") {
+		t.Fatal("probing node should accept the probe's traffic")
+	}
+	tr.ReportSuccess("a")
+	if !tr.Routable("a") || tr.States()["a"] != "healthy" {
+		t.Fatal("successful probe did not readmit")
+	}
+}
+
+func TestTrackerFailedProbeDoublesCooldown(t *testing.T) {
+	tr, clk := newTestTracker("a")
+	for i := 0; i < 3; i++ {
+		tr.ReportFailure("a")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !tr.ShouldProbe("a") {
+		t.Fatal("no probe after first cooldown")
+	}
+	tr.ReportFailure("a") // failed readmission probe: cooldown doubles to 2s
+	if tr.Routable("a") {
+		t.Fatal("failed probe did not re-eject")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if tr.ShouldProbe("a") {
+		t.Fatal("probe admitted before the doubled cooldown elapsed")
+	}
+	clk.advance(1000 * time.Millisecond)
+	if !tr.ShouldProbe("a") {
+		t.Fatal("no probe after the doubled cooldown")
+	}
+	tr.ReportSuccess("a")
+	// Readmission resets the cooldown to its base value.
+	for i := 0; i < 3; i++ {
+		tr.ReportFailure("a")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !tr.ShouldProbe("a") {
+		t.Fatal("cooldown did not reset after readmission")
+	}
+}
+
+func TestTrackerUnknownNode(t *testing.T) {
+	tr, _ := newTestTracker("a")
+	if tr.Routable("nope") {
+		t.Fatal("unknown node routable")
+	}
+	if tr.ShouldProbe("nope") {
+		t.Fatal("unknown node probed")
+	}
+	tr.ReportSuccess("nope") // must not panic
+	tr.ReportFailure("nope")
+}
+
+func TestTrackerHealthyAlwaysProbed(t *testing.T) {
+	tr, _ := newTestTracker("a")
+	for i := 0; i < 5; i++ {
+		if !tr.ShouldProbe("a") {
+			t.Fatal("healthy node must always be probed")
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbasolver/internal/leakcheck"
+	"mbasolver/internal/service"
+	"mbasolver/internal/smt"
+)
+
+// fakeNode is a minimal mbaserved stand-in: answers /v1/batch with one
+// Sat per item (Reason = its own name), /v1/solve with Sat, /readyz
+// per its ready flag. down simulates a crashed process (connection
+// refused is emulated with an immediate 502 from a wrapper — for true
+// connection errors the chaos test kills real listeners).
+type fakeNode struct {
+	name    string
+	ready   atomic.Bool
+	down    atomic.Bool
+	batches atomic.Int64
+	singles atomic.Int64
+	srv     *httptest.Server
+}
+
+func newFakeNode(t *testing.T, name string) *fakeNode {
+	t.Helper()
+	n := &fakeNode{name: name}
+	n.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc(service.PathBatch, func(w http.ResponseWriter, r *http.Request) {
+		if n.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		n.batches.Add(1)
+		var req service.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := service.BatchResponse{RequestID: r.Header.Get(service.HeaderRequestID)}
+		for i := range req.Items {
+			resp.Items = append(resp.Items, service.BatchItemResult{
+				Index: i,
+				Solve: &service.SolveResponse{Status: smt.Equivalent.String(), Reason: name},
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc(service.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		if n.down.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		n.singles.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(service.SolveResponse{Status: smt.Equivalent.String(), Reason: name})
+	})
+	mux.HandleFunc(service.PathReady, func(w http.ResponseWriter, r *http.Request) {
+		if n.down.Load() || !n.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func newTestRouter(t *testing.T, probe time.Duration, nodes ...*fakeNode) *Router {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	rt, err := NewRouter(RouterConfig{
+		Nodes:         urls,
+		ProbeInterval: probe,
+		ProbeTimeout:  time.Second,
+		Health:        HealthOptions{Threshold: 2, Cooldown: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func postBatch(t *testing.T, h http.Handler, req service.BatchRequest) (*service.BatchResponse, *httptest.ResponseRecorder) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, service.PathBatch, bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		return nil, rec
+	}
+	var resp service.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding batch response: %v", err)
+	}
+	return &resp, rec
+}
+
+func TestRouterBatchRoutesAndReassembles(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1, n2, n3 := newFakeNode(t, "n1"), newFakeNode(t, "n2"), newFakeNode(t, "n3")
+	rt := newTestRouter(t, -1, n1, n2, n3)
+	req := service.BatchRequest{}
+	for i := 0; i < 12; i++ {
+		req.Items = append(req.Items, solveItem(fmt.Sprintf("x+%d", i), "x"))
+	}
+	resp, rec := postBatch(t, rt.Handler(), req)
+	if resp == nil {
+		t.Fatalf("batch failed: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Items) != 12 {
+		t.Fatalf("got %d items, want 12", len(resp.Items))
+	}
+	served := map[string]bool{}
+	for i, it := range resp.Items {
+		if it.Index != i || it.Solve == nil {
+			t.Fatalf("item %d misassembled: %+v", i, it)
+		}
+		served[it.Solve.Reason] = true
+	}
+	if len(served) < 2 {
+		t.Fatalf("12 distinct items all served by %v — ring not splitting", served)
+	}
+	if resp.RequestID == "" {
+		t.Fatal("batch response missing request ID")
+	}
+	if rec.Header().Get(service.HeaderRequestID) == "" {
+		t.Fatal("router did not echo X-Request-ID")
+	}
+}
+
+func TestRouterBatchFailover(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1, n2, n3 := newFakeNode(t, "n1"), newFakeNode(t, "n2"), newFakeNode(t, "n3")
+	rt := newTestRouter(t, -1, n1, n2, n3)
+	n2.down.Store(true)
+	// Generate items until the dead node owns at least two, so the test
+	// provably exercises failover regardless of hash placement.
+	req := service.BatchRequest{}
+	owned := 0
+	for i := 0; owned < 2 && i < 1000; i++ {
+		it := solveItem(fmt.Sprintf("y+%d", i), "y")
+		key, err := it.RouteKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Ring().Lookup(key) == n2.srv.URL {
+			owned++
+		}
+		req.Items = append(req.Items, it)
+	}
+	if owned < 2 {
+		t.Fatalf("could not construct items owned by the dead node")
+	}
+	resp, rec := postBatch(t, rt.Handler(), req)
+	if resp == nil {
+		t.Fatalf("batch failed: %d %s", rec.Code, rec.Body.String())
+	}
+	for i, it := range resp.Items {
+		if it.Solve == nil || it.Solve.Status != smt.Equivalent.String() {
+			t.Fatalf("item %d lost to dead node: %+v", i, it)
+		}
+		if it.Solve.Reason == "n2" {
+			t.Fatalf("item %d claims to be served by the dead node", i)
+		}
+	}
+	snap := rt.Snapshot()
+	if snap.Failovers == 0 {
+		t.Fatal("no failovers recorded despite a dead node")
+	}
+}
+
+func TestRouterSingleFailover(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	rt := newTestRouter(t, -1, n1, n2)
+	n1.down.Store(true)
+	n2.down.Store(false)
+
+	body, _ := json.Marshal(service.SolveRequest{A: "x+y", B: "x|y", Width: 8})
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, service.PathSolve, bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("single solve failed: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp service.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Reason != "n2" {
+		t.Fatalf("served by %q, want the live node n2", resp.Reason)
+	}
+}
+
+func TestRouterAllNodesDownDegrades(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	rt := newTestRouter(t, -1, n1, n2)
+	n1.down.Store(true)
+	n2.down.Store(true)
+
+	// Batch: reasoned Unknowns, HTTP 200.
+	resp, rec := postBatch(t, rt.Handler(), service.BatchRequest{
+		Items: []service.BatchItem{solveItem("x+y", "x|y")},
+	})
+	if resp == nil {
+		t.Fatalf("batch answered %d, want 200 with degraded items", rec.Code)
+	}
+	it := resp.Items[0]
+	if it.Solve == nil || it.Solve.Status != smt.Unknown.String() || it.Solve.Reason != service.ReasonUnavailable {
+		t.Fatalf("want reasoned Unknown, got %+v", it.Solve)
+	}
+
+	// Single: 503 with the reason.
+	body, _ := json.Marshal(service.SolveRequest{A: "x", B: "x", Width: 8})
+	rec2 := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec2, httptest.NewRequest(http.MethodPost, service.PathSolve, bytes.NewReader(body)))
+	if rec2.Code != http.StatusServiceUnavailable {
+		t.Fatalf("single answered %d, want 503", rec2.Code)
+	}
+}
+
+func TestRouterReadyReflectsNodeHealth(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1 := newFakeNode(t, "n1")
+	rt := newTestRouter(t, -1, n1)
+
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, service.PathReady, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("readyz = %d with healthy nodes", rec.Code)
+	}
+	// Eject the only node via passive failures.
+	rt.Health().ReportFailure(n1.srv.URL)
+	rt.Health().ReportFailure(n1.srv.URL)
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, service.PathReady, nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d with zero routable nodes, want 503", rec.Code)
+	}
+	// Liveness stays 200 regardless.
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, service.PathHealth, nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200 always", rec.Code)
+	}
+}
+
+func TestRouterProberEjectsAndReadmits(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1, n2 := newFakeNode(t, "n1"), newFakeNode(t, "n2")
+	rt := newTestRouter(t, 20*time.Millisecond, n1, n2)
+	n1.ready.Store(false) // draining: alive but must leave rotation
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if rt.Snapshot().Nodes[n1.srv.URL] == "ejected" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := rt.Snapshot().Nodes[n1.srv.URL]; got != "ejected" {
+		t.Fatalf("draining node state %q, want ejected", got)
+	}
+
+	n1.ready.Store(true) // node recovered
+	for time.Now().Before(deadline) {
+		if rt.Snapshot().Nodes[n1.srv.URL] == "healthy" {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("recovered node never readmitted; state %q", rt.Snapshot().Nodes[n1.srv.URL])
+}
+
+func TestRouterRejectsOversizeBatch(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1 := newFakeNode(t, "n1")
+	urls := []string{n1.srv.URL}
+	rt, err := NewRouter(RouterConfig{Nodes: urls, ProbeInterval: -1, MaxBatchItems: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	req := service.BatchRequest{Items: []service.BatchItem{
+		solveItem("x", "x"), solveItem("y", "y"), solveItem("z", "z"),
+	}}
+	_, rec := postBatch(t, rt.Handler(), req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversize batch answered %d, want 400", rec.Code)
+	}
+}
+
+func TestRouterCloseIdempotent(t *testing.T) {
+	defer leakcheck.Check(t)
+	n1 := newFakeNode(t, "n1")
+	rt := newTestRouter(t, 10*time.Millisecond, n1)
+	rt.Close()
+	rt.Close() // second close must not panic or deadlock
+	_ = context.Background()
+}

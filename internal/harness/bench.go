@@ -307,10 +307,15 @@ func benchCount(run *BenchRun, res smt.Result) {
 func durMSf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // WriteBenchJSON serializes the report as indented JSON.
-func WriteBenchJSON(w io.Writer, r BenchReport) error {
+func WriteBenchJSON(w io.Writer, r BenchReport) error { return writeJSONReport(w, r) }
+
+// WriteClusterBenchJSON serializes the cluster report as indented JSON.
+func WriteClusterBenchJSON(w io.Writer, r ClusterBenchReport) error { return writeJSONReport(w, r) }
+
+func writeJSONReport(w io.Writer, v any) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
+	if err := enc.Encode(v); err != nil {
 		return fmt.Errorf("encode bench report: %w", err)
 	}
 	return nil

@@ -1,0 +1,41 @@
+package harness
+
+import "testing"
+
+// TestClusterBenchSmoke runs a miniature cluster benchmark end to end:
+// real nodes, a real router, cold and warm phases at two node counts.
+// Zero verdict mismatches and zero degraded items are hard assertions
+// — this is the distributed differential test ci.sh leans on.
+func TestClusterBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots real clusters")
+	}
+	report, err := RunClusterBench(ClusterBenchConfig{
+		NodeCounts:  []int{1, 2},
+		Samples:     3,
+		WarmRepeats: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Mismatches != 0 {
+		t.Fatalf("%d verdict mismatches across the cluster", report.Mismatches)
+	}
+	if len(report.Runs) != 4 {
+		t.Fatalf("%d runs, want cold+warm at 2 node counts", len(report.Runs))
+	}
+	for _, run := range report.Runs {
+		if run.Degraded != 0 {
+			t.Fatalf("%d nodes %s: %d degraded items with no faults injected", run.Nodes, run.Phase, run.Degraded)
+		}
+		if run.Queries == 0 || run.Throughput <= 0 {
+			t.Fatalf("%d nodes %s: empty run %+v", run.Nodes, run.Phase, run)
+		}
+		if run.Phase == "warm" && run.CacheHits == 0 {
+			t.Fatalf("%d nodes warm: identical batch missed every shard cache", run.Nodes)
+		}
+		if run.Nodes == 2 && run.Phase == "cold" && run.ShardsUsed < 2 {
+			t.Fatalf("2-node cold run used %d shards — ring not splitting", run.ShardsUsed)
+		}
+	}
+}

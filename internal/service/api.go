@@ -216,9 +216,13 @@ type ErrorResponse struct {
 	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz (liveness) and /readyz (readiness)
+// body. Liveness always answers 200 — "ok" or "draining" — because a
+// draining process is alive and must not be restarted; readiness
+// answers 503 with "draining" the instant shutdown begins, so routers
+// stop sending new work while accepted work still finishes.
 type HealthResponse struct {
-	Status string `json:"status"` // "ok" or "shutting-down"
+	Status string `json:"status"` // "ok" or "draining"
 }
 
 // HistogramBucket is one cumulative latency bucket (le in
@@ -264,6 +268,10 @@ type PoolSnapshot struct {
 	Rejected      int64 `json:"rejected"`  // 429s
 	Cancelled     int64 `json:"cancelled"` // client went away before/while running
 	Panics        int64 `json:"panics"`    // worker panics contained (task got 500, worker lived)
+	// RecentShedIDs are the X-Request-IDs of the most recent shed
+	// requests (429/503), oldest first, so a batch's rejections can be
+	// correlated across cluster nodes from metrics snapshots alone.
+	RecentShedIDs []string `json:"recent_shed_ids,omitempty"`
 }
 
 // MetricsSnapshot is the /debug/metrics body.

@@ -1,0 +1,430 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mbasolver/internal/expr"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/smt"
+)
+
+// This file implements POST /v1/batch: N solve/simplify requests in one
+// call. The endpoint exists for the paper's actual workload shape —
+// thousands of independent equivalence checks per dataset — where
+// per-request HTTP+JSON overhead dominates once the solver is warm.
+//
+// Semantics:
+//
+//   - Items are answered in input order; a malformed item yields a
+//     per-item error, never a failed batch.
+//   - Structurally identical items (same canonical expr.Digest group
+//     key, same execution options) are deduplicated: one solve runs and
+//     its verdict fans out to every member of the group.
+//   - The whole batch shares one absolute deadline (timeout_ms, server
+//     default/clamp rules as for single requests); every group's
+//     smt.Budget is cut from it, so a batch never holds workers past
+//     its deadline.
+//   - Groups execute on the ordinary worker pool under the ordinary
+//     admission fence. A shed group (queue full, shutdown, contained
+//     panic) degrades to a reasoned Unknown for solve items — the same
+//     graceful-degradation contract the solver stack follows — rather
+//     than failing the batch.
+
+// ReasonUnavailable labels Unknown verdicts produced by the cluster
+// layer (router or batch executor) when no node could answer an item:
+// the shard's replicas were all dead, the admission queue shed the
+// group, or the server was draining. It extends the solver's
+// budget/resource/panic reason vocabulary on the wire.
+const ReasonUnavailable = "unavailable"
+
+// BatchRequest asks for many solve/simplify items in one call.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+	// TimeoutMS bounds the wall clock of the whole batch (0 = server
+	// default; clamped to the server maximum). Every item's solver
+	// budget is cut from this one deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// BatchItem is one unit of batch work: exactly one of Solve or
+// Simplify must be set.
+type BatchItem struct {
+	Solve    *SolveRequest    `json:"solve,omitempty"`
+	Simplify *SimplifyRequest `json:"simplify,omitempty"`
+}
+
+// RouteKey returns the canonical routing/grouping key of the item: the
+// digest-based cache key the serving node will use. Cluster components
+// consistent-hash this key so structurally identical work always lands
+// on the same node, keeping that node's semantic LRU and incremental
+// contexts hot for its shard. The key is derived from canonical
+// digests, so textual variants of the same expression route together.
+func (it BatchItem) RouteKey() (string, error) {
+	switch {
+	case it.Solve != nil && it.Simplify == nil:
+		return it.Solve.RouteKey()
+	case it.Simplify != nil && it.Solve == nil:
+		return it.Simplify.RouteKey()
+	default:
+		return "", fmt.Errorf("batch item must set exactly one of solve, simplify")
+	}
+}
+
+// RouteKey returns the canonical digest-pair key of a solve request
+// (order-normalized: a vs b and b vs a route identically).
+func (r SolveRequest) RouteKey() (string, error) {
+	a, err := parser.Parse(r.A)
+	if err != nil {
+		return "", fmt.Errorf("a: %w", err)
+	}
+	b, err := parser.Parse(r.B)
+	if err != nil {
+		return "", fmt.Errorf("b: %w", err)
+	}
+	return solveKey(r.Width, expr.Hash(a), expr.Hash(b)), nil
+}
+
+// RouteKey returns the canonical digest key of a simplify request.
+func (r SimplifyRequest) RouteKey() (string, error) {
+	disj, err := parseBasis(r.Basis)
+	if err != nil {
+		return "", err
+	}
+	e, err := parser.Parse(r.Expr)
+	if err != nil {
+		return "", fmt.Errorf("expr: %w", err)
+	}
+	return simplifyKey(r.Width, disj, r.Verify, expr.Hash(e)), nil
+}
+
+// RouteKey returns the canonical digest key of a classify request.
+func (r ClassifyRequest) RouteKey() (string, error) {
+	e, err := parser.Parse(r.Expr)
+	if err != nil {
+		return "", fmt.Errorf("expr: %w", err)
+	}
+	return "classify|" + expr.HashString(e), nil
+}
+
+// BatchItemResult is one item's answer. Exactly one of Solve, Simplify
+// or Error is set for well-formed batches.
+type BatchItemResult struct {
+	// Index is the item's position in the request, so consumers of a
+	// reassembled cluster response can verify ordering.
+	Index    int               `json:"index"`
+	Solve    *SolveResponse    `json:"solve,omitempty"`
+	Simplify *SimplifyResponse `json:"simplify,omitempty"`
+	// Error reports a malformed item (bad expression, unknown solver) or
+	// a non-degradable failure. Malformed items never fail the batch.
+	Error string `json:"error,omitempty"`
+	// Deduped marks items answered by another structurally-identical
+	// item's run in the same batch.
+	Deduped bool `json:"deduped,omitempty"`
+	// Node is the backend that answered, stamped by the cluster router
+	// (empty on direct single-node answers).
+	Node string `json:"node,omitempty"`
+}
+
+// BatchResponse reports the whole batch, items in input order.
+type BatchResponse struct {
+	Items []BatchItemResult `json:"items"`
+	// Groups is the number of unique work groups after digest dedup;
+	// Deduped counts items that shared another item's run; CacheHits
+	// counts groups answered from the verdict cache without solving.
+	Groups    int     `json:"groups"`
+	Deduped   int     `json:"deduped"`
+	CacheHits int     `json:"cache_hits"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// RequestID echoes X-Request-ID for cross-node correlation.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// batchGroup is one unique unit of execution: the representative
+// parsed item plus the member indices its result fans out to.
+type batchGroup struct {
+	key     string
+	members []int
+
+	// solve fields (solve == true) or simplify fields.
+	solve  bool
+	a, b   *expr.Expr
+	width  uint
+	spec   solveSpec
+	e      *expr.Expr
+	disj   bool
+	verify bool
+
+	solveResp *SolveResponse
+	simpResp  *SimplifyResponse
+	errText   string // degraded simplify group: per-item error text
+}
+
+// degradedSolve is the reasoned-Unknown answer for a solve group the
+// pool could not run: status timeout (the Unknown wire value) with a
+// reason, mirroring the solver's own degradation vocabulary.
+func degradedSolve(width uint, reason string) *SolveResponse {
+	return &SolveResponse{Status: smt.Unknown.String(), Reason: reason, Width: width}
+}
+
+// submitReason maps an admission failure to the degradation reason the
+// batch reports for affected items.
+func submitReason(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case err == errWorkerPanic:
+		return smt.ReasonPanic.String()
+	default: // overloaded, shutting down, client gone
+		return ReasonUnavailable
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status := http.StatusOK
+	defer func() { s.met.observe(PathBatch, status, time.Since(start)) }()
+
+	var req BatchRequest
+	if err := decode(w, r, &req); err != nil {
+		status = http.StatusBadRequest
+		s.writeError(w, status, err.Error())
+		return
+	}
+	if len(req.Items) == 0 {
+		status = http.StatusBadRequest
+		s.writeError(w, status, "batch has no items")
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		status = http.StatusBadRequest
+		s.writeError(w, status, fmt.Sprintf("batch has %d items, server cap is %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+
+	deadline := start.Add(s.timeout(req.TimeoutMS))
+	resp := &BatchResponse{
+		Items:     make([]BatchItemResult, len(req.Items)),
+		RequestID: requestIDOf(r),
+	}
+	groups := s.planBatch(req.Items, deadline, resp)
+	resp.Groups = len(groups)
+
+	// Check the verdict cache per group before spending a worker.
+	var pending []*batchGroup
+	for _, g := range groups {
+		if s.batchCacheGet(g) {
+			resp.CacheHits++
+			continue
+		}
+		pending = append(pending, g)
+	}
+
+	// Execute cache misses on the worker pool, at most Workers groups in
+	// flight from this batch so one big batch cannot monopolize the
+	// admission queue against interactive traffic.
+	if len(pending) > 0 {
+		sem := make(chan struct{}, s.cfg.Workers)
+		var wg sync.WaitGroup
+		for _, g := range pending {
+			g := g
+			sem <- struct{}{}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.runBatchGroup(r, g, deadline)
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Fan each group's result out to its members, in input order.
+	for _, g := range groups {
+		for i, idx := range g.members {
+			item := &resp.Items[idx]
+			switch {
+			case g.errText != "":
+				item.Error = g.errText
+			case g.solve:
+				cp := *g.solveResp
+				item.Solve = &cp
+			default:
+				cp := *g.simpResp
+				item.Simplify = &cp
+			}
+			if i > 0 {
+				item.Deduped = true
+				resp.Deduped++
+			}
+		}
+	}
+	resp.ElapsedMS = durMS(time.Since(start))
+	writeJSON(w, status, resp)
+}
+
+// planBatch validates and parses every item, records per-item errors
+// directly into resp, and groups the well-formed remainder by
+// canonical execution key.
+func (s *Server) planBatch(items []BatchItem, deadline time.Time, resp *BatchResponse) []*batchGroup {
+	byKey := map[string]*batchGroup{}
+	var order []*batchGroup
+	for idx, it := range items {
+		resp.Items[idx].Index = idx
+		g, err := s.parseBatchItem(it, deadline)
+		if err != nil {
+			resp.Items[idx].Error = err.Error()
+			continue
+		}
+		if existing, ok := byKey[g.key]; ok {
+			existing.members = append(existing.members, idx)
+			continue
+		}
+		g.members = append(g.members, idx)
+		byKey[g.key] = g
+		order = append(order, g)
+	}
+	return order
+}
+
+// parseBatchItem validates one item and builds its execution group.
+// The group key extends the semantic cache key with the execution
+// options that change the response shape (solver choice, portfolio,
+// pre-simplification, conflict budget), so only genuinely identical
+// requests share a run.
+func (s *Server) parseBatchItem(it BatchItem, deadline time.Time) (*batchGroup, error) {
+	switch {
+	case it.Solve != nil && it.Simplify == nil:
+		req := it.Solve
+		width, err := s.width(req.Width)
+		if err != nil {
+			return nil, err
+		}
+		if !req.Portfolio && req.Solver != "" {
+			if _, ok := s.solvers[req.Solver]; !ok {
+				return nil, fmt.Errorf("unknown solver %q (want z3sim, stpsim or btorsim)", req.Solver)
+			}
+		}
+		if req.TimeoutMS != 0 {
+			return nil, fmt.Errorf("batch items cannot set timeout_ms; the batch deadline is shared")
+		}
+		if req.Conflicts < 0 {
+			return nil, fmt.Errorf("conflicts must be non-negative")
+		}
+		a, err := parser.Parse(req.A)
+		if err != nil {
+			return nil, fmt.Errorf("a: %w", err)
+		}
+		b, err := parser.Parse(req.B)
+		if err != nil {
+			return nil, fmt.Errorf("b: %w", err)
+		}
+		conflicts := req.Conflicts
+		if conflicts == 0 {
+			conflicts = s.cfg.DefaultConflicts
+		}
+		key := fmt.Sprintf("%s|s=%s|p=%t|pre=%t|c=%d",
+			solveKey(width, expr.Hash(a), expr.Hash(b)),
+			req.Solver, req.Portfolio, req.Simplify, conflicts)
+		return &batchGroup{
+			key:   key,
+			solve: true,
+			a:     a, b: b,
+			width: width,
+			spec: solveSpec{
+				solver:    req.Solver,
+				portfolio: req.Portfolio,
+				simplify:  req.Simplify,
+				conflicts: conflicts,
+				deadline:  deadline,
+			},
+		}, nil
+
+	case it.Simplify != nil && it.Solve == nil:
+		req := it.Simplify
+		width, err := s.width(req.Width)
+		if err != nil {
+			return nil, err
+		}
+		disj, err := parseBasis(req.Basis)
+		if err != nil {
+			return nil, err
+		}
+		e, err := parser.Parse(req.Expr)
+		if err != nil {
+			return nil, fmt.Errorf("expr: %w", err)
+		}
+		return &batchGroup{
+			key:    simplifyKey(width, disj, req.Verify, expr.Hash(e)),
+			e:      e,
+			width:  width,
+			disj:   disj,
+			verify: req.Verify,
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("batch item must set exactly one of solve, simplify")
+	}
+}
+
+// batchCacheGet fills the group's response from the verdict cache; the
+// cache keys are the semantic prefixes shared with the single-item
+// handlers, so batches and single requests hit each other's entries.
+func (s *Server) batchCacheGet(g *batchGroup) bool {
+	if g.solve {
+		key := solveKey(g.width, expr.Hash(g.a), expr.Hash(g.b))
+		if v, ok := s.cache.Get(key); ok {
+			cp := *v.(*SolveResponse)
+			cp.Cached = true
+			g.solveResp = &cp
+			return true
+		}
+		return false
+	}
+	if v, ok := s.cache.Get(g.key); ok {
+		cp := *v.(*SimplifyResponse)
+		cp.Cached = true
+		g.simpResp = &cp
+		return true
+	}
+	return false
+}
+
+// runBatchGroup executes one deduplicated group on the worker pool and
+// stores its result (or its reasoned degradation) in the group.
+func (s *Server) runBatchGroup(r *http.Request, g *batchGroup, deadline time.Time) {
+	err := s.submit(r.Context(), deadline, func(wc *workerCtx) {
+		if g.solve {
+			g.solveResp = s.runSolve(wc, g.a, g.b, g.width, g.spec)
+		} else {
+			g.simpResp = s.runSimplify(wc, g.e, g.width, g.disj, g.verify, deadline)
+		}
+	})
+	if err != nil {
+		if status := submitErrorStatus(err); status == http.StatusTooManyRequests ||
+			status == http.StatusServiceUnavailable {
+			s.met.noteShed(requestIDOf(r))
+		}
+		reason := submitReason(err)
+		if g.solve {
+			g.solveResp = degradedSolve(g.width, reason)
+			s.met.verdict("none", g.solveResp.Status)
+		} else {
+			// Simplification has no Unknown verdict to degrade to; the
+			// item reports a reasoned error instead.
+			g.errText = fmt.Sprintf("%s: %v", reason, err)
+		}
+		return
+	}
+	// Cache definitive results under the same policy as the single-item
+	// handlers: never timeouts, never degraded answers.
+	if g.solve {
+		if g.solveResp.Status != smt.Timeout.String() {
+			s.cache.Put(solveKey(g.width, expr.Hash(g.a), expr.Hash(g.b)), g.solveResp)
+		}
+	} else if g.simpResp.Verify == nil || g.simpResp.Verify.Status != smt.Timeout.String() {
+		s.cache.Put(g.key, g.simpResp)
+	}
+}

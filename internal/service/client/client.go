@@ -98,8 +98,31 @@ func (c *Client) Classify(ctx context.Context, req service.ClassifyRequest) (*se
 	return &resp, nil
 }
 
-// Health checks liveness; a nil error means the server admits work.
-func (c *Client) Health(ctx context.Context) error {
+// Batch runs many solve/simplify items in one call; results come back
+// in input order, structurally identical items deduplicated
+// server-side.
+func (c *Client) Batch(ctx context.Context, req service.BatchRequest) (*service.BatchResponse, error) {
+	var resp service.BatchResponse
+	if err := c.post(ctx, service.PathBatch, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health checks readiness; a nil error means the server admits work.
+// (A draining server is alive but not ready — see Alive.)
+func (c *Client) Health(ctx context.Context) error { return c.Ready(ctx) }
+
+// Ready checks readiness (/readyz): nil exactly while the server
+// admits new work; a 503 StatusError while it drains.
+func (c *Client) Ready(ctx context.Context) error {
+	var resp service.HealthResponse
+	return c.get(ctx, service.PathReady, &resp)
+}
+
+// Alive checks liveness (/healthz): nil as long as the process is up
+// and answering HTTP, including while it drains.
+func (c *Client) Alive(ctx context.Context) error {
 	var resp service.HealthResponse
 	return c.get(ctx, service.PathHealth, &resp)
 }
@@ -118,20 +141,49 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	if err != nil {
 		return fmt.Errorf("encoding request: %w", err)
 	}
+	// One correlation ID per logical call, stable across retries, so
+	// server logs show N attempts of one request rather than N requests.
+	id := requestID(ctx)
 	return c.doRetry(func() (*http.Request, error) {
 		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
 		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set(service.HeaderRequestID, id)
 		return hr, nil
 	}, resp)
 }
 
 func (c *Client) get(ctx context.Context, path string, resp any) error {
+	id := requestID(ctx)
 	return c.doRetry(func() (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		hr, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set(service.HeaderRequestID, id)
+		return hr, nil
 	}, resp)
+}
+
+// requestIDKey carries a caller-chosen correlation ID in a context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context whose requests carry the given
+// X-Request-ID instead of a generated one — callers batching many
+// related calls can correlate them under one ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestID resolves the correlation ID for one logical call: the
+// context's, or a fresh random one.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok && id != "" {
+		return id
+	}
+	return service.NewRequestID()
 }
 
 func (c *Client) do(hr *http.Request, out any) error {

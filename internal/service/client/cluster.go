@@ -1,0 +1,278 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/url"
+	"sync"
+	"time"
+
+	"mbasolver/internal/cluster"
+	"mbasolver/internal/service"
+)
+
+// Cluster is the cluster-aware client: it holds one Client per
+// mbaserved node and routes every call to the node that owns the
+// request's canonical digest on the same consistent-hash ring the
+// router uses, so direct clients and routed clients agree on shard
+// placement and hit the same warm caches.
+//
+// Failover layers the retry policy over the ring: when a node answers
+// with a transport error or a gateway-class status (502/503/504), the
+// next attempt goes to the digest's next ring replica — never the node
+// that just failed — and the failed node is remembered as suspect for
+// SuspectTTL, so subsequent calls deprioritize it without a fresh
+// timeout each time. Any other answer (verdicts, 4xx, 429 overload,
+// 500) is the backend's real response and is returned as-is.
+type Cluster struct {
+	ring     *cluster.Ring
+	clients  map[string]*Client
+	retry    RetryPolicy
+	suspects suspectSet
+}
+
+// ClusterConfig configures NewCluster. Zero values take defaults.
+type ClusterConfig struct {
+	// VirtualNodes is the ring's points-per-node (default 64 — must
+	// match the router's setting for shard agreement).
+	VirtualNodes int
+	// SuspectTTL is how long a failed node is deprioritized before
+	// being tried first again (default 5s).
+	SuspectTTL time.Duration
+	// Retry bounds the failover loop: MaxAttempts total tries across
+	// replicas, with the policy's backoff applied after each full pass
+	// over the ring (moving to a fresh replica is free; hammering the
+	// whole ring again is not). Defaults as in RetryPolicy.
+	Retry RetryPolicy
+	// Options are applied to each per-node Client (HTTP client
+	// injection etc.). Do not pass WithRetry here: per-node retry would
+	// pin attempts to one node, which is exactly what cluster failover
+	// replaces.
+	Options []Option
+}
+
+// NewCluster builds a cluster client over the node base URLs.
+func NewCluster(nodes []string, cfg ClusterConfig) (*Cluster, error) {
+	ring, err := cluster.NewRing(nodes, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SuspectTTL <= 0 {
+		cfg.SuspectTTL = 5 * time.Second
+	}
+	cc := &Cluster{
+		ring:    ring,
+		clients: make(map[string]*Client, len(nodes)),
+		retry:   cfg.Retry.withDefaults(),
+		suspects: suspectSet{
+			ttl:   cfg.SuspectTTL,
+			now:   time.Now,
+			until: make(map[string]time.Time, len(nodes)),
+		},
+	}
+	for _, n := range nodes {
+		cc.clients[n] = New(n, cfg.Options...)
+	}
+	return cc, nil
+}
+
+// Ring exposes the client's ring for shard inspection.
+func (cc *Cluster) Ring() *cluster.Ring { return cc.ring }
+
+// Nodes returns the cluster's node base URLs.
+func (cc *Cluster) Nodes() []string { return cc.ring.Nodes() }
+
+// Solve routes an equivalence check to its digest's owner with
+// failover.
+func (cc *Cluster) Solve(ctx context.Context, req service.SolveRequest) (*service.SolveResponse, error) {
+	key, err := req.RouteKey()
+	if err != nil {
+		return nil, err
+	}
+	var resp *service.SolveResponse
+	err = cc.failover(ctx, key, func(c *Client) error {
+		r, err := c.Solve(ctx, req)
+		resp = r
+		return err
+	})
+	return resp, err
+}
+
+// Simplify routes a simplification to its digest's owner with
+// failover.
+func (cc *Cluster) Simplify(ctx context.Context, req service.SimplifyRequest) (*service.SimplifyResponse, error) {
+	key, err := req.RouteKey()
+	if err != nil {
+		return nil, err
+	}
+	var resp *service.SimplifyResponse
+	err = cc.failover(ctx, key, func(c *Client) error {
+		r, err := c.Simplify(ctx, req)
+		resp = r
+		return err
+	})
+	return resp, err
+}
+
+// Classify routes a classification to its digest's owner with
+// failover.
+func (cc *Cluster) Classify(ctx context.Context, req service.ClassifyRequest) (*service.ClassifyResponse, error) {
+	key, err := req.RouteKey()
+	if err != nil {
+		return nil, err
+	}
+	var resp *service.ClassifyResponse
+	err = cc.failover(ctx, key, func(c *Client) error {
+		r, err := c.Classify(ctx, req)
+		resp = r
+		return err
+	})
+	return resp, err
+}
+
+// Batch splits the batch across the ring client-side — the same
+// split/failover/reassemble engine the router runs, minus one hop.
+// Items whose every replica fails come back as reasoned Unknowns, so
+// Batch only errors on a malformed request, never on node failures.
+func (cc *Cluster) Batch(ctx context.Context, req service.BatchRequest) (*service.BatchResponse, error) {
+	resp := cluster.ExecuteBatch(ctx, cc.ring, &req,
+		func(ctx context.Context, node string, sub *service.BatchRequest) (*service.BatchResponse, error) {
+			return cc.clients[node].Batch(ctx, *sub)
+		},
+		cluster.ExecuteOptions{
+			Allow: func(node string) bool { return !cc.suspects.is(node) },
+			Report: func(node string, ok bool) {
+				if ok {
+					cc.suspects.clear(node)
+				} else {
+					cc.suspects.mark(node)
+				}
+			},
+		})
+	return resp, nil
+}
+
+// Ready reports nil while at least one node admits work.
+func (cc *Cluster) Ready(ctx context.Context) error {
+	var last error
+	for _, n := range cc.ring.Nodes() {
+		if err := cc.clients[n].Ready(ctx); err == nil {
+			return nil
+		} else {
+			last = err
+		}
+	}
+	return last
+}
+
+// failover runs call against the key's replicas: the ring sequence
+// reordered so suspect nodes go last, each attempt on the next
+// replica, backoff only after a full pass over the ring. The loop
+// never retries the node that just failed (rotation guarantees a
+// different node whenever more than one exists).
+func (cc *Cluster) failover(ctx context.Context, key string, call func(c *Client) error) error {
+	seq := cc.ring.Sequence(key)
+	order := make([]string, 0, len(seq))
+	var suspect []string
+	for _, n := range seq {
+		if cc.suspects.is(n) {
+			suspect = append(suspect, n)
+		} else {
+			order = append(order, n)
+		}
+	}
+	order = append(order, suspect...)
+
+	backoff := cc.retry.BaseBackoff
+	var last error
+	for attempt := 0; attempt < cc.retry.MaxAttempts; attempt++ {
+		node := order[attempt%len(order)]
+		err := call(cc.clients[node])
+		if err == nil {
+			cc.suspects.clear(node)
+			return nil
+		}
+		last = err
+		if !failoverErr(err) {
+			return err
+		}
+		cc.suspects.mark(node)
+		if ctx.Err() != nil || attempt == cc.retry.MaxAttempts-1 {
+			return last
+		}
+		// Moving to a fresh replica is free; only wrapping around the
+		// whole ring pays the policy's backoff.
+		if attempt%len(order) == len(order)-1 {
+			wait := backoff/2 + time.Duration(cc.retry.rand()*float64(backoff/2))
+			var se *StatusError
+			if errors.As(err, &se) && se.RetryAfter > wait {
+				wait = se.RetryAfter
+			}
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return last
+			case <-timer.C:
+			}
+			backoff *= 2
+			if backoff > cc.retry.MaxBackoff {
+				backoff = cc.retry.MaxBackoff
+			}
+		}
+	}
+	return last
+}
+
+// failoverErr classifies an error as "this node cannot serve right
+// now": transport failures and gateway-class answers. Overload (429)
+// is excluded — an overloaded node is alive and sheds with a backoff
+// hint; moving that load to a replica with a cold shard cache would
+// amplify the overload, not route around it.
+func failoverErr(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code == 502 || se.Code == 503 || se.Code == 504
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// suspectSet remembers recently-failed nodes for a TTL so later calls
+// try healthy replicas first without re-paying the dead node's
+// timeout.
+type suspectSet struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu    sync.Mutex
+	until map[string]time.Time
+}
+
+func (s *suspectSet) mark(node string) {
+	exp := s.now().Add(s.ttl) // read the clock outside the lock
+	s.mu.Lock()
+	s.until[node] = exp
+	s.mu.Unlock()
+}
+
+func (s *suspectSet) clear(node string) {
+	s.mu.Lock()
+	delete(s.until, node)
+	s.mu.Unlock()
+}
+
+func (s *suspectSet) is(node string) bool {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	exp, ok := s.until[node]
+	if !ok {
+		return false
+	}
+	if now.After(exp) {
+		delete(s.until, node)
+		return false
+	}
+	return true
+}

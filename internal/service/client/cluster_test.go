@@ -1,0 +1,306 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mbasolver/internal/service"
+	"mbasolver/internal/smt"
+)
+
+// clusterNode is a scripted mbaserved stand-in for cluster-client
+// tests: it records the order of nodes contacted and can be toggled
+// dead (503 on everything).
+type clusterNode struct {
+	name  string
+	dead  atomic.Bool
+	hits  atomic.Int64
+	srv   *httptest.Server
+	trace *callTrace
+}
+
+type callTrace struct {
+	mu    sync.Mutex
+	calls []string
+}
+
+func (tr *callTrace) add(name string) {
+	tr.mu.Lock()
+	tr.calls = append(tr.calls, name)
+	tr.mu.Unlock()
+}
+
+func (tr *callTrace) snapshot() []string {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return append([]string(nil), tr.calls...)
+}
+
+func newClusterNode(t *testing.T, name string, trace *callTrace) *clusterNode {
+	t.Helper()
+	n := &clusterNode{name: name, trace: trace}
+	mux := http.NewServeMux()
+	answer := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc(service.PathSolve, func(w http.ResponseWriter, r *http.Request) {
+		n.trace.add(name)
+		if n.dead.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		n.hits.Add(1)
+		answer(w, service.SolveResponse{Status: smt.Equivalent.String(), Reason: name})
+	})
+	mux.HandleFunc(service.PathBatch, func(w http.ResponseWriter, r *http.Request) {
+		n.trace.add(name)
+		if n.dead.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		n.hits.Add(1)
+		var req service.BatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := service.BatchResponse{}
+		for i := range req.Items {
+			resp.Items = append(resp.Items, service.BatchItemResult{
+				Index: i,
+				Solve: &service.SolveResponse{Status: smt.Equivalent.String(), Reason: name},
+			})
+		}
+		answer(w, resp)
+	})
+	mux.HandleFunc(service.PathReady, func(w http.ResponseWriter, r *http.Request) {
+		if n.dead.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		answer(w, service.HealthResponse{Status: "ok"})
+	})
+	n.srv = httptest.NewServer(mux)
+	t.Cleanup(n.srv.Close)
+	return n
+}
+
+func newTestCluster(t *testing.T, cfg ClusterConfig, nodes ...*clusterNode) *Cluster {
+	t.Helper()
+	urls := make([]string, len(nodes))
+	for i, n := range nodes {
+		urls[i] = n.srv.URL
+	}
+	cc, err := NewCluster(urls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func nameOf(nodes []*clusterNode, url string) string {
+	for _, n := range nodes {
+		if n.srv.URL == url {
+			return n.name
+		}
+	}
+	return url
+}
+
+func TestClusterSolveRoutesToOwner(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2, n3 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace), newClusterNode(t, "n3", trace)
+	all := []*clusterNode{n1, n2, n3}
+	cc := newTestCluster(t, ClusterConfig{}, n1, n2, n3)
+	for i := 0; i < 8; i++ {
+		req := service.SolveRequest{A: fmt.Sprintf("x+%d", i), B: "x", Width: 8}
+		key, err := req.RouteKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := cc.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := nameOf(all, cc.Ring().Lookup(key)); resp.Reason != want {
+			t.Fatalf("query %d served by %q, ring owner is %q", i, resp.Reason, want)
+		}
+	}
+}
+
+func TestClusterFailoverNeverSameDeadNodeTwiceInARow(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace)
+	cc := newTestCluster(t, ClusterConfig{
+		Retry: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	}, n1, n2)
+
+	// Find a request owned by n1, then kill n1.
+	var req service.SolveRequest
+	for i := 0; ; i++ {
+		req = service.SolveRequest{A: fmt.Sprintf("y+%d", i), B: "y", Width: 8}
+		key, err := req.RouteKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.Ring().Lookup(key) == n1.srv.URL {
+			break
+		}
+	}
+	n1.dead.Store(true)
+	resp, err := cc.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("failover did not reach the live node: %v", err)
+	}
+	if resp.Reason != "n2" {
+		t.Fatalf("served by %q, want n2", resp.Reason)
+	}
+	calls := trace.snapshot()
+	for i := 1; i < len(calls); i++ {
+		if calls[i] == calls[i-1] {
+			t.Fatalf("same node tried twice in a row: %v", calls)
+		}
+	}
+	if calls[0] != "n1" {
+		t.Fatalf("first attempt went to %q, want the owner n1", calls[0])
+	}
+}
+
+func TestClusterSuspectDeprioritized(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace)
+	cc := newTestCluster(t, ClusterConfig{
+		SuspectTTL: time.Minute,
+		Retry:      RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	}, n1, n2)
+
+	var req service.SolveRequest
+	for i := 0; ; i++ {
+		req = service.SolveRequest{A: fmt.Sprintf("z+%d", i), B: "z", Width: 8}
+		key, _ := req.RouteKey()
+		if cc.Ring().Lookup(key) == n1.srv.URL {
+			break
+		}
+	}
+	n1.dead.Store(true)
+	if _, err := cc.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// Second identical call: n1 is suspect, so the first attempt must
+	// skip straight to n2 without touching the dead node again.
+	before := len(trace.snapshot())
+	if _, err := cc.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	calls := trace.snapshot()[before:]
+	if len(calls) == 0 || calls[0] != "n2" {
+		t.Fatalf("suspect node not deprioritized; second call went %v", calls)
+	}
+}
+
+func TestClusterNonFailoverErrorReturnedVerbatim(t *testing.T) {
+	trace := &callTrace{}
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace.add("bad")
+		http.Error(w, `{"error":"width out of range"}`, http.StatusBadRequest)
+	}))
+	defer bad.Close()
+	good := newClusterNode(t, "good", trace)
+	cc, err := NewCluster([]string{bad.URL, good.srv.URL}, ClusterConfig{
+		Retry: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a request owned by the bad node; its 400 must come back
+	// unchanged, not fail over (a 4xx is the real answer).
+	var req service.SolveRequest
+	for i := 0; ; i++ {
+		req = service.SolveRequest{A: fmt.Sprintf("w+%d", i), B: "w", Width: 8}
+		key, _ := req.RouteKey()
+		if cc.Ring().Lookup(key) == bad.URL {
+			break
+		}
+	}
+	_, err = cc.Solve(context.Background(), req)
+	se, ok := err.(*StatusError)
+	if !ok || se.Code != http.StatusBadRequest {
+		t.Fatalf("want the node's 400 verbatim, got %v", err)
+	}
+	for _, c := range trace.snapshot() {
+		if c == "good" {
+			t.Fatalf("4xx answer caused failover: %v", trace.snapshot())
+		}
+	}
+}
+
+func TestClusterBatchDegradesWhenAllNodesDead(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace)
+	cc := newTestCluster(t, ClusterConfig{}, n1, n2)
+	n1.dead.Store(true)
+	n2.dead.Store(true)
+	resp, err := cc.Batch(context.Background(), service.BatchRequest{
+		Items: []service.BatchItem{
+			{Solve: &service.SolveRequest{A: "x+y", B: "x|y", Width: 8}},
+		},
+	})
+	if err != nil {
+		t.Fatalf("cluster batch must degrade, not error: %v", err)
+	}
+	it := resp.Items[0]
+	if it.Solve == nil || it.Solve.Status != smt.Unknown.String() || it.Solve.Reason != service.ReasonUnavailable {
+		t.Fatalf("want reasoned Unknown, got %+v", it.Solve)
+	}
+}
+
+func TestClusterBatchSplitsAndReassembles(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2, n3 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace), newClusterNode(t, "n3", trace)
+	cc := newTestCluster(t, ClusterConfig{}, n1, n2, n3)
+	req := service.BatchRequest{}
+	for i := 0; i < 12; i++ {
+		req.Items = append(req.Items, service.BatchItem{
+			Solve: &service.SolveRequest{A: fmt.Sprintf("v+%d", i), B: "v", Width: 8},
+		})
+	}
+	resp, err := cc.Batch(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := map[string]bool{}
+	for i, it := range resp.Items {
+		if it.Index != i || it.Solve == nil {
+			t.Fatalf("item %d misassembled: %+v", i, it)
+		}
+		served[it.Solve.Reason] = true
+	}
+	if len(served) < 2 {
+		t.Fatalf("batch not split across nodes: %v", served)
+	}
+}
+
+func TestClusterReady(t *testing.T) {
+	trace := &callTrace{}
+	n1, n2 := newClusterNode(t, "n1", trace), newClusterNode(t, "n2", trace)
+	cc := newTestCluster(t, ClusterConfig{}, n1, n2)
+	if err := cc.Ready(context.Background()); err != nil {
+		t.Fatalf("ready with live nodes: %v", err)
+	}
+	n1.dead.Store(true)
+	if err := cc.Ready(context.Background()); err != nil {
+		t.Fatalf("ready with one live node: %v", err)
+	}
+	n2.dead.Store(true)
+	if err := cc.Ready(context.Background()); err == nil {
+		t.Fatal("ready with zero live nodes: want error")
+	}
+}

@@ -73,6 +73,47 @@ type serverMetrics struct {
 
 	mu       sync.Mutex
 	verdicts map[string]map[string]int64
+
+	shedIDs recentIDs
+}
+
+// recentIDs is a small bounded ring of request IDs, recording which
+// recent requests hit an admission path worth correlating (shed load).
+// Fixed size keeps the metrics surface cardinality bounded no matter
+// how hot the rejection path runs.
+type recentIDs struct {
+	mu   sync.Mutex
+	buf  [16]string
+	next int
+	n    int
+}
+
+func (r *recentIDs) add(id string) {
+	if id == "" {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = id
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the recorded IDs, oldest first.
+func (r *recentIDs) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return nil
+	}
+	out := make([]string, 0, r.n)
+	start := (r.next - r.n + len(r.buf)) % len(r.buf)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
 }
 
 func newServerMetrics(endpoints ...string) *serverMetrics {
@@ -117,6 +158,9 @@ func (m *serverMetrics) verdict(solver, status string) {
 	m.mu.Unlock()
 }
 
+// noteShed records a shed request's correlation ID (429/503 answers).
+func (m *serverMetrics) noteShed(id string) { m.shedIDs.add(id) }
+
 // enterFlight marks a task as running and maintains the high-water
 // mark; the returned function ends the flight.
 func (m *serverMetrics) enterFlight() func() {
@@ -154,6 +198,7 @@ func (m *serverMetrics) snapshot(cache CacheSnapshot, pool PoolSnapshot) Metrics
 	s.Pool.Rejected = m.rejected.Load()
 	s.Pool.Cancelled = m.cancelled.Load()
 	s.Pool.Panics = m.panics.Load()
+	s.Pool.RecentShedIDs = m.shedIDs.snapshot()
 	m.mu.Lock()
 	for solver, per := range m.verdicts {
 		cp := make(map[string]int64, len(per))

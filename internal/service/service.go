@@ -87,6 +87,10 @@ type Config struct {
 	// screen race cannot decide within its conflict budget. Only
 	// affects portfolio solves on the incremental path.
 	Cubes bool
+	// MaxBatchItems caps the item count of one /v1/batch request
+	// (default 256). Larger batches are rejected with 400 so a single
+	// call cannot pin the pool for minutes past every deadline.
+	MaxBatchItems int
 }
 
 func (c Config) withDefaults() Config {
@@ -114,15 +118,21 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
+	}
 	return c
 }
 
-// Endpoint paths, shared with the client package and the CLIs.
+// Endpoint paths, shared with the client package, the cluster router
+// and the CLIs.
 const (
 	PathSimplify = "/v1/simplify"
 	PathSolve    = "/v1/solve"
 	PathClassify = "/v1/classify"
+	PathBatch    = "/v1/batch"
 	PathHealth   = "/healthz"
+	PathReady    = "/readyz"
 	PathMetrics  = "/debug/metrics"
 )
 
@@ -215,7 +225,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		met:     newServerMetrics(PathSimplify, PathSolve, PathClassify, PathHealth, PathMetrics),
+		met:     newServerMetrics(PathSimplify, PathSolve, PathClassify, PathBatch, PathHealth, PathReady, PathMetrics),
 		cache:   NewCache(cfg.CacheSize),
 		queue:   make(chan *task, cfg.QueueDepth),
 		down:    make(chan struct{}),
@@ -229,7 +239,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc(PathSimplify, s.handleSimplify)
 	s.mux.HandleFunc(PathSolve, s.handleSolve)
 	s.mux.HandleFunc(PathClassify, s.handleClassify)
+	s.mux.HandleFunc(PathBatch, s.handleBatch)
 	s.mux.HandleFunc(PathHealth, s.handleHealth)
+	s.mux.HandleFunc(PathReady, s.handleReady)
 	s.mux.HandleFunc(PathMetrics, s.handleMetrics)
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -239,10 +251,21 @@ func New(cfg Config) *Server {
 }
 
 // Handler returns the HTTP handler for mounting under an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s }
 
-// ServeHTTP implements http.Handler directly.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every request passes the
+// request-ID middleware: an incoming X-Request-ID is adopted and
+// echoed, a missing one is generated, so any answer — including 429
+// and 503 rejections — can be correlated across a multi-node cluster.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := requestIDOf(r)
+	if id == "" {
+		id = NewRequestID()
+		r.Header.Set(HeaderRequestID, id)
+	}
+	w.Header().Set(HeaderRequestID, id)
+	s.mux.ServeHTTP(w, r)
+}
 
 // Metrics returns the current metrics snapshot (the /debug/metrics
 // body), for in-process consumers like tests and the selfcheck.
@@ -573,30 +596,11 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	deadline := start.Add(s.timeout(0))
 	var resp *SimplifyResponse
 	err = s.submit(r.Context(), deadline, func(wc *workerCtx) {
-		simplified := wc.simplifier(width, disj).Simplify(e)
-		basis := "conj"
-		if disj {
-			basis = "disj"
-		}
-		resp = &SimplifyResponse{
-			Input:      e.String(),
-			Simplified: simplified.String(),
-			Width:      width,
-			Basis:      basis,
-			Before:     MetricsOf(metrics.Measure(e)),
-			After:      MetricsOf(metrics.Measure(simplified)),
-			Hash:       digest.String(),
-		}
-		if req.Verify {
-			resp.Verify = s.runSolve(wc, e, simplified, width, solveSpec{
-				solver:    "",
-				conflicts: s.cfg.DefaultConflicts,
-				deadline:  deadline,
-			})
-		}
+		resp = s.runSimplify(wc, e, width, disj, req.Verify, deadline)
 	})
 	if err != nil {
 		status = submitErrorStatus(err)
+		s.noteSubmitFailure(r, status)
 		s.writeError(w, status, err.Error())
 		return
 	}
@@ -609,6 +613,42 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	out := *resp
 	out.ElapsedMS = durMS(time.Since(start))
 	writeJSON(w, status, &out)
+}
+
+// runSimplify executes one simplification (optionally verified) on the
+// worker; shared by the single-item handler and the batch executor.
+func (s *Server) runSimplify(wc *workerCtx, e *expr.Expr, width uint, disj, verify bool, deadline time.Time) *SimplifyResponse {
+	simplified := wc.simplifier(width, disj).Simplify(e)
+	basis := "conj"
+	if disj {
+		basis = "disj"
+	}
+	resp := &SimplifyResponse{
+		Input:      e.String(),
+		Simplified: simplified.String(),
+		Width:      width,
+		Basis:      basis,
+		Before:     MetricsOf(metrics.Measure(e)),
+		After:      MetricsOf(metrics.Measure(simplified)),
+		Hash:       expr.HashString(e),
+	}
+	if verify {
+		resp.Verify = s.runSolve(wc, e, simplified, width, solveSpec{
+			solver:    "",
+			conflicts: s.cfg.DefaultConflicts,
+			deadline:  deadline,
+		})
+	}
+	return resp
+}
+
+// noteSubmitFailure records the request ID of a shed request (429/503)
+// in the admission metrics ring so one batch's rejections can be
+// correlated across a cluster from /debug/metrics alone.
+func (s *Server) noteSubmitFailure(r *http.Request, status int) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		s.met.noteShed(requestIDOf(r))
+	}
 }
 
 // solveSpec bundles the execution parameters of one equivalence query.
@@ -766,6 +806,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status = submitErrorStatus(err)
+		s.noteSubmitFailure(r, status)
 		s.writeError(w, status, err.Error())
 		return
 	}
@@ -810,6 +851,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		status = submitErrorStatus(err)
+		s.noteSubmitFailure(r, status)
 		s.writeError(w, status, err.Error())
 		return
 	}
@@ -817,16 +859,36 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// handleHealth is pure liveness: the process is up and able to answer
+// HTTP, so it always returns 200 — even while draining, when the body
+// says so. Orchestrators restart on failed liveness; a draining server
+// must not be restarted, merely taken out of rotation, which is the
+// readiness endpoint's job.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	resp := HealthResponse{Status: "ok"}
+	if s.closing.Load() {
+		resp.Status = "draining"
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.met.observe(PathHealth, http.StatusOK, time.Since(start))
+}
+
+// handleReady is readiness: 200 exactly while the server admits work.
+// The flag flips at the top of Shutdown — before in-flight budgets are
+// cancelled and connections start dying — so a router polling this
+// endpoint stops sending traffic to a draining node while the node can
+// still finish what it already accepted.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	status := http.StatusOK
 	resp := HealthResponse{Status: "ok"}
 	if s.closing.Load() {
 		status = http.StatusServiceUnavailable
-		resp.Status = "shutting-down"
+		resp.Status = "draining"
 	}
 	writeJSON(w, status, resp)
-	s.met.observe(PathHealth, status, time.Since(start))
+	s.met.observe(PathReady, status, time.Since(start))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

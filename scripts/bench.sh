@@ -13,12 +13,24 @@
 # wall clock, are the yardstick — the numbers are stable on loaded or
 # single-core machines (the report records the core count).
 #
+# The cluster stage boots in-process mbaserved nodes behind an
+# mbarouter ring at 1/2/3 nodes, drives one known-answer batch through
+# each cluster cold and warm, checks every definitive verdict against
+# ground truth (mismatches must be 0) and writes BENCH_cluster.json.
+# Cold scaling is capped by min(nodes, cores) when all nodes share one
+# machine — the report records the core count; the warm rows carry the
+# shard-locality story regardless.
+#
 # Tunables (env):
-#   BENCH_N        corpus equations            (default 6)
-#   BENCH_REPEATS  round-robin passes          (default 4)
-#   BENCH_SEED     corpus generator seed       (default 11)
-#   BENCH_WIDTH    bitvector width             (default 8)
-#   BENCH_OUT      output file                 (default BENCH_solver.json)
+#   BENCH_N          corpus equations            (default 6)
+#   BENCH_REPEATS    round-robin passes          (default 4)
+#   BENCH_SEED       corpus generator seed       (default 11)
+#   BENCH_WIDTH      bitvector width             (default 8)
+#   BENCH_OUT        solver report file          (default BENCH_solver.json)
+#   CLUSTER_BENCH_N  cluster corpus equations    (default 12)
+#   CLUSTER_BENCH_SEED     cluster corpus seed   (default 1)
+#   CLUSTER_BENCH_REPEATS  warm batches per size (default 4)
+#   CLUSTER_BENCH_OUT      cluster report file   (default BENCH_cluster.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,3 +42,12 @@ go run ./cmd/mbabench \
     -seed "${BENCH_SEED:-11}" \
     -width "${BENCH_WIDTH:-8}"
 echo "bench: wrote $out"
+
+cluster_out="${CLUSTER_BENCH_OUT:-BENCH_cluster.json}"
+go run ./cmd/mbabench \
+    -cluster-bench "$cluster_out" \
+    -bench-samples "${CLUSTER_BENCH_N:-12}" \
+    -repeats "${CLUSTER_BENCH_REPEATS:-4}" \
+    -seed "${CLUSTER_BENCH_SEED:-1}" \
+    -width "${BENCH_WIDTH:-8}"
+echo "bench: wrote $cluster_out"

@@ -35,11 +35,11 @@ go test -race -count=1 ./internal/chaos/
 # personalities.
 go test -race -count=1 ./internal/portfolio/ -run 'TestParallelMatchesSolo|TestParallelCubeFallback|TestContextSetSharingAndCubes'
 
-# Bench smoke: the miniature incremental-vs-fresh solver benchmark and
-# the solo-vs-share+cubes benchmark must run end to end with zero
-# verdict mismatches, and the Go benchmarks must still execute (full
-# numbers: scripts/bench.sh).
-go test ./internal/harness/ -run 'TestSolverBenchSmoke|TestParallelBenchSmoke'
+# Bench smoke: the miniature incremental-vs-fresh solver benchmark,
+# the solo-vs-share+cubes benchmark and the sharded-cluster benchmark
+# must run end to end with zero verdict mismatches, and the Go
+# benchmarks must still execute (full numbers: scripts/bench.sh).
+go test ./internal/harness/ -run 'TestSolverBenchSmoke|TestParallelBenchSmoke|TestClusterBenchSmoke'
 go test ./internal/smt/ -run '^$' -bench CheckTermEquiv -benchtime 1x
 
 # --- mbaserved boot + selfcheck smoke ---------------------------------
@@ -85,3 +85,80 @@ if ! wait "$srv"; then
 fi
 trap 'rm -rf "$bin"' EXIT
 echo "ci: mbaserved smoke ok"
+
+# --- cluster boot + selfcheck smoke -----------------------------------
+# Three mbaserved nodes behind an mbarouter: the router's selfcheck
+# drives a routed solve and a deduplicating batch through the ring,
+# then every process must drain cleanly on SIGTERM.
+go build -o "$bin/mbarouter" ./cmd/mbarouter
+
+nodes=""
+node_pids=()
+for i in 1 2 3; do
+    nlog="$bin/node$i.log"
+    "$bin/mbaserved" -addr 127.0.0.1:0 >"$nlog" 2>&1 &
+    node_pids+=($!)
+done
+trap 'kill "${node_pids[@]}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+for i in 1 2 3; do
+    nlog="$bin/node$i.log"
+    url=""
+    for _ in $(seq 1 100); do
+        url=$(sed -n 's/^mbaserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$nlog")
+        [ -n "$url" ] && break
+        sleep 0.1
+    done
+    if [ -z "$url" ]; then
+        echo "ci: cluster node $i never announced its listen address" >&2
+        cat "$nlog" >&2
+        exit 1
+    fi
+    nodes="${nodes:+$nodes,}$url"
+done
+
+rlog="$bin/mbarouter.log"
+"$bin/mbarouter" -addr 127.0.0.1:0 -nodes "$nodes" >"$rlog" 2>&1 &
+router=$!
+trap 'kill "$router" "${node_pids[@]}" 2>/dev/null || true; rm -rf "$bin"' EXIT
+
+router_url=""
+for _ in $(seq 1 100); do
+    router_url=$(sed -n 's/^mbarouter: routing [0-9]* nodes on \(http:\/\/[^ ]*\)$/\1/p' "$rlog")
+    [ -n "$router_url" ] && break
+    if ! kill -0 "$router" 2>/dev/null; then
+        echo "ci: mbarouter died during startup" >&2
+        cat "$rlog" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$router_url" ]; then
+    echo "ci: mbarouter never announced its listen address" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+
+# The router selfcheck asserts readiness, a routed single solve, and a
+# batch with a duplicate pair (Deduped >= 1), order-preserving verdicts
+# and a request ID on the response.
+go run ./cmd/mbarouter -selfcheck -target "$router_url"
+
+# Graceful shutdown: router first, then the nodes; every SIGTERM must
+# drain and exit 0.
+kill -TERM "$router"
+if ! wait "$router"; then
+    echo "ci: mbarouter did not exit cleanly on SIGTERM" >&2
+    cat "$rlog" >&2
+    exit 1
+fi
+for i in 1 2 3; do
+    pid="${node_pids[$((i - 1))]}"
+    kill -TERM "$pid"
+    if ! wait "$pid"; then
+        echo "ci: cluster node $i did not exit cleanly on SIGTERM" >&2
+        cat "$bin/node$i.log" >&2
+        exit 1
+    fi
+done
+trap 'rm -rf "$bin"' EXIT
+echo "ci: cluster smoke ok"
