@@ -1,6 +1,7 @@
 // Command mbalint runs the project's static-analysis suite
 // (internal/analysis) over the module: budgetloop, atomicmix,
-// lockdiscipline, exprimmut and errwrap.
+// lockdiscipline, exprimmut, errwrap, recoverguard, goroutinelife,
+// ctxflow and reasoncheck.
 //
 // Usage:
 //
@@ -9,13 +10,23 @@
 //	mbalint ./...                  # analyze the whole module
 //	mbalint -json ./...            # machine-readable diagnostics
 //	mbalint -fix ./...             # apply errwrap %v→%w rewrites
+//	mbalint -timing ./...          # per-analyzer wall clock to stderr
 //	mbalint -budgetloop=false ./...# disable one analyzer
 //	mbalint -dir testdata/src/x -pkg example.com/x   # fixture mode
 //
 // Exit status: 0 when the tree is clean, 1 when there are findings,
 // 2 when analysis could not run. Diagnostics are sorted by
 // file:line:col and can be suppressed in source with
-// `//lint:ignore <analyzer> <reason>`.
+// `//lint:ignore <analyzer> <reason>`; genuine daemons that may root
+// fresh contexts carry `//lint:daemon <reason>` on their declaration.
+// Directives that suppress nothing are findings themselves.
+//
+// The JSON report carries the diagnostics plus the enabled analyzer
+// names and (with -timing) per-analyzer wall-clock times:
+//
+//	{"diagnostics": [...], "count": N,
+//	 "analyzers": ["atomicmix", ...],
+//	 "timings": [{"analyzer": "atomicmix", "ms": 1.2}, ...]}
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"mbasolver/internal/analysis"
 )
@@ -37,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (service wire style)")
 	applyFix := fs.Bool("fix", false, "apply suggested fixes (errwrap %v→%w) in place")
+	timing := fs.Bool("timing", false, "report per-analyzer wall-clock times")
 	fixtureDir := fs.String("dir", "", "analyze a loose directory of Go files instead of packages")
 	fixturePkg := fs.String("pkg", "", "with -dir: import path the directory poses as")
 
@@ -50,9 +63,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	enabled := map[string]bool{}
+	var enabledNames []string
 	for name, on := range enableFlags {
 		enabled[name] = *on
+		if *on {
+			enabledNames = append(enabledNames, name)
+		}
 	}
+	sort.Strings(enabledNames)
 
 	load := func() (*analysis.Program, error) {
 		if *fixtureDir != "" {
@@ -74,7 +92,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mbalint:", err)
 		return 2
 	}
-	diags, edits := analysis.Run(prog, analyzers, enabled)
+	diags, edits, times := analysis.RunTimed(prog, analyzers, enabled)
 
 	if *applyFix && len(edits) > 0 {
 		changed, err := analysis.ApplyEdits(edits)
@@ -92,16 +110,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "mbalint:", err)
 			return 2
 		}
-		diags, _ = analysis.Run(prog, analyzers, enabled)
+		diags, _, times = analysis.RunTimed(prog, analyzers, enabled)
+	}
+
+	if *timing && !*jsonOut {
+		for _, tm := range times {
+			fmt.Fprintf(stderr, "mbalint: %-16s %8.2fms\n", tm.Analyzer, tm.Millis)
+		}
 	}
 
 	if *jsonOut {
 		out := struct {
-			Diagnostics []analysis.Diagnostic `json:"diagnostics"`
-			Count       int                   `json:"count"`
-		}{Diagnostics: diags, Count: len(diags)}
+			Diagnostics []analysis.Diagnostic     `json:"diagnostics"`
+			Count       int                       `json:"count"`
+			Analyzers   []string                  `json:"analyzers"`
+			Timings     []analysis.AnalyzerTiming `json:"timings,omitempty"`
+		}{Diagnostics: diags, Count: len(diags), Analyzers: enabledNames}
 		if out.Diagnostics == nil {
 			out.Diagnostics = []analysis.Diagnostic{}
+		}
+		if *timing {
+			out.Timings = times
 		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")

@@ -28,6 +28,10 @@ func TestFixtureExitCodes(t *testing.T) {
 		{"lockdiscipline", "example.com/lockfix", 1},
 		{"exprimmut", "example.com/immut", 1},
 		{"errwrap", "example.com/wrapfix", 1},
+		{"recoverguard", "example.com/recoverguard", 1},
+		{"goroutinelife", "mbasolver/internal/gorolife", 1},
+		{"ctxflow", "mbasolver/internal/service/ctxfix", 1},
+		{"reasoncheck", "mbasolver/internal/smtreason", 1},
 		{"clean", "example.com/clean", 0},
 	}
 	for _, tc := range cases {
@@ -84,6 +88,69 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestJSONSchema: the report names the enabled analyzers, drops
+// disabled ones, and carries per-analyzer timings when -timing is on.
+func TestJSONSchema(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-timing", "-errwrap=false", "-dir", filepath.Join(fixtureRoot, "clean"), "-pkg", "example.com/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var out struct {
+		Analyzers []string `json:"analyzers"`
+		Timings   []struct {
+			Analyzer string  `json:"analyzer"`
+			Millis   float64 `json:"ms"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &out); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if len(out.Analyzers) == 0 {
+		t.Fatal("report names no analyzers")
+	}
+	for _, name := range out.Analyzers {
+		if name == "errwrap" {
+			t.Error("disabled analyzer listed as enabled")
+		}
+	}
+	for _, want := range []string{"goroutinelife", "ctxflow", "reasoncheck"} {
+		found := false
+		for _, name := range out.Analyzers {
+			found = found || name == want
+		}
+		if !found {
+			t.Errorf("analyzer %q missing from the enabled list %v", want, out.Analyzers)
+		}
+	}
+	if len(out.Timings) != len(out.Analyzers) {
+		t.Fatalf("%d timings for %d enabled analyzers", len(out.Timings), len(out.Analyzers))
+	}
+	for _, tm := range out.Timings {
+		if tm.Analyzer == "" || tm.Millis < 0 {
+			t.Errorf("malformed timing entry: %+v", tm)
+		}
+	}
+}
+
+// TestTimingFlag: in text mode -timing reports per-analyzer wall
+// clock on stderr without polluting stdout.
+func TestTimingFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-timing", "-dir", filepath.Join(fixtureRoot, "clean"), "-pkg", "example.com/clean"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	if stdout.String() != "" {
+		t.Fatalf("-timing wrote to stdout:\n%s", stdout.String())
+	}
+	for _, want := range []string{"budgetloop", "reasoncheck", "ms"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Errorf("timing report missing %q:\n%s", want, stderr.String())
+		}
+	}
+}
+
 // TestJSONClean: a clean tree still emits valid JSON with an empty
 // (not null) diagnostics array.
 func TestJSONClean(t *testing.T) {
@@ -135,6 +202,36 @@ func TestFixMode(t *testing.T) {
 	}
 	if !strings.Contains(string(fixed), `"rendered: %v"`) {
 		t.Error("suppressed call was rewritten; suppression must block fixes")
+	}
+
+	// Idempotency: a second -fix run finds nothing left to rewrite, so
+	// it must not touch the file — zero diffs, no fixed-file notice.
+	info, err := os.Stat(filepath.Join(dir, "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-fix", "-dir", dir, "-pkg", "example.com/wrapfix"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("second -fix run exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if strings.Contains(stderr.String(), "mbalint: fixed") {
+		t.Fatalf("second -fix run rewrote files:\n%s", stderr.String())
+	}
+	again, err := os.ReadFile(filepath.Join(dir, "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, fixed) {
+		t.Error("second -fix run changed the file content")
+	}
+	info2, err := os.Stat(filepath.Join(dir, "errwrap.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info2.ModTime().Equal(info.ModTime()) {
+		t.Error("second -fix run rewrote the file in place (mtime changed)")
 	}
 }
 

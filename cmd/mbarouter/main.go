@@ -62,7 +62,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mbarouter: -selfcheck requires -target")
 			os.Exit(2)
 		}
-		if err := smoke(*target); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := smoke(ctx, *target); err != nil {
 			fmt.Fprintln(os.Stderr, "selfcheck FAIL:", err)
 			os.Exit(1)
 		}
@@ -104,6 +106,7 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
+	//lint:ignore goroutinelife Serve returns on Shutdown/listener close and errc is buffered, so the sender cannot linger
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
@@ -139,12 +142,12 @@ func splitNodes(s string) []string {
 // smoke drives a running router end-to-end through the typed client:
 // readiness, one routed solve, and a batch mixing solves, a duplicate
 // pair and a simplify, asserting order, dedup and correct verdicts.
-func smoke(base string) error {
+// The caller's context bounds the whole run, so an operator's Ctrl-C
+// (or a test's cancel) stops it mid-flight.
+func smoke(ctx context.Context, base string) error {
 	tr := &http.Transport{}
 	defer tr.CloseIdleConnections()
 	cl := client.New(base, client.WithHTTPClient(&http.Client{Transport: tr}))
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
 
 	if err := cl.Ready(ctx); err != nil {
 		return fmt.Errorf("readyz: %w", err)

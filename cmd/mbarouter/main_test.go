@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mbasolver/internal/leakcheck"
+)
+
+// TestSmokeHonorsContext pins the deadline-flow fix: smoke threads the
+// caller's context into every request it makes, so canceling that
+// context stops the run promptly even against a target that never
+// answers.
+func TestSmokeHonorsContext(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Never answer; hold the request until the client gives up.
+		<-r.Context().Done()
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err := smoke(ctx, srv.URL)
+	if err == nil {
+		t.Fatal("smoke with a canceled context reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("smoke took %v to notice the canceled context", elapsed)
+	}
+}
+
+// TestSplitNodes covers the flag parsing helper the server mode leans
+// on: whitespace and trailing slashes are trimmed, empties dropped.
+func TestSplitNodes(t *testing.T) {
+	got := splitNodes(" http://a:1/, ,http://b:2 ,")
+	want := []string{"http://a:1", "http://b:2"}
+	if len(got) != len(want) {
+		t.Fatalf("splitNodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitNodes[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

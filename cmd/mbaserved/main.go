@@ -86,6 +86,7 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
+	//lint:ignore goroutinelife Serve returns on Shutdown/listener close and errc is buffered, so the sender cannot linger
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
@@ -135,6 +136,7 @@ func runSelfcheck(cfg service.Config, target string) int {
 		return 1
 	}
 	httpSrv := &http.Server{Handler: svc.Handler()}
+	//lint:ignore goroutinelife Serve returns when httpSrv.Shutdown below closes the listener
 	go func() { _ = httpSrv.Serve(ln) }()
 
 	smokeErr := smoke("http://" + ln.Addr().String())

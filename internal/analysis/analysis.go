@@ -24,6 +24,21 @@
 //     panic via fault.RecordPanic in the same function — the
 //     degradation layer promises that no contained panic goes
 //     unaccounted.
+//   - goroutinelife:  every go statement must have a bounded-lifetime
+//     witness: the spawned function reaches a cancellation signal
+//     (select, channel receive, atomic stop-flag load, WaitGroup.Wait)
+//     through the call graph, or registers with a sync.WaitGroup that
+//     is waited on somewhere in the program.
+//   - ctxflow:        request-path packages (internal/service,
+//     internal/cluster, internal/portfolio, cmd/mbarouter) must thread
+//     the caller's context.Context/Budget: context.Background()/TODO()
+//     is a finding outside main and //lint:daemon functions, context-
+//     free http request builders are findings, and functions holding a
+//     ctx/Budget may not block on bare channel ops or time.Sleep.
+//   - reasoncheck:    every Unknown/Timeout verdict construction must
+//     attach a non-empty Reason, and cache writes must sit under a
+//     timeout/fault guard (timeouts and injected faults are never
+//     persisted).
 //
 // Findings can be suppressed with a written reason:
 //
@@ -36,14 +51,28 @@
 // budgetloop, the whole function is additionally exempted from
 // budgetloop's recursive-work classification — used for functions
 // whose recursion is provably cheap (see sat.luby).
+//
+// A second directive marks genuine daemons in request-path packages:
+//
+//	//lint:daemon <reason>
+//
+// placed on (or directly above) a func declaration, it exempts that
+// function from ctxflow's context.Background()/TODO() rule — the
+// /readyz prober owns its own lifecycle and legitimately roots fresh
+// contexts. Directives that suppress or exempt nothing are themselves
+// reported, so stale suppressions cannot linger.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Finding is one raw analyzer result, positioned by token.Pos. A
@@ -90,6 +119,9 @@ func Analyzers() []*Analyzer {
 		ExprImmutAnalyzer(),
 		ErrWrapAnalyzer(),
 		RecoverGuardAnalyzer(),
+		GoroutineLifeAnalyzer(),
+		CtxFlowAnalyzer(),
+		ReasonCheckAnalyzer(),
 	}
 }
 
@@ -129,14 +161,21 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// ignoreDirective is one parsed //lint:ignore comment.
+// ignoreDirective is one parsed //lint:ignore or //lint:daemon
+// comment. used is flipped when the directive actually suppresses a
+// diagnostic or exempts a declaration; directives still false after
+// the suppression pass are reported as stale. It is atomic because
+// analyzers run concurrently and mark function-level exemptions while
+// building their call graphs.
 type ignoreDirective struct {
 	file      string
 	line      int
 	analyzers []string
 	reason    string
+	daemon    bool   // //lint:daemon: ctxflow background-context exemption
 	malformed string // non-empty: why the directive could not be parsed
 	pos       token.Pos
+	used      atomic.Bool
 }
 
 func (d *ignoreDirective) covers(analyzer string, line int) bool {
@@ -151,30 +190,48 @@ func (d *ignoreDirective) covers(analyzer string, line int) bool {
 	return false
 }
 
-const ignorePrefix = "//lint:ignore"
+const (
+	ignorePrefix = "//lint:ignore"
+	daemonPrefix = "//lint:daemon"
+)
 
-// parseIgnores extracts every //lint:ignore directive from a file.
+// parseIgnores extracts every //lint:ignore and //lint:daemon
+// directive from a file.
 func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 	var out []*ignoreDirective
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if !strings.HasPrefix(c.Text, ignorePrefix) {
-				continue
-			}
 			pos := fset.Position(c.Pos())
-			d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
-			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-			fields := strings.Fields(rest)
-			if len(fields) < 2 {
-				d.malformed = "want //lint:ignore <analyzer>[,<analyzer>...] <reason>"
-			} else {
-				d.analyzers = strings.Split(fields[0], ",")
-				d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+			switch {
+			case strings.HasPrefix(c.Text, ignorePrefix):
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos()}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					d.malformed = "want //lint:ignore <analyzer>[,<analyzer>...] <reason>"
+				} else {
+					d.analyzers = strings.Split(fields[0], ",")
+					d.reason = strings.TrimSpace(strings.TrimPrefix(rest, fields[0]))
+				}
+				out = append(out, d)
+			case strings.HasPrefix(c.Text, daemonPrefix):
+				d := &ignoreDirective{file: pos.Filename, line: pos.Line, pos: c.Pos(), daemon: true}
+				d.reason = strings.TrimSpace(strings.TrimPrefix(c.Text, daemonPrefix))
+				if d.reason == "" {
+					d.malformed = "want //lint:daemon <reason>"
+				}
+				out = append(out, d)
 			}
-			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost for a RunTimed
+// call, rendered in mbalint -timing and the -json timings field.
+type AnalyzerTiming struct {
+	Analyzer string  `json:"analyzer"`
+	Millis   float64 `json:"ms"`
 }
 
 // Run executes the enabled analyzers over the program, applies
@@ -183,18 +240,62 @@ func parseIgnores(fset *token.FileSet, f *ast.File) []*ignoreDirective {
 // edits of their repairable findings. enabled maps analyzer name to
 // whether it runs; analyzers absent from the map run by default.
 func Run(prog *Program, analyzers []*Analyzer, enabled map[string]bool) ([]Diagnostic, []Edit) {
+	diags, edits, _ := RunTimed(prog, analyzers, enabled)
+	return diags, edits
+}
+
+// RunTimed is Run plus per-analyzer wall-clock timings. Analyzers
+// execute concurrently (bounded by GOMAXPROCS) — each works on the
+// shared read-only Program and returns findings for its own slot, so
+// the merged output stays deterministic regardless of completion
+// order.
+func RunTimed(prog *Program, analyzers []*Analyzer, enabled map[string]bool) ([]Diagnostic, []Edit, []AnalyzerTiming) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	enabledOn := func(name string) bool {
+		if !known[name] {
+			return false
+		}
+		on, ok := enabled[name]
+		return !ok || on
+	}
+
+	findings := make([][]Finding, len(analyzers))
+	timings := make([]AnalyzerTiming, len(analyzers))
+	ran := make([]bool, len(analyzers))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, a := range analyzers {
+		if !enabledOn(a.Name) {
+			continue
+		}
+		ran[i] = true
+		wg.Add(1)
+		go func(i int, a *Analyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			findings[i] = a.Run(prog)
+			timings[i] = AnalyzerTiming{
+				Analyzer: a.Name,
+				Millis:   float64(time.Since(start).Microseconds()) / 1000,
+			}
+		}(i, a)
+	}
+	wg.Wait()
 
 	var diags []Diagnostic
 	fixes := map[Diagnostic]*Fix{}
-	for _, a := range analyzers {
-		if on, ok := enabled[a.Name]; ok && !on {
+	var times []AnalyzerTiming
+	for i, a := range analyzers {
+		if !ran[i] {
 			continue
 		}
-		for _, f := range a.Run(prog) {
+		times = append(times, timings[i])
+		for _, f := range findings[i] {
 			pos := prog.Fset.Position(f.Pos)
 			d := Diagnostic{
 				Analyzer: a.Name,
@@ -216,12 +317,16 @@ func Run(prog *Program, analyzers []*Analyzer, enabled map[string]bool) ([]Diagn
 	for _, d := range prog.ignores {
 		switch {
 		case d.malformed != "":
+			kind := ignorePrefix
+			if d.daemon {
+				kind = daemonPrefix
+			}
 			diags = append(diags, Diagnostic{
 				Analyzer: "lint",
 				File:     prog.rel(d.file),
 				Line:     d.line,
 				Col:      1,
-				Message:  "malformed //lint:ignore directive: " + d.malformed,
+				Message:  "malformed " + kind + " directive: " + d.malformed,
 			})
 		default:
 			for _, name := range d.analyzers {
@@ -262,8 +367,47 @@ func Run(prog *Program, analyzers []*Analyzer, enabled map[string]bool) ([]Diagn
 	}
 	diags = kept
 
+	// Stale-directive pass: a well-formed directive whose analyzers are
+	// all known and enabled, yet which suppressed or exempted nothing,
+	// is dead weight that would silently mask a future regression.
+	// Directives naming a disabled analyzer are skipped — they may well
+	// be load-bearing on a full run.
+	for _, d := range prog.ignores {
+		if d.malformed != "" || d.used.Load() {
+			continue
+		}
+		if d.daemon {
+			if enabledOn("ctxflow") {
+				diags = append(diags, Diagnostic{
+					Analyzer: "lint",
+					File:     prog.rel(d.file),
+					Line:     d.line,
+					Col:      1,
+					Message:  "unused //lint:daemon directive: no background-context finding to exempt",
+				})
+			}
+			continue
+		}
+		all := true
+		for _, name := range d.analyzers {
+			if !enabledOn(name) {
+				all = false
+				break
+			}
+		}
+		if all {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lint",
+				File:     prog.rel(d.file),
+				Line:     d.line,
+				Col:      1,
+				Message:  "unused //lint:ignore directive: no finding suppressed",
+			})
+		}
+	}
+
 	sortDiagnostics(diags)
-	return diags, edits
+	return diags, edits, times
 }
 
 // suppressed reports whether some directive covers the diagnostic.
@@ -273,6 +417,7 @@ func (p *Program) suppressed(d Diagnostic) bool {
 			continue
 		}
 		if p.rel(ig.file) == d.File && ig.covers(d.Analyzer, d.Line) {
+			ig.used.Store(true)
 			return true
 		}
 	}
@@ -284,7 +429,7 @@ func (p *Program) suppressed(d Diagnostic) bool {
 func (p *Program) funcExempt(analyzer string, decl *ast.FuncDecl) bool {
 	pos := p.Fset.Position(decl.Pos())
 	for _, ig := range p.ignores {
-		if ig.malformed != "" || ig.file != pos.Filename {
+		if ig.malformed != "" || ig.daemon || ig.file != pos.Filename {
 			continue
 		}
 		if ig.line != pos.Line && ig.line != pos.Line-1 {
@@ -292,8 +437,26 @@ func (p *Program) funcExempt(analyzer string, decl *ast.FuncDecl) bool {
 		}
 		for _, a := range ig.analyzers {
 			if a == analyzer {
+				ig.used.Store(true)
 				return true
 			}
+		}
+	}
+	return false
+}
+
+// daemonExempt reports whether a //lint:daemon directive sits on, or
+// directly above, the function declaration line, marking it a genuine
+// daemon allowed to root fresh contexts.
+func (p *Program) daemonExempt(decl *ast.FuncDecl) bool {
+	pos := p.Fset.Position(decl.Pos())
+	for _, ig := range p.ignores {
+		if ig.malformed != "" || !ig.daemon || ig.file != pos.Filename {
+			continue
+		}
+		if ig.line == pos.Line || ig.line == pos.Line-1 {
+			ig.used.Store(true)
+			return true
 		}
 	}
 	return false

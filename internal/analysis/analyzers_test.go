@@ -27,6 +27,16 @@ func TestFixtures(t *testing.T) {
 		{dir: "exprimmut", pkg: "example.com/immut", minDiags: 4},
 		{dir: "errwrap", pkg: "example.com/wrapfix", minDiags: 4},
 		{dir: "recoverguard", pkg: "example.com/recoverguard", minDiags: 3},
+		// The goroutinelife fixture poses as a module-internal package
+		// outside every scoped analyzer's list: the lifetime contract is
+		// whole-program.
+		{dir: "goroutinelife", pkg: "mbasolver/internal/gorolife", minDiags: 3},
+		// The ctxflow fixture poses as a service sub-package so the
+		// request-path scope applies.
+		{dir: "ctxflow", pkg: "mbasolver/internal/service/ctxfix", minDiags: 7},
+		// The reasoncheck fixture's path contains internal/smt (verdict
+		// scope) without suffix-matching the budgetloop scope.
+		{dir: "reasoncheck", pkg: "mbasolver/internal/smtreason", minDiags: 5},
 		{dir: "clean", pkg: "example.com/clean", minDiags: 0},
 	}
 	for _, tc := range cases {

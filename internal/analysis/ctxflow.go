@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxScopePkgs are the request-path packages (matched by import-path
+// substring so fixtures can pose as them, and so nested packages like
+// internal/service/client are covered). Everything a user request
+// flows through must carry the caller's deadline.
+var ctxScopePkgs = []string{"internal/service", "internal/cluster", "internal/portfolio", "cmd/mbarouter"}
+
+func inCtxScope(pkg *Package) bool {
+	for _, part := range ctxScopePkgs {
+		if strings.Contains(pkg.Path, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// CtxFlowAnalyzer enforces deadline flow through the request path.
+// Three rules, all scoped to the request-path packages:
+//
+//  1. context.Background() and context.TODO() are findings: a request
+//     path must thread the caller's context, not root a fresh one.
+//     Exempt: func main in package main (the process root), functions
+//     marked `//lint:daemon <reason>` (genuine daemons such as the
+//     /readyz prober own their lifecycle), and line suppressions.
+//  2. Context-free net/http request builders (NewRequest, Get, Post,
+//     PostForm, Head) are findings — use NewRequestWithContext so the
+//     transport honors the deadline.
+//  3. A function that holds a request signal (a context.Context,
+//     *http.Request or Budget parameter) may not block unboundedly:
+//     channel sends/receives outside a select and time.Sleep are
+//     findings. Receiving from a Done() channel is allowed — that IS
+//     the cancellation wait.
+//
+// Known limitations: rule 3 treats any operation lexically inside a
+// select statement as guarded, including operations in function
+// literals defined there, and it cannot see channel buffer capacities
+// — a send into a buffered channel sized to its producers is safe but
+// still needs a reasoned suppression.
+func CtxFlowAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "request paths must thread the caller's context/budget into every blocking call",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		if !inCtxScope(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				findings = append(findings, checkCtxFlowFunc(prog, pkg, fd)...)
+			}
+		}
+	}
+	return findings
+}
+
+func checkCtxFlowFunc(prog *Program, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var findings []Finding
+	isMain := pkg.Types.Name() == "main" && fd.Recv == nil && fd.Name.Name == "main"
+	if prog.funcExempt("ctxflow", fd) {
+		return nil
+	}
+	hasSignal := funcHasRequestSignal(fd, pkg)
+	selects := selectRanges(fd.Body)
+
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			switch {
+			case isPkgFuncAny(pkg, e, "context", "Background", "TODO"):
+				// daemonExempt is consulted per occurrence, not per
+				// function, so a daemon directive on a function that no
+				// longer roots contexts is reported as unused.
+				if !isMain && !prog.daemonExempt(fd) {
+					findings = append(findings, Finding{
+						Pos: e.Pos(),
+						Message: fmt.Sprintf("%s in request-path package; thread the caller's context "+
+							"(or mark the enclosing function //lint:daemon <reason> if it is a genuine daemon)",
+							exprString(e.Fun)+"()"),
+					})
+				}
+			case isPkgFuncAny(pkg, e, "net/http", "NewRequest", "Get", "Post", "PostForm", "Head"):
+				findings = append(findings, Finding{
+					Pos:     e.Pos(),
+					Message: fmt.Sprintf("%s builds a context-free request; use http.NewRequestWithContext so the deadline reaches the transport", exprString(e.Fun)),
+				})
+			case hasSignal && isPkgFuncAny(pkg, e, "time", "Sleep"):
+				findings = append(findings, Finding{
+					Pos:     e.Pos(),
+					Message: "time.Sleep in a context-carrying function blocks without honoring the deadline; select on a timer and the context instead",
+				})
+			}
+		case *ast.SendStmt:
+			if hasSignal && !insideSelect(selects, e.Pos()) {
+				findings = append(findings, Finding{
+					Pos:     e.Pos(),
+					Message: fmt.Sprintf("blocking send on %s outside a select in a context-carrying function; select on the context too", exprString(e.Chan)),
+				})
+			}
+		case *ast.UnaryExpr:
+			if hasSignal && e.Op == token.ARROW && !insideSelect(selects, e.Pos()) && !isDoneChan(e.X) {
+				findings = append(findings, Finding{
+					Pos:     e.Pos(),
+					Message: fmt.Sprintf("blocking receive from %s outside a select in a context-carrying function; select on the context too", exprString(e.X)),
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// funcHasRequestSignal reports whether the function receives a request
+// deadline it is obliged to honor: a context.Context, *http.Request or
+// Budget-typed parameter.
+func funcHasRequestSignal(fd *ast.FuncDecl, pkg *Package) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		tv, ok := pkg.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		switch {
+		case obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context":
+			return true
+		case obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request":
+			return true
+		case obj.Name() == "Budget":
+			return true
+		}
+	}
+	return false
+}
+
+// selectRanges collects the source extents of every select statement
+// in the body, used as the (lexical) guard test for rule 3.
+func selectRanges(body *ast.BlockStmt) [][2]token.Pos {
+	var out [][2]token.Pos
+	ast.Inspect(body, func(node ast.Node) bool {
+		if s, ok := node.(*ast.SelectStmt); ok {
+			out = append(out, [2]token.Pos{s.Pos(), s.End()})
+		}
+		return true
+	})
+	return out
+}
+
+func insideSelect(selects [][2]token.Pos, pos token.Pos) bool {
+	for _, r := range selects {
+		if r[0] <= pos && pos < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneChan reports whether the receive operand is a Done() call —
+// `<-ctx.Done()` is the sanctioned way to wait for cancellation.
+func isDoneChan(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// isPkgFuncAny reports whether the call invokes one of the named
+// package-level functions of the given import path. The receiver must
+// be a package qualifier — `http.Get(...)` matches, the method call
+// `r.Header.Get(...)` does not.
+func isPkgFuncAny(pkg *Package, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isPkg := pkg.Info.Uses[id].(*types.PkgName); !isPkg {
+		return false
+	}
+	for _, n := range names {
+		if isPkgFuncCall(pkg, call.Fun, pkgPath, n) {
+			return true
+		}
+	}
+	return false
+}

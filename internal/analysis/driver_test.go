@@ -42,7 +42,9 @@ func TestDirectiveValidation(t *testing.T) {
 
 // TestSuppressionWindow: a directive suppresses matching diagnostics
 // on its own line and the line directly below — and nothing further.
-// Suppressed findings must not contribute edits either.
+// Suppressed findings must not contribute edits either, and a
+// directive left outside its window suppresses nothing, so it is
+// reported as unused.
 func TestSuppressionWindow(t *testing.T) {
 	dir := t.TempDir()
 	src := `package p
@@ -69,14 +71,95 @@ func c(err error) error {
 	}
 	prog := loadFixture(t, dir, "example.com/p")
 	diags, edits := Run(prog, Analyzers(), nil)
-	if len(diags) != 1 {
-		t.Fatalf("got %d diagnostics, want 1 (only c's): %v", len(diags), diags)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (c's finding plus c's stale directive): %v", len(diags), diags)
 	}
-	if !strings.Contains(diags[0].Message, "formats error err") || diags[0].Analyzer != "errwrap" {
-		t.Errorf("surviving diagnostic = %s", diags[0])
+	if diags[0].Analyzer != "lint" || !strings.Contains(diags[0].Message, "unused //lint:ignore") {
+		t.Errorf("first diagnostic = %s, want unused-directive report for c's out-of-window suppression", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "formats error err") || diags[1].Analyzer != "errwrap" {
+		t.Errorf("surviving diagnostic = %s", diags[1])
 	}
 	if len(edits) != 1 {
 		t.Fatalf("got %d edits, want 1: suppressed findings must not contribute fixes", len(edits))
+	}
+}
+
+// TestDaemonDirective: //lint:daemon on a function declaration exempts
+// its context.Background() calls from ctxflow; a daemon directive that
+// exempts nothing (the function roots no context) and an ignore
+// directive that suppresses nothing are both reported as stale.
+func TestDaemonDirective(t *testing.T) {
+	dir := t.TempDir()
+	src := `package service
+
+import "context"
+
+// prober is a genuine daemon; the directive below is consumed by the
+// Background call inside.
+//
+//lint:daemon each probe roots a context bounded by its own timeout
+func prober() context.Context {
+	return context.Background()
+}
+
+//lint:daemon stale: this function roots no context
+func settled() int {
+	return 1
+}
+
+func quiet() int {
+	//lint:ignore ctxflow stale: nothing in its window to suppress
+	return 2
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "s.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The package path must land in ctxflow's request-path scope for
+	// the Background rule (and so the daemon directive) to apply.
+	prog := loadFixture(t, dir, "mbasolver/internal/service/probe")
+	diags, _ := Run(prog, Analyzers(), nil)
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (both stale directives): %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "unused //lint:daemon directive") || diags[0].Line != 13 {
+		t.Errorf("first diagnostic = %s, want unused-daemon report on settled's directive", diags[0])
+	}
+	if !strings.Contains(diags[1].Message, "unused //lint:ignore directive") || diags[1].Line != 19 {
+		t.Errorf("second diagnostic = %s, want unused-ignore report on quiet's directive", diags[1])
+	}
+
+	// With ctxflow disabled both directives may be load-bearing on a
+	// full run, so neither is reported.
+	diags, _ = Run(prog, Analyzers(), map[string]bool{"ctxflow": false})
+	if len(diags) != 0 {
+		t.Fatalf("ctxflow disabled, still got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestRunTimed: every enabled analyzer reports one non-negative
+// per-analyzer timing, in suite order.
+func TestRunTimed(t *testing.T) {
+	prog := loadFixture(t, filepath.Join("testdata", "src", "clean"), "example.com/clean")
+	_, _, times := RunTimed(prog, Analyzers(), nil)
+	if len(times) != len(Analyzers()) {
+		t.Fatalf("got %d timings, want %d", len(times), len(Analyzers()))
+	}
+	for i, a := range Analyzers() {
+		if times[i].Analyzer != a.Name {
+			t.Errorf("timing %d is for %q, want %q (suite order)", i, times[i].Analyzer, a.Name)
+		}
+		if times[i].Millis < 0 {
+			t.Errorf("timing %d (%s) is negative: %v", i, times[i].Analyzer, times[i].Millis)
+		}
+	}
+
+	_, _, times = RunTimed(prog, Analyzers(), map[string]bool{"errwrap": false})
+	for _, tm := range times {
+		if tm.Analyzer == "errwrap" {
+			t.Errorf("disabled analyzer reported a timing: %v", tm)
+		}
 	}
 }
 

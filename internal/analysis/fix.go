@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sort"
@@ -9,7 +10,9 @@ import (
 // ApplyEdits patches the files named by the edits in place and
 // returns the paths it changed. Edits within a file are applied back
 // to front so earlier offsets stay valid; overlapping edits are an
-// error.
+// error. A file whose patched content equals what is already on disk
+// is left untouched and not reported as changed, so applying the same
+// fixes twice is a no-op.
 func ApplyEdits(edits []Edit) ([]string, error) {
 	byFile := map[string][]Edit{}
 	for _, e := range edits {
@@ -30,15 +33,19 @@ func ApplyEdits(edits []Edit) ([]string, error) {
 				return changed, fmt.Errorf("%s: overlapping edits at offsets %d and %d", file, es[i].Offset, es[i-1].Offset)
 			}
 		}
-		src, err := os.ReadFile(file)
+		orig, err := os.ReadFile(file)
 		if err != nil {
 			return changed, err
 		}
+		src := append([]byte(nil), orig...)
 		for _, e := range es {
 			if e.Offset < 0 || e.End > len(src) || e.Offset > e.End {
 				return changed, fmt.Errorf("%s: edit range [%d,%d) out of bounds", file, e.Offset, e.End)
 			}
 			src = append(src[:e.Offset], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		if bytes.Equal(src, orig) {
+			continue
 		}
 		info, err := os.Stat(file)
 		if err != nil {

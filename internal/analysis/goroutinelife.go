@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLifeAnalyzer enforces the degradation layer's lifetime
+// contract: no goroutine may outlive the work that spawned it. Every
+// `go` statement in non-test module code needs a bounded-lifetime
+// witness, one of:
+//
+//  1. The spawned function reaches — through the call graph, function
+//     literals included — a cancellation signal: a select statement, a
+//     channel receive, a range over a channel, an atomic stop-flag
+//     load, or a sync.WaitGroup.Wait.
+//  2. The spawned body registers with a sync.WaitGroup (calls Done,
+//     typically deferred) and a Wait on a same-named WaitGroup exists
+//     somewhere in the program.
+//  3. A reasoned `//lint:ignore goroutinelife <reason>` on or above
+//     the go statement, for spawns whose lifetime is bounded by
+//     construction (e.g. a send into a buffered channel sized to the
+//     spawn count).
+//
+// Dynamic spawns of function values the analyzer cannot see into are
+// findings too: an invisible lifetime is treated as unbounded.
+//
+// Known limitations: witness 2 matches WaitGroups by the trailing
+// identifier of the receiver expression ("wg" in both `wg.Done()` and
+// `s.wg.Wait()`), not by object identity, and neither witness proves
+// the signal is consulted on every path — this is a reachability
+// check, not a termination proof.
+func GoroutineLifeAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutinelife",
+		Doc:  "every go statement needs a bounded-lifetime witness (cancellation signal or waited WaitGroup)",
+		Run:  runGoroutineLife,
+	}
+}
+
+func runGoroutineLife(prog *Program) []Finding {
+	g := buildCallGraph(prog)
+	signal := map[string]bool{}
+	for key, n := range g.nodes {
+		if nodeHasLifetimeSignal(n) {
+			signal[key] = true
+		}
+	}
+	waited := waitedGroupNames(prog)
+
+	var findings []Finding
+	for _, n := range g.nodes {
+		node := n
+		inspectShallow(n.body, func(stmt ast.Node) bool {
+			gs, ok := stmt.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			findings = append(findings, checkGoStmt(g, node, gs, signal, waited)...)
+			return true
+		})
+	}
+	return findings
+}
+
+// checkGoStmt checks one go statement for a lifetime witness.
+func checkGoStmt(g *callGraph, n *funcNode, gs *ast.GoStmt, signal, waited map[string]bool) []Finding {
+	key := g.calleeKey(n.pkg, gs.Call, n.bindings)
+	target := g.nodes[key]
+	if key == "" || target == nil {
+		return []Finding{{
+			Pos: gs.Pos(),
+			Message: "goroutine spawns a function value the analyzer cannot see into; " +
+				"no bounded-lifetime witness (spawn a named function or add a reasoned //lint:ignore goroutinelife)",
+		}}
+	}
+	for reached := range g.reachableFrom([]string{key}) {
+		if signal[reached] {
+			return nil
+		}
+	}
+	if name, ok := spawnDoneGroup(target); ok && waited[name] {
+		return nil
+	}
+	return []Finding{{
+		Pos: gs.Pos(),
+		Message: fmt.Sprintf("goroutine %s has no bounded-lifetime witness: "+
+			"no reachable select/receive/stop-flag and no waited sync.WaitGroup registration", target.name()),
+	}}
+}
+
+// nodeHasLifetimeSignal reports whether the node's immediate body
+// (nested literals excluded — they are their own nodes) contains a
+// cancellation signal.
+func nodeHasLifetimeSignal(n *funcNode) bool {
+	found := false
+	inspectShallow(n.body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := node.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := n.pkg.Info.Types[e.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isAtomicLoadCall(n.pkg, e) || isWaitGroupCall(n.pkg, e, "Wait") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnDoneGroup reports whether the spawned body calls Done on a
+// sync.WaitGroup (typically deferred) and returns the receiver's
+// trailing identifier for matching against program-wide Waits.
+func spawnDoneGroup(n *funcNode) (string, bool) {
+	name, found := "", false
+	inspectShallow(n.body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && isWaitGroupCall(n.pkg, call, "Done") {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				name = trailingName(sel.X)
+				found = name != ""
+			}
+		}
+		return !found
+	})
+	return name, found
+}
+
+// waitedGroupNames collects the trailing receiver identifiers of every
+// sync.WaitGroup.Wait call in the program.
+func waitedGroupNames(prog *Program) map[string]bool {
+	waited := map[string]bool{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(node ast.Node) bool {
+				if call, ok := node.(*ast.CallExpr); ok && isWaitGroupCall(pkg, call, "Wait") {
+					if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+						if name := trailingName(sel.X); name != "" {
+							waited[name] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return waited
+}
+
+// isWaitGroupCall reports whether the call invokes the named method on
+// a sync.WaitGroup receiver.
+func isWaitGroupCall(pkg *Package, call *ast.CallExpr, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// trailingName extracts the last identifier of a receiver expression:
+// "wg" from both `wg` and `s.wg`.
+func trailingName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}

@@ -13,9 +13,11 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one source-typechecked package of the program under
@@ -137,14 +139,52 @@ func Load(dir string, patterns []string) (*Program, error) {
 	if abs, err := filepath.Abs(dir); err == nil {
 		prog.baseDir = abs
 	}
-	imp := importer.ForCompiler(prog.Fset, "gc", exportLookup(exports))
 
-	for _, lp := range targets {
-		pkg, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles, imp)
-		if err != nil {
-			return nil, err
+	// Typecheck the targets concurrently, bounded by GOMAXPROCS. The
+	// FileSet is internally synchronized, but the export-data importer
+	// is not, so every worker builds its own; that costs some repeated
+	// export-data decoding and is still a large win on a multi-package
+	// module. Analyzers never rely on cross-package type identity (the
+	// call graph is keyed by *types.Func.FullName strings), so packages
+	// resolved through different importers are equivalent. Results are
+	// assembled in sorted ImportPath order, keeping Pkgs, the directive
+	// list and any error deterministic.
+	type loaded struct {
+		pkg     *Package
+		ignores []*ignoreDirective
+		err     error
+	}
+	results := make([]loaded, len(targets))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			imp := importer.ForCompiler(prog.Fset, "gc", exportLookup(exports))
+			for i := range idx {
+				lp := targets[i]
+				pkg, igs, err := prog.check(lp.ImportPath, lp.Dir, lp.GoFiles, imp)
+				results[i] = loaded{pkg: pkg, ignores: igs, err: err}
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
 		}
-		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.Pkgs = append(prog.Pkgs, r.pkg)
+		prog.ignores = append(prog.ignores, r.ignores...)
 	}
 	return prog, nil
 }
@@ -212,28 +252,32 @@ func LoadDir(dir string, pkgPath string) (*Program, error) {
 	}
 	imp := importer.ForCompiler(prog.Fset, "gc", exportLookup(exports))
 
-	pkg, err := prog.checkParsed(pkgPath, dir, parsed, imp)
+	pkg, igs, err := prog.checkParsed(pkgPath, dir, parsed, imp)
 	if err != nil {
 		return nil, err
 	}
 	prog.Pkgs = append(prog.Pkgs, pkg)
+	prog.ignores = append(prog.ignores, igs...)
 	return prog, nil
 }
 
 // check parses the named files and typechecks them as one package.
-func (p *Program) check(path, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+// It only reads shared Program state (the synchronized FileSet), so
+// Load may call it from concurrent workers; parsed directives are
+// returned rather than appended so the caller controls their order.
+func (p *Program) check(path, dir string, goFiles []string, imp types.Importer) (*Package, []*ignoreDirective, error) {
 	var files []*ast.File
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(p.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
 	return p.checkParsed(path, dir, files, imp)
 }
 
-func (p *Program) checkParsed(path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+func (p *Program) checkParsed(path, dir string, files []*ast.File, imp types.Importer) (*Package, []*ignoreDirective, error) {
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -243,10 +287,11 @@ func (p *Program) checkParsed(path, dir string, files []*ast.File, imp types.Imp
 	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(path, p.Fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+		return nil, nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
+	var igs []*ignoreDirective
 	for _, f := range files {
-		p.ignores = append(p.ignores, parseIgnores(p.Fset, f)...)
+		igs = append(igs, parseIgnores(p.Fset, f)...)
 	}
-	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, igs, nil
 }

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// reasonScopePkgs are the packages that construct or transport
+// verdicts (matched by import-path substring so fixtures can pose as
+// them).
+var reasonScopePkgs = []string{"internal/smt", "internal/sat", "internal/portfolio", "internal/service", "internal/cluster"}
+
+func inReasonScope(pkg *Package) bool {
+	for _, part := range reasonScopePkgs {
+		if strings.Contains(pkg.Path, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// ReasonCheckAnalyzer enforces the PR 5 degradation contract as a
+// dataflow property rather than by convention:
+//
+//  1. A composite literal of any struct carrying both Status and
+//     Reason fields that sets Status to an unknown-ish verdict
+//     (Unknown, Timeout, SatUnknown, or their String() renderings)
+//     must also attach a non-empty Reason — in the literal itself, or
+//     through a later `.Reason = ...` assignment in the same function.
+//  2. An assignment `x.Status = <unknown-ish>` must be paired with a
+//     `x.Reason = ...` assignment on the same receiver somewhere in
+//     the same function.
+//  3. A call to a Put method on a *Cache-named type must sit under an
+//     if whose condition mentions the timeout/fault vocabulary
+//     (Status/Verify + Timeout/Unknown, or IsInjected): timeouts and
+//     injected faults are never persisted.
+//
+// Known limitations: rule 3 is a guard-presence check — it verifies a
+// timeout/fault conditional dominates the write but not the guard's
+// polarity; and rules 1–2 are intra-procedural, so a helper that
+// builds the verdict while its caller attaches the Reason needs a
+// reasoned suppression.
+func ReasonCheckAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "reasoncheck",
+		Doc:  "Unknown verdicts must carry a Reason; cache writes must be timeout/fault-guarded",
+		Run:  runReasonCheck,
+	}
+}
+
+func runReasonCheck(prog *Program) []Finding {
+	var findings []Finding
+	for _, pkg := range prog.Pkgs {
+		if !inReasonScope(pkg) {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				findings = append(findings, checkReasonFunc(pkg, fd)...)
+			}
+		}
+	}
+	return findings
+}
+
+// reasonWrite is one `<recv>.Reason = ...` assignment.
+type reasonWrite struct {
+	recv string
+	pos  token.Pos
+}
+
+func checkReasonFunc(pkg *Package, fd *ast.FuncDecl) []Finding {
+	writes := reasonWrites(fd.Body)
+	ifs := ifRanges(fd.Body)
+
+	var findings []Finding
+	ast.Inspect(fd.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.CompositeLit:
+			findings = append(findings, checkVerdictLit(pkg, e, writes)...)
+		case *ast.AssignStmt:
+			findings = append(findings, checkStatusAssign(e, writes)...)
+		case *ast.CallExpr:
+			if isCachePut(pkg, e) && !guardedByTimeoutCheck(ifs, e.Pos()) {
+				findings = append(findings, Finding{
+					Pos:     e.Pos(),
+					Message: "cache write is not guarded by a timeout/fault check; timeouts and injected faults must never be persisted",
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// checkVerdictLit applies rule 1 to one composite literal.
+func checkVerdictLit(pkg *Package, lit *ast.CompositeLit, writes []reasonWrite) []Finding {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || !structHasVerdictFields(st) {
+		return nil
+	}
+	statusVal, reasonVal := litFieldValues(st, lit)
+	if statusVal == nil || !isUnknownishVerdict(statusVal) {
+		return nil
+	}
+	if reasonVal != nil && !isEmptyString(reasonVal) {
+		return nil
+	}
+	// A later `.Reason = ...` in the same function counts: the
+	// assemble-then-annotate idiom attaches the reason after the
+	// literal.
+	for _, w := range writes {
+		if w.pos > lit.Pos() {
+			return nil
+		}
+	}
+	return []Finding{{
+		Pos: lit.Pos(),
+		Message: fmt.Sprintf("verdict literal sets Status to %s without a Reason; every Unknown must say why (budget, resource, panic, unavailable)",
+			exprString(statusVal)),
+	}}
+}
+
+// checkStatusAssign applies rule 2 to one assignment statement.
+func checkStatusAssign(as *ast.AssignStmt, writes []reasonWrite) []Finding {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	var findings []Finding
+	for i, lhs := range as.Lhs {
+		sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Status" || !isUnknownishVerdict(as.Rhs[i]) {
+			continue
+		}
+		recv := exprString(sel.X)
+		paired := false
+		for _, w := range writes {
+			if w.recv == recv {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			findings = append(findings, Finding{
+				Pos: as.Pos(),
+				Message: fmt.Sprintf("%s.Status is set to %s but %s.Reason is never assigned in this function",
+					recv, exprString(as.Rhs[i]), recv),
+			})
+		}
+	}
+	return findings
+}
+
+// reasonWrites collects every `<recv>.Reason = ...` assignment in the
+// body.
+func reasonWrites(body *ast.BlockStmt) []reasonWrite {
+	var out []reasonWrite
+	ast.Inspect(body, func(node ast.Node) bool {
+		as, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "Reason" {
+				out = append(out, reasonWrite{recv: exprString(sel.X), pos: as.Pos()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// structHasVerdictFields reports whether the struct carries both a
+// Status and a Reason field (the verdict shape, wire or internal).
+func structHasVerdictFields(st *types.Struct) bool {
+	hasStatus, hasReason := false, false
+	for i := 0; i < st.NumFields(); i++ {
+		switch st.Field(i).Name() {
+		case "Status":
+			hasStatus = true
+		case "Reason":
+			hasReason = true
+		}
+	}
+	return hasStatus && hasReason
+}
+
+// litFieldValues extracts the Status and Reason values from a struct
+// literal, keyed or positional.
+func litFieldValues(st *types.Struct, lit *ast.CompositeLit) (statusVal, reasonVal ast.Expr) {
+	keyed := false
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				switch id.Name {
+				case "Status":
+					statusVal = kv.Value
+				case "Reason":
+					reasonVal = kv.Value
+				}
+			}
+		}
+	}
+	if keyed {
+		return statusVal, reasonVal
+	}
+	for i, el := range lit.Elts {
+		if i >= st.NumFields() {
+			break
+		}
+		switch st.Field(i).Name() {
+		case "Status":
+			statusVal = el
+		case "Reason":
+			reasonVal = el
+		}
+	}
+	return statusVal, reasonVal
+}
+
+// unknownishNames are the verdict identifiers that demand a Reason.
+// smt.Unknown is an alias of smt.Timeout, sat reports SatUnknown, and
+// the wire carries their String() renderings.
+var unknownishNames = map[string]bool{"Unknown": true, "Timeout": true, "SatUnknown": true}
+
+// isUnknownishVerdict reports whether the expression denotes an
+// unknown/timeout verdict: one of the unknownish identifiers, its
+// String() call, or a literal rendering.
+func isUnknownishVerdict(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return unknownishNames[x.Name]
+	case *ast.SelectorExpr:
+		return unknownishNames[x.Sel.Name]
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "String" {
+			return isUnknownishVerdict(sel.X)
+		}
+	case *ast.BasicLit:
+		if x.Kind == token.STRING {
+			return x.Value == `"timeout"` || x.Value == `"unknown"` || x.Value == `"sat-unknown"`
+		}
+	}
+	return false
+}
+
+func isEmptyString(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING && lit.Value == `""`
+}
+
+// isCachePut reports whether the call invokes a Put method on a
+// Cache-named receiver type (the semantic LRU, the persistence layer).
+func isCachePut(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Put" {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && strings.Contains(named.Obj().Name(), "Cache")
+}
+
+// guardedIf is one if statement's extent and condition text.
+type guardedIf struct {
+	start, end token.Pos
+	cond       string
+}
+
+// ifRanges collects every if statement in the body with its rendered
+// condition.
+func ifRanges(body *ast.BlockStmt) []guardedIf {
+	var out []guardedIf
+	ast.Inspect(body, func(node ast.Node) bool {
+		if s, ok := node.(*ast.IfStmt); ok {
+			out = append(out, guardedIf{start: s.Pos(), end: s.End(), cond: exprString(s.Cond)})
+		}
+		return true
+	})
+	return out
+}
+
+// guardedByTimeoutCheck reports whether some enclosing if condition
+// speaks the timeout/fault vocabulary. This checks guard presence, not
+// polarity — see the analyzer doc.
+func guardedByTimeoutCheck(ifs []guardedIf, pos token.Pos) bool {
+	for _, g := range ifs {
+		if pos < g.start || pos >= g.end {
+			continue
+		}
+		if strings.Contains(g.cond, "IsInjected") {
+			return true
+		}
+		if (strings.Contains(g.cond, "Status") || strings.Contains(g.cond, "Verify")) &&
+			(strings.Contains(g.cond, "Timeout") || strings.Contains(g.cond, "Unknown")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+// Package ctxfix exercises the ctxflow analyzer. The harness loads it
+// posing as mbasolver/internal/service/ctxfix so the request-path
+// scope rules apply: deadlines must flow, and nothing on the request
+// path may block without honoring them.
+package ctxfix
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Budget mirrors the solver budget shape: holding one is a request
+// signal just like holding a context.
+type Budget struct {
+	stop chan struct{}
+}
+
+// rootFresh violates rule 1: a request-path helper roots a fresh
+// context instead of threading the caller's.
+func rootFresh() context.Context {
+	return context.Background() // want "context.Background\\(\\) in request-path package"
+}
+
+// rootTODO is the same hole spelled differently.
+func rootTODO() context.Context {
+	return context.TODO() // want "context.TODO\\(\\) in request-path package"
+}
+
+// probeEach is a genuine daemon: it owns its lifecycle and bounds
+// every probe with its own timeout, which the daemon directive
+// records.
+//
+//lint:daemon the prober owns its lifecycle and bounds each probe with a timeout
+func probeEach(stop chan struct{}, period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), period)
+		_ = ctx
+		cancel()
+	}
+}
+
+// fetchNoCtx violates rule 2: a context-free builder drops the
+// caller's deadline before it reaches the transport.
+func fetchNoCtx(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get builds a context-free request"
+}
+
+// buildNoCtx violates rule 2 at request-construction time.
+func buildNoCtx(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "http.NewRequest builds a context-free request"
+}
+
+// report violates rule 3 twice: a bare send and a sleep inside a
+// context-carrying function, each of which can outlive the deadline.
+func report(ctx context.Context, out chan int) {
+	out <- 1                          // want "blocking send on out outside a select"
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in a context-carrying function"
+	<-ctx.Done()                      // receiving from Done IS the cancellation wait
+}
+
+// collect violates rule 3 through a bare receive.
+func collect(ctx context.Context, in chan int) int {
+	return <-in // want "blocking receive from in outside a select"
+}
+
+// solveUnder shows the Budget form of the request signal.
+func solveUnder(b *Budget, results chan int) {
+	results <- 0 // want "blocking send on results outside a select"
+}
+
+// reportGuarded is the repaired shape: every channel op selects on
+// the context too.
+func reportGuarded(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// pump holds no request signal, so rule 3 leaves its channel ops
+// alone — bounding its lifetime is the spawner's problem, which the
+// goroutinelife analyzer owns.
+func pump(in, out chan int) {
+	for v := range in {
+		out <- v
+	}
+}
+
+// release receives from a semaphore it already holds a slot of: the
+// operation cannot block, which only a reasoned suppression can
+// express.
+func release(ctx context.Context, sem chan struct{}) {
+	//lint:ignore ctxflow releasing a held slot of a buffered semaphore never blocks
+	<-sem
+}

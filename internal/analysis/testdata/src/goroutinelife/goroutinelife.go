@@ -1,0 +1,88 @@
+// Package gorolife exercises the goroutinelife analyzer. The harness
+// loads it posing as mbasolver/internal/gorolife — a path outside
+// every scoped analyzer's package list, so only the whole-program
+// goroutine-lifetime contract applies here.
+package gorolife
+
+import "sync"
+
+// worker loops forever with nothing to stop it — no select, no
+// receive, no stop flag. The classic leak the analyzer exists to
+// catch.
+func worker(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// spawnLeak spawns the unbounded worker with no witness.
+func spawnLeak() int {
+	ch := make(chan int)
+	go worker(ch) // want "goroutine .*worker has no bounded-lifetime witness"
+	return <-ch
+}
+
+// spawnLitLeak spawns a literal whose only act is a bare send: if the
+// receiver goes away the goroutine lingers forever.
+func spawnLitLeak(results chan string) {
+	go func() { // want "has no bounded-lifetime witness"
+		results <- "done"
+	}()
+}
+
+// spawnDynamic spawns function values the analyzer cannot see into:
+// an invisible lifetime is treated as unbounded.
+func spawnDynamic(fns []func()) {
+	for _, fn := range fns {
+		go fn() // want "goroutine spawns a function value the analyzer cannot see into"
+	}
+}
+
+// drain ranges over its channel, so closing jobs stops it: witness 1,
+// a reachable cancellation signal.
+func drain(jobs chan int) {
+	for range jobs {
+	}
+}
+
+func spawnDrain(jobs chan int) {
+	go drain(jobs)
+}
+
+// forward reaches a signal one hop down the call graph: the analyzer
+// follows calls, not just the spawned body.
+func forward(jobs chan int) {
+	drain(jobs)
+}
+
+func spawnForward(jobs chan int) {
+	go forward(jobs)
+}
+
+// counted registers with a WaitGroup that waitAll waits on: witness 2.
+func counted(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func spawnCounted(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go counted(wg)
+}
+
+func waitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// send has no signal of its own, but the spawn below is bounded by
+// construction — the channel is buffered to the single send — which
+// only a reasoned suppression can express.
+func send(ch chan int) {
+	ch <- 1
+}
+
+func spawnBuffered() int {
+	ch := make(chan int, 1)
+	//lint:ignore goroutinelife ch is buffered to the single send, so the sender cannot linger
+	go send(ch)
+	return <-ch
+}

@@ -1,0 +1,123 @@
+// Package smtreason exercises the reasoncheck analyzer. The harness
+// loads it posing as mbasolver/internal/smtreason: the path contains
+// "internal/smt" so the verdict-construction rules apply, while the
+// budget-loop scope (an exact-suffix match) does not.
+package smtreason
+
+// Status is the verdict vocabulary. Unknown aliases Timeout exactly
+// as the real solver's does.
+type Status int
+
+const (
+	Proved Status = iota
+	Timeout
+)
+
+const Unknown = Timeout
+
+func (s Status) String() string {
+	if s == Timeout {
+		return "timeout"
+	}
+	return "proved"
+}
+
+// Result is the verdict shape: a Status plus the Reason that rule 1
+// demands whenever the Status is unknown-ish.
+type Result struct {
+	Status Status
+	Reason string
+}
+
+// WireVerdict is the wire shape, carrying String() renderings.
+type WireVerdict struct {
+	Status string
+	Reason string
+}
+
+// timedOut violates rule 1: an Unknown verdict with no Reason tells
+// the caller nothing about what gave up.
+func timedOut() Result {
+	return Result{Status: Timeout} // want "verdict literal sets Status to Timeout without a Reason"
+}
+
+// emptyReason violates rule 1 the sneaky way: the Reason field is
+// present but empty.
+func emptyReason() Result {
+	return Result{Status: Unknown, Reason: ""} // want "verdict literal sets Status to Unknown without a Reason"
+}
+
+// wireTimeout violates rule 1 on the wire shape: a String() rendering
+// is just as unknown-ish as the constant.
+func wireTimeout() WireVerdict {
+	return WireVerdict{Status: Timeout.String()} // want "verdict literal sets Status to Timeout.String\\(\\) without a Reason"
+}
+
+// budgetExceeded is the repaired shape.
+func budgetExceeded() Result {
+	return Result{Status: Timeout, Reason: "budget"}
+}
+
+// annotateLater builds the verdict first and attaches the Reason
+// before it escapes — the assemble-then-annotate idiom rule 1 allows.
+func annotateLater() Result {
+	r := Result{Status: Timeout}
+	r.Reason = "resource"
+	return r
+}
+
+// settled never constructs an unknown-ish verdict, so no Reason is
+// owed.
+func settled() Result {
+	return Result{Status: Proved}
+}
+
+// degradeNoReason violates rule 2: the Status flips to Timeout but
+// the paired Reason write is missing.
+func degradeNoReason(r *Result) {
+	r.Status = Timeout // want "r.Status is set to Timeout but r.Reason is never assigned"
+}
+
+// degrade is the repaired shape: the same receiver gets both writes.
+func degrade(r *Result) {
+	r.Status = Timeout
+	r.Reason = "panic"
+}
+
+// buildPartial is a helper whose caller attaches the Reason — the
+// cross-function shape rule 1 cannot see, so it carries a reasoned
+// suppression.
+func buildPartial() Result {
+	//lint:ignore reasoncheck the caller attaches the Reason before the verdict escapes
+	return Result{Status: Timeout}
+}
+
+// VerdictCache stands in for the semantic LRU that rule 3 protects.
+type VerdictCache struct {
+	m map[string]Result
+}
+
+func (c *VerdictCache) Put(key string, r Result) {
+	c.m[key] = r
+}
+
+// persistAlways violates rule 3: the write is unconditional, so a
+// timeout or an injected fault would be persisted and served forever.
+func persistAlways(c *VerdictCache, key string, r Result) {
+	c.Put(key, r) // want "cache write is not guarded by a timeout/fault check"
+}
+
+// persistSettled is the repaired shape: only settled verdicts reach
+// the cache.
+func persistSettled(c *VerdictCache, key string, r Result) {
+	if r.Status != Timeout {
+		c.Put(key, r)
+	}
+}
+
+// persistUnlessInjected shows the fault-injection form of the guard.
+func persistUnlessInjected(c *VerdictCache, key string, r Result, IsInjected func() bool) {
+	if !IsInjected() {
+		c.Put(key, r)
+	}
+}

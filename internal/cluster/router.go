@@ -215,6 +215,8 @@ func (rt *Router) probeLoop() {
 // /readyz — including a 503 from a draining node — is a failure: a
 // draining node is alive but must leave the rotation before its
 // connections die.
+//
+//lint:daemon the readiness prober owns its lifecycle: each probe roots a context bounded by ProbeTimeout and probeLoop stops with the router
 func (rt *Router) probe(node string) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
 	defer cancel()

@@ -154,7 +154,7 @@ func (cs *ContextSet) Reset() {
 func (cs *ContextSet) CheckTermEquiv(ta, tb *bv.Term, budget smt.Budget) Result {
 	start := time.Now()
 	if len(cs.contexts) == 0 {
-		return Result{Result: smt.Result{Status: smt.Timeout}}
+		return Result{Result: smt.Result{Status: smt.Timeout, Reason: smt.ReasonResource}}
 	}
 	if cs.pool != nil {
 		// New generation: clauses still in flight from the previous
@@ -216,7 +216,7 @@ func (cs *ContextSet) CheckEquiv(a, b *expr.Expr, width uint, budget smt.Budget)
 func (cs *ContextSet) SolveAssertions(assertions []*bv.Term, budget smt.Budget) SatResult {
 	start := time.Now()
 	if len(cs.contexts) == 0 {
-		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
+		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown, Reason: smt.ReasonResource}}
 	}
 	idx := cs.admitted()
 	raced, winnerK, rstops := race(len(idx), budget.Stop,

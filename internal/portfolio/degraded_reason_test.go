@@ -1,0 +1,40 @@
+package portfolio
+
+import (
+	"testing"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/leakcheck"
+	"mbasolver/internal/parser"
+	"mbasolver/internal/smt"
+)
+
+// TestEmptyPortfolioCarriesReason pins the degradation contract on
+// every empty-engine path: a portfolio with nothing to race still
+// returns a verdict, and that verdict must say why it is Unknown
+// (ReasonResource — no engine was available), not a bare Timeout the
+// caller cannot distinguish from a genuine budget exhaustion.
+func TestEmptyPortfolioCarriesReason(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	ta := bv.FromExpr(parser.MustParse("x"), 8)
+	tb := bv.FromExpr(parser.MustParse("x"), 8)
+	budget := smt.Budget{Conflicts: 10}
+
+	if r := CheckTermEquiv(nil, ta, tb, budget); r.Status != smt.Timeout || r.Reason != smt.ReasonResource {
+		t.Errorf("CheckTermEquiv(no engines) = %v/%q, want %v/%q", r.Status, r.Reason, smt.Timeout, smt.ReasonResource)
+	}
+	if r := SolveAssertions(nil, nil, budget); r.Status != smt.SatUnknown || r.Reason != smt.ReasonResource {
+		t.Errorf("SolveAssertions(no engines) = %v/%q, want %v/%q", r.Status, r.Reason, smt.SatUnknown, smt.ReasonResource)
+	}
+	if r := CheckTermEquivParallel(nil, ta, tb, budget, ParallelOptions{}); r.Status != smt.Timeout || r.Reason != smt.ReasonResource {
+		t.Errorf("CheckTermEquivParallel(no engines) = %v/%q, want %v/%q", r.Status, r.Reason, smt.Timeout, smt.ReasonResource)
+	}
+
+	cs := NewContextSet(nil, smt.ContextOptions{})
+	if r := cs.CheckTermEquiv(ta, tb, budget); r.Status != smt.Timeout || r.Reason != smt.ReasonResource {
+		t.Errorf("ContextSet.CheckTermEquiv(no engines) = %v/%q, want %v/%q", r.Status, r.Reason, smt.Timeout, smt.ReasonResource)
+	}
+	if r := cs.SolveAssertions(nil, budget); r.Status != smt.SatUnknown || r.Reason != smt.ReasonResource {
+		t.Errorf("ContextSet.SolveAssertions(no engines) = %v/%q, want %v/%q", r.Status, r.Reason, smt.SatUnknown, smt.ReasonResource)
+	}
+}

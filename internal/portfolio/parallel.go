@@ -37,7 +37,7 @@ type ParallelOptions struct {
 func CheckTermEquivParallel(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget, opts ParallelOptions) Result {
 	start := time.Now()
 	if len(solvers) == 0 {
-		return Result{Result: smt.Result{Status: smt.Timeout}}
+		return Result{Result: smt.Result{Status: smt.Timeout, Reason: smt.ReasonResource}}
 	}
 	var pool *bitblast.Pool
 	if opts.ShareCapacity > 0 {

@@ -75,6 +75,7 @@ func race[T any](n int, parent *atomic.Bool, fn func(i int, stop *atomic.Bool) T
 	ch := make(chan done, n)
 	for i := 0; i < n; i++ {
 		stops[i] = new(atomic.Bool)
+		//lint:ignore goroutinelife ch is buffered to n so the send never blocks, and fn honors the per-engine stop flag raised by cancelAll
 		go func(i int) { ch <- done{i, fn(i, stops[i])} }(i)
 	}
 	cancelAll := func() {
@@ -243,7 +244,7 @@ func assembleSatResult(solvers []*smt.Solver, results []smt.SatResult, winner in
 func CheckTermEquiv(solvers []*smt.Solver, ta, tb *bv.Term, budget smt.Budget) Result {
 	start := time.Now()
 	if len(solvers) == 0 {
-		return Result{Result: smt.Result{Status: smt.Timeout}}
+		return Result{Result: smt.Result{Status: smt.Timeout, Reason: smt.ReasonResource}}
 	}
 
 	results, winner, stops := race(len(solvers), budget.Stop,
@@ -266,7 +267,7 @@ func CheckEquiv(solvers []*smt.Solver, a, b *expr.Expr, width uint, budget smt.B
 func SolveAssertions(solvers []*smt.Solver, assertions []*bv.Term, budget smt.Budget) SatResult {
 	start := time.Now()
 	if len(solvers) == 0 {
-		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown}}
+		return SatResult{SatResult: smt.SatResult{Status: smt.SatUnknown, Reason: smt.ReasonResource}}
 	}
 
 	results, winner, stops := race(len(solvers), budget.Stop,

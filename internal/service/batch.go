@@ -224,16 +224,31 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Execute cache misses on the worker pool, at most Workers groups in
 	// flight from this batch so one big batch cannot monopolize the
-	// admission queue against interactive traffic.
+	// admission queue against interactive traffic. Slot acquisition
+	// honors the client's context: when the client goes away mid-batch,
+	// the groups not yet started degrade to reasoned Unknowns instead
+	// of queueing work nobody will read.
 	if len(pending) > 0 {
 		sem := make(chan struct{}, s.cfg.Workers)
 		var wg sync.WaitGroup
-		for _, g := range pending {
+		for i, g := range pending {
+			gone := false
+			select {
+			case sem <- struct{}{}:
+			case <-r.Context().Done():
+				gone = true
+			}
+			if gone {
+				for _, left := range pending[i:] {
+					s.degradeBatchGroup(left, requestIDOf(r))
+				}
+				break
+			}
 			g := g
-			sem <- struct{}{}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				//lint:ignore ctxflow releasing a held slot of a buffered semaphore never blocks
 				defer func() { <-sem }()
 				s.runBatchGroup(r, g, deadline)
 			}()
@@ -390,6 +405,19 @@ func (s *Server) batchCacheGet(g *batchGroup) bool {
 		return true
 	}
 	return false
+}
+
+// degradeBatchGroup marks one never-started group with the same
+// reasoned degradation the admission queue produces for shed work:
+// solves answer a reasoned Unknown, simplifies report an error.
+func (s *Server) degradeBatchGroup(g *batchGroup, reqID string) {
+	s.met.noteShed(reqID)
+	if g.solve {
+		g.solveResp = degradedSolve(g.width, ReasonUnavailable)
+		s.met.verdict("none", g.solveResp.Status)
+		return
+	}
+	g.errText = fmt.Sprintf("%s: client canceled the batch before the group ran", ReasonUnavailable)
 }
 
 // runBatchGroup executes one deduplicated group on the worker pool and

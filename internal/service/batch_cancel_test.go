@@ -1,0 +1,83 @@
+package service_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mbasolver/internal/leakcheck"
+	"mbasolver/internal/service"
+	"mbasolver/internal/smt"
+)
+
+// TestBatchClientGoneDegradesPendingGroups pins the batch executor's
+// deadline-flow fix: slot acquisition selects on the request context,
+// so when the client disappears mid-batch the groups that have not
+// started yet degrade to reasoned Unknown verdicts instead of queueing
+// solver work nobody will read.
+//
+// The handler is driven directly (not through a TCP client) so the
+// response stays readable after the context is canceled.
+func TestBatchClientGoneDegradesPendingGroups(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	svc, _ := newTestServer(t, service.Config{Workers: 1, MaxTimeout: time.Minute})
+
+	// Group 0 is the undecidable hard solve: it takes the only
+	// executor slot and holds it until cancellation. Group 1 is a
+	// distinct easy solve stuck behind it in slot acquisition.
+	hard := hardSolve(0) // no per-item timeout: the batch deadline is shared
+	body, err := json.Marshal(service.BatchRequest{
+		Items: []service.BatchItem{
+			{Solve: &hard},
+			{Solve: &service.SolveRequest{A: "x^y", B: "(x|y)-(x&y)", Width: 8}},
+		},
+		TimeoutMS: 60_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, hangUp := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		svc.Handler().ServeHTTP(rec, req)
+	}()
+
+	// Wait for group 0 to actually occupy the worker, then hang up.
+	waitInFlight(t, svc, 1)
+	hangUp()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after the client went away")
+	}
+
+	var resp service.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding batch response: %v\n%s", err, rec.Body.String())
+	}
+	if len(resp.Items) != 2 {
+		t.Fatalf("got %d items, want 2: %+v", len(resp.Items), resp)
+	}
+	got := resp.Items[1].Solve
+	if got == nil {
+		t.Fatalf("pending group was not answered: %+v", resp.Items[1])
+	}
+	if got.Status != smt.Unknown.String() || got.Reason != service.ReasonUnavailable {
+		t.Fatalf("pending group = %s/%q, want %s/%q (reasoned degradation)",
+			got.Status, got.Reason, smt.Unknown, service.ReasonUnavailable)
+	}
+	if got.Width != 8 {
+		t.Fatalf("degraded verdict width = %d, want the group's own width 8", got.Width)
+	}
+	if shed := svc.Metrics().Pool.RecentShedIDs; len(shed) == 0 {
+		t.Fatal("degraded group was not recorded in the shed metrics")
+	}
+}

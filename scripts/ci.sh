@@ -11,9 +11,16 @@ go vet ./...
 go build ./...
 # Project-specific static analysis: budget discipline in the solver
 # hot paths, atomic/plain access mixing, lock discipline, expr/bv
-# immutability, and fmt.Errorf %w wrapping. Exits non-zero on any
-# finding; suppress only with a reasoned //lint:ignore.
+# immutability, fmt.Errorf %w wrapping, recover accounting, goroutine
+# lifetimes, deadline flow and verdict-reason attachment. Exits
+# non-zero on any finding — including stale //lint:ignore or
+# //lint:daemon directives that no longer suppress anything; suppress
+# only with a reasoned //lint:ignore.
 go run ./cmd/mbalint ./...
+# Self-check: the analyzer driver and CLI must hold themselves to the
+# same contract (the driver spawns its own worker goroutines). A
+# finding here means the suite can no longer lint its own machinery.
+go run ./cmd/mbalint ./internal/analysis/... ./cmd/mbalint/...
 # internal/harness alone runs several corpus experiments and sits near
 # the default 10-minute per-package ceiling under the race detector's
 # slowdown; give the suite explicit headroom for loaded CI machines.
