@@ -41,6 +41,15 @@
 // and writes the JSON report (scripts/bench.sh keeps it in
 // BENCH_cluster.json). -bench-samples, -repeats, -seed and -width
 // size the workload.
+//
+// -eval-bench FILE switches to the evaluation-engine benchmark: the
+// tree-walking interpreter against the flat bytecode program (scalar,
+// bitsliced and auto engines) over a generated MBA corpus, with every
+// bytecode output differentially checked against the interpreter. The
+// JSON report goes to FILE (scripts/bench.sh keeps it in
+// BENCH_eval.json). -bench-samples and -seed size the workload; the
+// width defaults to 64 (the corpus the paper's evaluation targets)
+// unless -width is given explicitly.
 package main
 
 import (
@@ -73,7 +82,46 @@ func main() {
 	repeats := flag.Int("repeats", 4, "bench: round-robin passes over the corpus")
 	benchSamples := flag.Int("bench-samples", 6, "bench: corpus equations")
 	clusterOut := flag.String("cluster-bench", "", "run the sharded-cluster benchmark (in-process nodes behind a router at 1/2/3 nodes, cold vs warm shards) and write the JSON report to this file (- = stdout)")
+	evalOut := flag.String("eval-bench", "", "run the evaluation-engine benchmark (tree interpreter vs bytecode engines) and write the JSON report to this file (- = stdout)")
 	flag.Parse()
+
+	if *evalOut != "" {
+		// The eval bench defaults to width 64 — the full-ring corpus the
+		// paper's evaluation targets — and to its own corpus size; the
+		// -width and -bench-samples flags override only when set
+		// explicitly (their global defaults suit the solver bench).
+		evalCfg := harness.EvalBenchConfig{Seed: *seed, Width: 64}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "width":
+				evalCfg.Width = *width
+			case "bench-samples":
+				evalCfg.Samples = *benchSamples
+			}
+		})
+		step("benchmarking evaluation engines (width %d)...", evalCfg.Width)
+		report := harness.RunEvalBench(evalCfg)
+		out := os.Stdout
+		if *evalOut != "-" {
+			f, err := os.Create(*evalOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := harness.WriteEvalBenchJSON(out, report); err != nil {
+			fatal(err)
+		}
+		for _, eng := range []string{"bytecode", "bitsliced", "auto"} {
+			step("%s: %.1fx over the tree interpreter", eng, report.Speedup[eng])
+		}
+		step("%d evaluation mismatches", report.Mismatches)
+		if report.Mismatches != 0 {
+			fatal(fmt.Errorf("eval bench found %d mismatches against the interpreter", report.Mismatches))
+		}
+		return
+	}
 
 	if (*share || *cubes) && !*usePortfolio && *benchOut == "" {
 		fatal(fmt.Errorf("-share and -cubes modify the portfolio column; pass -portfolio too"))

@@ -13,8 +13,14 @@ import (
 // pose as them). internal/portfolio joined the list with the
 // clause-sharing/cube work: cube workers and the share import loop run
 // unbounded search under the same cooperative-cancellation contract as
-// the core solver.
-var budgetScopePkgs = []string{"internal/sat", "internal/bitblast", "internal/smt", "internal/portfolio"}
+// the core solver. internal/eval and internal/eval/bitslice joined
+// with the bytecode evaluation engine: bulk sampling loops run under
+// the same stop-flag contract (the suffix match does not descend, so
+// the subpackage is listed explicitly).
+var budgetScopePkgs = []string{
+	"internal/sat", "internal/bitblast", "internal/smt", "internal/portfolio",
+	"internal/eval", "internal/eval/bitslice",
+}
 
 func inBudgetScope(pkg *Package) bool {
 	for _, suffix := range budgetScopePkgs {

@@ -1,0 +1,287 @@
+package bitslice
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/expr"
+)
+
+func TestTransposeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, width := range []uint{1, 2, 7, 8, 31, 32, 33, 63, 64} {
+		m := maskOf(width)
+		var vals [64]uint64
+		for i := range vals {
+			vals[i] = rng.Uint64() & m
+		}
+		planes := make([]uint64, width)
+		toPlanes(&vals, planes, width)
+		var back [64]uint64
+		fromPlanes(planes, &back, width)
+		if back != vals {
+			t.Fatalf("width %d: transpose round-trip mismatch", width)
+		}
+	}
+}
+
+// randTerm builds a random term over the full operator set; predicates
+// appear only at the root (they change the result width to 1).
+func randTerm(rng *rand.Rand, vars []string, width uint, depth int) *bv.Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		if rng.Intn(3) == 0 {
+			return bv.NewConst(rng.Uint64(), width)
+		}
+		return bv.NewVar(vars[rng.Intn(len(vars))], width)
+	}
+	switch rng.Intn(8) {
+	case 0:
+		return bv.Unary(bv.Not, randTerm(rng, vars, width, depth-1))
+	case 1:
+		return bv.Unary(bv.Neg, randTerm(rng, vars, width, depth-1))
+	case 2:
+		return bv.Binary(bv.And, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	case 3:
+		return bv.Binary(bv.Or, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	case 4:
+		return bv.Binary(bv.Xor, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	case 5:
+		return bv.Binary(bv.Add, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	case 6:
+		return bv.Binary(bv.Sub, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	default:
+		return bv.Binary(bv.Mul, randTerm(rng, vars, width, depth-1), randTerm(rng, vars, width, depth-1))
+	}
+}
+
+// cornerLanes fills a block with adversarial values: every
+// combination drawn from the corner list, varied per variable so
+// symmetric expressions see distinct assignments.
+func cornerLanes(blk *Block, vars []string, width uint) {
+	m := maskOf(width)
+	corners := []uint64{0, 1, m, m >> 1, (m >> 1) + 1, 0xaaaaaaaaaaaaaaaa & m, 0x5555555555555555 & m}
+	for lane := 0; lane < blk.N(); lane++ {
+		for vi, v := range vars {
+			blk.Set(v, lane, corners[(lane+vi*(1+lane/len(corners)))%len(corners)])
+		}
+	}
+}
+
+// TestDifferentialAllOpsAllWidths is the core bitslice-vs-interpreter
+// differential: random terms over every operator at every width 1-64,
+// evaluated on random and corner lanes by both engines and the
+// single-point scalar path, must match the tree-walking bv.Eval.
+func TestDifferentialAllOpsAllWidths(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	for width := uint(1); width <= 64; width++ {
+		rng := rand.New(rand.NewSource(int64(width)))
+		for round := 0; round < 8; round++ {
+			term := randTerm(rng, vars, width, 3)
+			if round%3 == 0 {
+				pred := []bv.Op{bv.Eq, bv.Ne, bv.Ult}[rng.Intn(3)]
+				term = bv.Predicate(pred, term, randTerm(rng, vars, width, 2))
+			}
+			p, err := CompileTerm(term)
+			if err != nil {
+				t.Fatalf("width %d: compile: %v", width, err)
+			}
+			for _, mode := range []string{"random", "corner"} {
+				blk := NewBlock(width, 64)
+				if mode == "random" {
+					for _, v := range vars {
+						for i := 0; i < 64; i++ {
+							blk.Set(v, i, rng.Uint64())
+						}
+					}
+				} else {
+					cornerLanes(blk, vars, width)
+				}
+				scalar := NewEvaluatorEngine(p, EngineScalar).EvalBlock(blk, nil)
+				sliced := NewEvaluatorEngine(p, EngineSliced).EvalBlock(blk, nil)
+				single := NewEvaluator(p)
+				for i := 0; i < 64; i++ {
+					env := blk.Env(vars, i)
+					want := bv.Eval(term, env)
+					if scalar[i] != want {
+						t.Fatalf("width %d %s lane %d: scalar %d want %d on %v env %v",
+							width, mode, i, scalar[i], want, term, env)
+					}
+					if sliced[i] != want {
+						t.Fatalf("width %d %s lane %d: sliced %d want %d on %v env %v",
+							width, mode, i, sliced[i], want, term, env)
+					}
+					if got := single.Eval(env); got != want {
+						t.Fatalf("width %d %s lane %d: Eval %d want %d on %v env %v",
+							width, mode, i, got, want, term, env)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompileFromExprMatchesEval checks the expr-level entry point
+// against eval.Eval on classic MBA identities and random envs.
+func TestCompileFromExprMatchesEval(t *testing.T) {
+	exprs := []*expr.Expr{
+		expr.Add(expr.Var("x"), expr.Var("y")),
+		expr.Sub(expr.Or(expr.Var("x"), expr.Var("y")), expr.And(expr.Var("x"), expr.Var("y"))),
+		expr.Add(expr.Mul(expr.Const(2), expr.Or(expr.Var("x"), expr.Not(expr.Var("y")))),
+			expr.Xor(expr.Var("x"), expr.Var("y"))),
+		expr.Mul(expr.Var("x"), expr.Var("y")),
+		expr.Const(12345),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, width := range []uint{1, 8, 32, 64} {
+		for _, e := range exprs {
+			p, err := Compile(e, width)
+			if err != nil {
+				t.Fatalf("compile %v at width %d: %v", e, width, err)
+			}
+			ev := NewEvaluator(p)
+			oracle := bv.FromExpr(e, width)
+			for round := 0; round < 32; round++ {
+				env := map[string]uint64{"x": rng.Uint64() & maskOf(width), "y": rng.Uint64() & maskOf(width)}
+				want := bv.Eval(oracle, env)
+				if got := ev.Eval(env); got != want {
+					t.Fatalf("width %d: %v on %v: got %d want %d", width, e, env, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDedupAndFolding pins the compiler's main shrink guarantees:
+// shared subterms compile once and constant subtrees fold away.
+func TestDedupAndFolding(t *testing.T) {
+	// (x&y) + (x&y) — the shared conjunction must compile to one
+	// instruction, so the program is add + and = 2 instructions.
+	xy := expr.And(expr.Var("x"), expr.Var("y"))
+	p, err := Compile(expr.Add(xy, xy), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 2 {
+		t.Errorf("shared subterm program has %d instrs, want 2", p.NumInstrs())
+	}
+	// (2+3)*x at width 4 folds the sum and becomes a single constant
+	// multiply; 5*x keeps one instruction.
+	p, err = Compile(expr.Mul(expr.Add(expr.Const(2), expr.Const(3)), expr.Var("x")), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 1 {
+		t.Errorf("const-folded multiply has %d instrs, want 1", p.NumInstrs())
+	}
+	// A fully constant expression compiles to zero instructions.
+	p, err = Compile(expr.Mul(expr.Const(6), expr.Const(7)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInstrs() != 0 {
+		t.Errorf("constant program has %d instrs, want 0", p.NumInstrs())
+	}
+	if got := NewEvaluator(p).Eval(nil); got != 42 {
+		t.Errorf("constant program evaluates to %d, want 42", got)
+	}
+}
+
+// TestSampleIO covers determinism, the requested count, masking, and
+// stop-flag truncation of the bulk sampling path.
+func TestSampleIO(t *testing.T) {
+	p, err := Compile(expr.Add(expr.Var("x"), expr.Mul(expr.Var("y"), expr.Const(3))), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := SampleIO(p, 100, 42, nil)
+	s2 := SampleIO(p, 100, 42, nil)
+	if len(s1) != 100 || len(s2) != 100 {
+		t.Fatalf("got %d and %d samples, want 100", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Output != s2[i].Output || s1[i].Inputs[0] != s2[i].Inputs[0] {
+			t.Fatalf("sample %d not deterministic: %+v vs %+v", i, s1[i], s2[i])
+		}
+		env := map[string]uint64{}
+		for vi, v := range p.Vars {
+			if s1[i].Inputs[vi] > 255 {
+				t.Fatalf("sample %d input %d not masked to width 8", i, s1[i].Inputs[vi])
+			}
+			env[v] = s1[i].Inputs[vi]
+		}
+		want := bv.Eval(bv.FromExpr(expr.Add(expr.Var("x"), expr.Mul(expr.Var("y"), expr.Const(3))), 8), env)
+		if s1[i].Output != want {
+			t.Fatalf("sample %d: output %d want %d", i, s1[i].Output, want)
+		}
+	}
+	var stop atomic.Bool
+	stop.Store(true)
+	if got := SampleIO(p, 100, 42, &stop); len(got) != 0 {
+		t.Fatalf("pre-raised stop returned %d samples, want 0", len(got))
+	}
+}
+
+// TestEngineChoice sanity-checks the cost model's direction: a
+// bitwise-only program runs sliced, a variable-multiply-heavy one
+// falls back to scalar at width 64.
+func TestEngineChoice(t *testing.T) {
+	// Large bitwise programs amortize the block transposes; tiny ones
+	// (a handful of instructions) correctly stay scalar.
+	bitwise := expr.Xor(expr.And(expr.Var("x"), expr.Var("y")), expr.Or(expr.Var("x"), expr.Not(expr.Var("y"))))
+	for i := uint64(0); i < 12; i++ {
+		bitwise = expr.Or(expr.And(bitwise, expr.Xor(expr.Var("x"), expr.Const(i*0x9e37+1))),
+			expr.Not(expr.Xor(bitwise, expr.Var("y"))))
+	}
+	pb, err := Compile(bitwise, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pb.Sliced() {
+		t.Errorf("bitwise program chose scalar (sliced=%v scalar=%v)", pb.slicedCost, pb.scalarCost)
+	}
+	mul := expr.Var("x")
+	for i := 0; i < 6; i++ {
+		mul = expr.Mul(mul, expr.Add(expr.Var("y"), expr.Const(uint64(i))))
+	}
+	pm, err := Compile(mul, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Sliced() {
+		t.Errorf("multiply-heavy program chose sliced (sliced=%v scalar=%v)", pm.slicedCost, pm.scalarCost)
+	}
+}
+
+func BenchmarkEvalBlock(b *testing.B) {
+	e := expr.Add(
+		expr.Mul(expr.Const(2), expr.Or(expr.Var("x"), expr.Var("y"))),
+		expr.Sub(expr.Xor(expr.Var("x"), expr.Var("y")), expr.And(expr.Var("x"), expr.Not(expr.Var("y")))))
+	rng := rand.New(rand.NewSource(3))
+	blk := NewBlock(64, 64)
+	for _, v := range []string{"x", "y"} {
+		for i := 0; i < 64; i++ {
+			blk.Set(v, i, rng.Uint64())
+		}
+	}
+	for _, eng := range []struct {
+		name string
+		e    Engine
+	}{{"scalar", EngineScalar}, {"sliced", EngineSliced}} {
+		b.Run(eng.name, func(b *testing.B) {
+			p, err := Compile(e, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := NewEvaluatorEngine(p, eng.e)
+			var out []uint64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				out = ev.EvalBlock(blk, out[:0])
+			}
+			_ = fmt.Sprint(out[0])
+		})
+	}
+}

@@ -1,0 +1,127 @@
+package bitslice
+
+// transpose64 transposes a 64x64 bit matrix in place (Hacker's
+// Delight 7-3, widened to 64 bits). The routine flips the matrix
+// about its anti-diagonal — applying it twice restores the input —
+// and toPlanes/fromPlanes below agree on the resulting lane<->bit
+// orientation, so callers never need to care which diagonal it is.
+func transpose64(a *[64]uint64) {
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = ((k | int(j)) + 1) &^ int(j) {
+			t := (a[k] ^ (a[k|int(j)] >> j)) & m
+			a[k] ^= t
+			a[k|int(j)] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
+// toPlanes converts 64 lane values into w bit-planes: lane i's bit j
+// lands in planes[j] (at a fixed per-lane bit position shared with
+// fromPlanes). Lane values must already be masked to w bits.
+func toPlanes(vals *[64]uint64, planes []uint64, w uint) {
+	m := *vals
+	transpose64(&m)
+	for j := uint(0); j < w; j++ {
+		planes[j] = m[63-j]
+	}
+}
+
+// fromPlanes is the inverse of toPlanes: it scatters w bit-planes
+// back into 64 lane values (bits >= w come back zero).
+func fromPlanes(planes []uint64, vals *[64]uint64, w uint) {
+	var m [64]uint64
+	for j := uint(0); j < w; j++ {
+		m[63-j] = planes[j]
+	}
+	transpose64(&m)
+	*vals = m
+}
+
+// Block holds up to 64 evaluation points ("lanes") for a set of named
+// variables at one width, plus a cache of each variable's bit-plane
+// transpose. Building the planes costs one 64x64 transpose per
+// variable and is amortized across every program evaluated against
+// the block, so scoring many candidate expressions on a shared sample
+// block pays the transpose once.
+//
+// A Block is not safe for concurrent use.
+type Block struct {
+	width  uint
+	n      int
+	vals   map[string]*[64]uint64
+	planes map[string][]uint64
+}
+
+// NewBlock returns an empty block of n lanes (clamped to 1..64) at
+// the given width. Unset variables read as zero.
+func NewBlock(width uint, n int) *Block {
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return &Block{
+		width:  width,
+		n:      n,
+		vals:   make(map[string]*[64]uint64),
+		planes: make(map[string][]uint64),
+	}
+}
+
+// Width reports the block's bit width.
+func (b *Block) Width() uint { return b.width }
+
+// N reports the number of lanes in use.
+func (b *Block) N() int { return b.n }
+
+// Set assigns v (masked to the block width) to one lane of a
+// variable, invalidating that variable's cached planes.
+func (b *Block) Set(name string, lane int, v uint64) {
+	vs := b.vals[name]
+	if vs == nil {
+		vs = new([64]uint64)
+		b.vals[name] = vs
+	}
+	vs[lane] = v & maskOf(b.width)
+	delete(b.planes, name)
+}
+
+// Get reads one lane of a variable (zero if the variable is unset).
+func (b *Block) Get(name string, lane int) uint64 {
+	if vs := b.vals[name]; vs != nil {
+		return vs[lane]
+	}
+	return 0
+}
+
+// Env materializes one lane as a name->value assignment over the
+// given variables (zero for variables the block never set).
+func (b *Block) Env(vars []string, lane int) map[string]uint64 {
+	env := make(map[string]uint64, len(vars))
+	for _, v := range vars {
+		env[v] = b.Get(v, lane)
+	}
+	return env
+}
+
+// lanes returns the lane array for a variable, or nil if unset.
+func (b *Block) lanes(name string) *[64]uint64 { return b.vals[name] }
+
+// planesFor returns the cached bit-plane transpose of a variable
+// (length = block width); unset variables yield all-zero planes.
+func (b *Block) planesFor(name string) []uint64 {
+	if p, ok := b.planes[name]; ok {
+		return p
+	}
+	p := make([]uint64, b.width)
+	if vs := b.vals[name]; vs != nil {
+		toPlanes(vs, p, b.width)
+	}
+	b.planes[name] = p
+	return p
+}

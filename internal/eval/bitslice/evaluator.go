@@ -1,0 +1,423 @@
+package bitslice
+
+// Engine selects how an Evaluator interprets a program's bytecode.
+type Engine uint8
+
+const (
+	// EngineAuto picks sliced or scalar per program via the compile
+	// time cost model.
+	EngineAuto Engine = iota
+	// EngineScalar forces the lane-blocked word interpreter.
+	EngineScalar
+	// EngineSliced forces the bit-plane engine.
+	EngineSliced
+)
+
+// Evaluator owns the mutable scratch state needed to run one program:
+// a lane-major register file for the scalar engine and a flat plane
+// arena for the sliced engine. Rebinding to another program via Bind
+// reuses the allocations, so a scoring loop over many candidate
+// programs allocates only when register demand grows.
+//
+// An Evaluator is not safe for concurrent use; create one per
+// goroutine (the shared Prog is immutable).
+type Evaluator struct {
+	prog   *Prog
+	engine Engine
+	sliced bool // resolved choice for prog under engine
+
+	lanes    []uint64 // scalar: register r occupies lanes[r*64 : r*64+64]
+	planes   []uint64 // sliced: register r occupies planes[planeOff[r]:...]
+	planeOff []uint32
+	regs     []uint64 // single-point scratch for Eval
+}
+
+// NewEvaluator returns an evaluator for p using EngineAuto.
+func NewEvaluator(p *Prog) *Evaluator { return NewEvaluatorEngine(p, EngineAuto) }
+
+// NewEvaluatorEngine returns an evaluator pinned to a specific engine
+// (the benchmark harness uses this to measure the engines separately).
+func NewEvaluatorEngine(p *Prog, e Engine) *Evaluator {
+	ev := &Evaluator{engine: e}
+	ev.Bind(p)
+	return ev
+}
+
+// Bind switches the evaluator to another program, growing (never
+// shrinking) its scratch buffers.
+func (ev *Evaluator) Bind(p *Prog) {
+	ev.prog = p
+	switch ev.engine {
+	case EngineScalar:
+		ev.sliced = false
+	case EngineSliced:
+		ev.sliced = true
+	default:
+		ev.sliced = p.Sliced()
+	}
+	if ev.sliced {
+		if cap(ev.planeOff) < p.nregs+1 {
+			ev.planeOff = make([]uint32, p.nregs+1)
+		}
+		ev.planeOff = ev.planeOff[:p.nregs+1]
+		var off uint32
+		for r := 0; r < p.nregs; r++ {
+			ev.planeOff[r] = off
+			off += uint32(p.regWidth[r])
+		}
+		ev.planeOff[p.nregs] = off
+		if cap(ev.planes) < int(off) {
+			ev.planes = make([]uint64, off)
+		}
+		ev.planes = ev.planes[:off]
+		// Constant registers are never overwritten by the program (every
+		// instruction writes a fresh register), so prefill them once per
+		// bind instead of once per block.
+		for _, c := range p.consts {
+			d := ev.reg(c.reg)
+			for j := range d {
+				if c.val>>uint(j)&1 != 0 {
+					d[j] = ^uint64(0)
+				} else {
+					d[j] = 0
+				}
+			}
+		}
+	} else {
+		need := p.nregs * 64
+		if cap(ev.lanes) < need {
+			ev.lanes = make([]uint64, need)
+		}
+		ev.lanes = ev.lanes[:need]
+		for _, c := range p.consts {
+			d := (*[64]uint64)(ev.lanes[c.reg*64:])
+			for k := range d {
+				d[k] = c.val
+			}
+		}
+	}
+}
+
+// Prog returns the currently bound program.
+func (ev *Evaluator) Prog() *Prog { return ev.prog }
+
+// Eval runs the program on a single assignment (unbound variables are
+// zero, mirroring eval.Eval) using the scalar interpreter regardless
+// of engine — one point never amortizes a transpose.
+func (ev *Evaluator) Eval(env map[string]uint64) uint64 {
+	p := ev.prog
+	if cap(ev.regs) < p.nregs {
+		ev.regs = make([]uint64, p.nregs)
+	}
+	regs := ev.regs[:p.nregs]
+	for i, name := range p.Vars {
+		regs[i] = env[name] & maskOf(uint(p.regWidth[i]))
+	}
+	for _, c := range p.consts {
+		regs[c.reg] = c.val
+	}
+	for _, in := range p.code {
+		a := regs[in.a]
+		m := maskOf(uint(in.w))
+		switch in.op {
+		case opNot:
+			regs[in.dst] = ^a & m
+		case opNeg:
+			regs[in.dst] = (-a) & m
+		case opAnd:
+			regs[in.dst] = a & regs[in.b]
+		case opOr:
+			regs[in.dst] = a | regs[in.b]
+		case opXor:
+			regs[in.dst] = a ^ regs[in.b]
+		case opAdd:
+			regs[in.dst] = (a + regs[in.b]) & m
+		case opSub:
+			regs[in.dst] = (a - regs[in.b]) & m
+		case opMul:
+			regs[in.dst] = (a * regs[in.b]) & m
+		case opMulC:
+			regs[in.dst] = (a * p.cpool[in.b]) & m
+		case opEq:
+			regs[in.dst] = b2i(a == regs[in.b])
+		case opNe:
+			regs[in.dst] = b2i(a != regs[in.b])
+		case opUlt:
+			regs[in.dst] = b2i(a < regs[in.b])
+		}
+	}
+	return regs[p.out]
+}
+
+func b2i(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalBlock evaluates every lane of blk and appends the per-lane
+// results (blk.N() of them) to out, returning the extended slice.
+func (ev *Evaluator) EvalBlock(blk *Block, out []uint64) []uint64 {
+	if ev.sliced {
+		return ev.evalSliced(blk, out)
+	}
+	return ev.evalScalar(blk, out)
+}
+
+func (ev *Evaluator) evalScalar(blk *Block, out []uint64) []uint64 {
+	p := ev.prog
+	for i, name := range p.Vars {
+		d := (*[64]uint64)(ev.lanes[i*64:])
+		src := blk.lanes(name)
+		switch {
+		case src == nil:
+			*d = [64]uint64{}
+		case p.regWidth[i] == 64:
+			*d = *src
+		default:
+			m := maskOf(uint(p.regWidth[i]))
+			for k := 0; k < 64; k++ {
+				d[k] = src[k] & m
+			}
+		}
+	}
+	for _, in := range p.code {
+		d := (*[64]uint64)(ev.lanes[in.dst*64:])
+		a := (*[64]uint64)(ev.lanes[in.a*64:])
+		m := maskOf(uint(in.w))
+		full := in.w == 64 // full-width ops need no mask; skip the AND per lane
+		switch in.op {
+		case opNot:
+			if full {
+				for k := 0; k < 64; k++ {
+					d[k] = ^a[k]
+				}
+			} else {
+				for k := 0; k < 64; k++ {
+					d[k] = ^a[k] & m
+				}
+			}
+		case opNeg:
+			if full {
+				for k := 0; k < 64; k++ {
+					d[k] = -a[k]
+				}
+			} else {
+				for k := 0; k < 64; k++ {
+					d[k] = (-a[k]) & m
+				}
+			}
+		case opMulC:
+			c := ev.prog.cpool[in.b]
+			if full {
+				for k := 0; k < 64; k++ {
+					d[k] = a[k] * c
+				}
+			} else {
+				for k := 0; k < 64; k++ {
+					d[k] = (a[k] * c) & m
+				}
+			}
+		default:
+			b := (*[64]uint64)(ev.lanes[in.b*64:])
+			switch in.op {
+			case opAnd:
+				for k := 0; k < 64; k++ {
+					d[k] = a[k] & b[k]
+				}
+			case opOr:
+				for k := 0; k < 64; k++ {
+					d[k] = a[k] | b[k]
+				}
+			case opXor:
+				for k := 0; k < 64; k++ {
+					d[k] = a[k] ^ b[k]
+				}
+			case opAdd:
+				if full {
+					for k := 0; k < 64; k++ {
+						d[k] = a[k] + b[k]
+					}
+				} else {
+					for k := 0; k < 64; k++ {
+						d[k] = (a[k] + b[k]) & m
+					}
+				}
+			case opSub:
+				if full {
+					for k := 0; k < 64; k++ {
+						d[k] = a[k] - b[k]
+					}
+				} else {
+					for k := 0; k < 64; k++ {
+						d[k] = (a[k] - b[k]) & m
+					}
+				}
+			case opMul:
+				if full {
+					for k := 0; k < 64; k++ {
+						d[k] = a[k] * b[k]
+					}
+				} else {
+					for k := 0; k < 64; k++ {
+						d[k] = (a[k] * b[k]) & m
+					}
+				}
+			case opEq:
+				for k := 0; k < 64; k++ {
+					d[k] = b2i(a[k] == b[k])
+				}
+			case opNe:
+				for k := 0; k < 64; k++ {
+					d[k] = b2i(a[k] != b[k])
+				}
+			case opUlt:
+				for k := 0; k < 64; k++ {
+					d[k] = b2i(a[k] < b[k])
+				}
+			}
+		}
+	}
+	res := (*[64]uint64)(ev.lanes[p.out*64:])
+	return append(out, res[:blk.N()]...)
+}
+
+func (ev *Evaluator) reg(r uint32) []uint64 {
+	return ev.planes[ev.planeOff[r]:ev.planeOff[r+1]:ev.planeOff[r+1]]
+}
+
+func (ev *Evaluator) evalSliced(blk *Block, out []uint64) []uint64 {
+	p := ev.prog
+	for i, name := range p.Vars {
+		d := ev.reg(uint32(i))
+		src := blk.planesFor(name)
+		n := copy(d, src)
+		for ; n < len(d); n++ {
+			d[n] = 0
+		}
+	}
+	for _, in := range p.code {
+		d := ev.reg(in.dst)
+		a := ev.reg(in.a)
+		switch in.op {
+		case opNot:
+			for j := range d {
+				d[j] = ^a[j]
+			}
+		case opNeg:
+			// -a = ~a + 1: ripple an all-ones carry-in through ~a.
+			c := ^uint64(0)
+			for j := range d {
+				na := ^a[j]
+				d[j] = na ^ c
+				c = na & c
+			}
+		case opMulC:
+			mulCSliced(d, a, p.cpool[in.b])
+		case opAnd:
+			b := ev.reg(in.b)
+			for j := range d {
+				d[j] = a[j] & b[j]
+			}
+		case opOr:
+			b := ev.reg(in.b)
+			for j := range d {
+				d[j] = a[j] | b[j]
+			}
+		case opXor:
+			b := ev.reg(in.b)
+			for j := range d {
+				d[j] = a[j] ^ b[j]
+			}
+		case opAdd:
+			b := ev.reg(in.b)
+			var c uint64
+			for j := range d {
+				aj, bj := a[j], b[j]
+				d[j] = aj ^ bj ^ c
+				c = (aj & bj) | (c & (aj ^ bj))
+			}
+		case opSub:
+			b := ev.reg(in.b)
+			var bw uint64
+			for j := range d {
+				aj, bj := a[j], b[j]
+				d[j] = aj ^ bj ^ bw
+				bw = (^aj & bj) | (^(aj ^ bj) & bw)
+			}
+		case opMul:
+			b := ev.reg(in.b)
+			mulSliced(d, a, b)
+		case opEq, opNe:
+			b := ev.reg(in.b)
+			var diff uint64
+			for j := range a {
+				diff |= a[j] ^ b[j]
+			}
+			if in.op == opEq {
+				diff = ^diff
+			}
+			d[0] = diff
+		case opUlt:
+			// a < b iff a-b borrows out of the top plane.
+			b := ev.reg(in.b)
+			var bw uint64
+			for j := range a {
+				aj, bj := a[j], b[j]
+				bw = (^aj & bj) | (^(aj ^ bj) & bw)
+			}
+			d[0] = bw
+		}
+	}
+	var vals [64]uint64
+	fromPlanes(ev.reg(p.out), &vals, uint(p.regWidth[p.out]))
+	return append(out, vals[:blk.N()]...)
+}
+
+// mulSliced accumulates the shift-and-add product of a and b into d
+// (d is a fresh register, never aliasing a or b). For each multiplier
+// bit-plane b[i], the partial product a<<i is added into d under the
+// per-lane condition mask b[i].
+func mulSliced(d, a, b []uint64) {
+	for j := range d {
+		d[j] = 0
+	}
+	w := len(d)
+	for i := 0; i < w; i++ {
+		m := b[i]
+		if m == 0 {
+			continue
+		}
+		var c uint64
+		for j := i; j < w; j++ {
+			p := a[j-i] & m
+			dj := d[j]
+			d[j] = dj ^ p ^ c
+			c = (dj & p) | (c & (dj ^ p))
+		}
+	}
+}
+
+// mulCSliced multiplies a by a compile-time constant, visiting only
+// the constant's set bits — the generator corpus's small linear
+// coefficients cost one or two shifted adds instead of a full
+// multiply.
+func mulCSliced(d, a []uint64, cval uint64) {
+	for j := range d {
+		d[j] = 0
+	}
+	w := len(d)
+	for i := 0; i < w; i++ {
+		if cval>>uint(i)&1 == 0 {
+			continue
+		}
+		var c uint64
+		for j := i; j < w; j++ {
+			p := a[j-i]
+			dj := d[j]
+			d[j] = dj ^ p ^ c
+			c = (dj & p) | (c & (dj ^ p))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package bitslice
+
+import "sync/atomic"
+
+// IOSample is one input/output observation of a compiled program.
+// Inputs is parallel to the program's sorted Vars list.
+type IOSample struct {
+	Inputs []uint64
+	Output uint64
+}
+
+// splitmix64 steps the given state and returns the next output; the
+// same generator drives the smt witness prober, so sampling is fully
+// deterministic for a given seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SampleIO draws n pseudo-random input tuples for p and evaluates
+// them in 64-lane blocks, returning the observations in draw order.
+// A non-nil stop flag is consulted between blocks; raising it
+// truncates the result to the blocks already evaluated.
+func SampleIO(p *Prog, n int, seed uint64, stop *atomic.Bool) []IOSample {
+	if n <= 0 {
+		return nil
+	}
+	state := seed
+	ev := NewEvaluator(p)
+	samples := make([]IOSample, 0, n)
+	outs := make([]uint64, 0, 64)
+	for done := 0; done < n; {
+		if stop != nil && stop.Load() {
+			return samples
+		}
+		lanes := n - done
+		if lanes > 64 {
+			lanes = 64
+		}
+		blk := NewBlock(p.Width, lanes)
+		for _, v := range p.Vars {
+			for i := 0; i < lanes; i++ {
+				blk.Set(v, i, splitmix64(&state))
+			}
+		}
+		outs = ev.EvalBlock(blk, outs[:0])
+		for i := 0; i < lanes; i++ {
+			in := make([]uint64, len(p.Vars))
+			for vi, v := range p.Vars {
+				in[vi] = blk.Get(v, i)
+			}
+			samples = append(samples, IOSample{Inputs: in, Output: outs[i]})
+		}
+		done += lanes
+	}
+	return samples
+}

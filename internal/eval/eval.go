@@ -60,13 +60,38 @@ func evalMasked(e *expr.Expr, env Env, m uint64) uint64 {
 	panic(fmt.Sprintf("eval: unknown operator %v", e.Op))
 }
 
+// cornerValues returns the adversarial corner list for a width — 0,
+// 1, -1, 2^(n-1)-1, 2^(n-1) — deduplicated after masking. At small
+// widths the masked corners collide (at width 1 the raw list is
+// {0,1,1,0,1}), and keeping the duplicates would silently skew the
+// corner draw toward 1.
+func cornerValues(width uint) []uint64 {
+	m := Mask(width)
+	corners := []uint64{0, 1, m, m >> 1, (m >> 1) + 1}
+	uniq := corners[:0]
+	for _, c := range corners {
+		c &= m
+		dup := false
+		for _, u := range uniq {
+			if u == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
 // RandomEnv draws a value for each variable name uniformly from the
 // n-bit range, mixing in a few adversarial corner values (0, 1, -1,
 // 2^(n-1)) that commonly expose overflow-sensitive non-identities.
 func RandomEnv(rng *rand.Rand, vars []string, width uint) Env {
 	m := Mask(width)
 	env := make(Env, len(vars))
-	corners := []uint64{0, 1, m, m >> 1, (m >> 1) + 1}
+	corners := cornerValues(width)
 	for _, v := range vars {
 		if rng.Intn(4) == 0 {
 			env[v] = corners[rng.Intn(len(corners))]

@@ -103,3 +103,32 @@ func TestRandomEnvRespectsWidth(t *testing.T) {
 		}
 	}
 }
+
+// TestCornerValuesDeduped is the regression test for the degenerate
+// corner list at small widths: at width 1 the raw corners {0, 1, m,
+// m>>1, (m>>1)+1} mask to {0,1,1,0,1}, and before the fix the
+// adversarial draw picked 1 with probability 3/5 instead of 1/2.
+func TestCornerValuesDeduped(t *testing.T) {
+	for width := uint(1); width <= 64; width++ {
+		corners := cornerValues(width)
+		seen := map[uint64]bool{}
+		for _, c := range corners {
+			if c > Mask(width) {
+				t.Fatalf("width %d: corner %d exceeds mask", width, c)
+			}
+			if seen[c] {
+				t.Fatalf("width %d: duplicate corner %d in %v", width, c, corners)
+			}
+			seen[c] = true
+		}
+	}
+	if got := len(cornerValues(1)); got != 2 {
+		t.Errorf("width 1 has %d corners, want 2 ({0,1})", got)
+	}
+	if got := len(cornerValues(2)); got != 4 {
+		t.Errorf("width 2 has %d corners, want 4 ({0,1,2,3})", got)
+	}
+	if got := len(cornerValues(64)); got != 5 {
+		t.Errorf("width 64 has %d corners, want 5", got)
+	}
+}

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"mbasolver/internal/eval"
+	"mbasolver/internal/eval/bitslice"
+	"mbasolver/internal/expr"
+	"mbasolver/internal/gen"
+)
+
+// EvalBenchConfig sizes the evaluation-engine benchmark: the
+// tree-walking interpreter against the flat bytecode program (scalar,
+// bitsliced, and cost-model auto selection), over a generated MBA
+// corpus. Zero fields take defaults.
+type EvalBenchConfig struct {
+	// Samples is the number of expressions drawn per corpus category
+	// (linear, poly, non-poly); the corpus is 3×Samples (default 25).
+	Samples int   `json:"samples"`
+	Seed    int64 `json:"seed"`  // corpus + input generator seed (default 17)
+	Width   uint  `json:"width"` // evaluation width (default 64)
+	// Points is the number of evaluation points per expression,
+	// rounded up to whole 64-lane blocks (default 2048).
+	Points int `json:"points"`
+	// Rounds is the number of timed passes per engine; the fastest
+	// pass is reported, which filters scheduler noise out of the
+	// short per-engine walls (default 3).
+	Rounds int `json:"rounds"`
+}
+
+func (c EvalBenchConfig) withDefaults() EvalBenchConfig {
+	if c.Samples <= 0 {
+		c.Samples = 25
+	}
+	if c.Seed == 0 {
+		c.Seed = 17
+	}
+	if c.Width == 0 {
+		c.Width = 64
+	}
+	if c.Points <= 0 {
+		c.Points = 2048
+	}
+	c.Points = (c.Points + 63) / 64 * 64
+	if c.Rounds <= 0 {
+		c.Rounds = 3
+	}
+	return c
+}
+
+// EvalBenchRun reports one engine's pass over the whole corpus.
+type EvalBenchRun struct {
+	// Engine is "tree" (the recursive eval.Eval interpreter), or the
+	// bytecode program under "bytecode" (scalar), "bitsliced" (64
+	// lanes per word) or "auto" (per-program cost-model choice).
+	Engine      string  `json:"engine"`
+	WallMS      float64 `json:"wall_ms"`
+	Evals       int     `json:"evals"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+}
+
+// EvalBenchReport is the full result, serialized to BENCH_eval.json by
+// scripts/bench.sh.
+type EvalBenchReport struct {
+	Config EvalBenchConfig `json:"config"`
+	// Exprs is the corpus size; CompileMS is the one-off cost of
+	// compiling the whole corpus to bytecode (shared by the three
+	// bytecode engines, excluded from their timed passes).
+	Exprs     int            `json:"exprs"`
+	CompileMS float64        `json:"compile_ms"`
+	Runs      []EvalBenchRun `json:"runs"`
+	// Speedup is tree wall time over engine wall time, per bytecode
+	// engine. The acceptance floor for this PR is auto >= 20x on the
+	// width-64 corpus.
+	Speedup map[string]float64 `json:"speedup"`
+	// Mismatches counts evaluation points where any bytecode engine
+	// disagreed with the tree interpreter; anything but zero is a bug
+	// (the differential fuzz in internal/eval/bitslice pins this).
+	Mismatches int `json:"mismatches"`
+}
+
+// evalBenchCase is one corpus expression with its compiled program and
+// pre-drawn input blocks (the same inputs drive every engine).
+type evalBenchCase struct {
+	e      *expr.Expr
+	prog   *bitslice.Prog
+	vars   []string
+	inputs []map[string]*[64]uint64 // per block, per variable
+	envs   [][]eval.Env             // per block, per lane — tree interpreter form
+	want   [][]uint64               // per block, tree-interpreter outputs (the oracle)
+}
+
+// RunEvalBench measures the evaluation engines over a fresh corpus.
+// The tree interpreter runs first and its outputs become the oracle
+// every bytecode engine is checked against, point by point.
+func RunEvalBench(cfg EvalBenchConfig) EvalBenchReport {
+	cfg = cfg.withDefaults()
+	report := EvalBenchReport{Config: cfg, Speedup: map[string]float64{}}
+
+	g := gen.New(gen.Config{Seed: cfg.Seed, Width: cfg.Width})
+	var cases []*evalBenchCase
+	for i := 0; i < cfg.Samples; i++ {
+		for _, s := range []gen.Sample{g.Linear(), g.Poly(), g.NonPoly()} {
+			cases = append(cases, &evalBenchCase{e: s.Obfuscated})
+		}
+	}
+	report.Exprs = len(cases)
+
+	compileStart := time.Now()
+	for _, c := range cases {
+		p, err := bitslice.Compile(c.e, cfg.Width)
+		if err != nil {
+			// The generator only emits the operator set the compiler
+			// covers; a failure here is a bug, surfaced as mismatches.
+			report.Mismatches += cfg.Points
+			continue
+		}
+		c.prog = p
+		c.vars = p.Vars
+	}
+	report.CompileMS = durMSf(time.Since(compileStart))
+
+	// Pre-draw every input so engine passes time evaluation alone.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	mask := eval.Mask(cfg.Width)
+	blocks := cfg.Points / 64
+	for _, c := range cases {
+		if c.prog == nil {
+			continue
+		}
+		c.inputs = make([]map[string]*[64]uint64, blocks)
+		c.envs = make([][]eval.Env, blocks)
+		for b := 0; b < blocks; b++ {
+			c.inputs[b] = map[string]*[64]uint64{}
+			for _, v := range c.vars {
+				var lanes [64]uint64
+				for l := range lanes {
+					lanes[l] = rng.Uint64() & mask
+				}
+				c.inputs[b][v] = &lanes
+			}
+			envs := make([]eval.Env, 64)
+			for l := 0; l < 64; l++ {
+				env := eval.Env{}
+				for _, v := range c.vars {
+					env[v] = c.inputs[b][v][l]
+				}
+				envs[l] = env
+			}
+			c.envs[b] = envs
+		}
+	}
+
+	evals := 0
+	for _, c := range cases {
+		if c.prog != nil {
+			evals += cfg.Points
+		}
+	}
+
+	// Tree interpreter: the baseline and the oracle. Outputs are kept
+	// from the first round; later rounds only contribute timing.
+	var treeWall time.Duration
+	for round := 0; round < cfg.Rounds; round++ {
+		start := time.Now()
+		for _, c := range cases {
+			if c.prog == nil {
+				continue
+			}
+			keep := c.want == nil
+			if keep {
+				c.want = make([][]uint64, blocks)
+			}
+			for b := range c.envs {
+				outs := make([]uint64, 64)
+				for l, env := range c.envs[b] {
+					outs[l] = eval.Eval(c.e, env, cfg.Width)
+				}
+				if keep {
+					c.want[b] = outs
+				}
+			}
+		}
+		if wall := time.Since(start); round == 0 || wall < treeWall {
+			treeWall = wall
+		}
+	}
+	report.Runs = append(report.Runs, EvalBenchRun{
+		Engine: "tree", WallMS: durMSf(treeWall), Evals: evals,
+		EvalsPerSec: perSec(evals, treeWall),
+	})
+
+	for _, eng := range []struct {
+		name string
+		mode bitslice.Engine
+	}{
+		{"bytecode", bitslice.EngineScalar},
+		{"bitsliced", bitslice.EngineSliced},
+		{"auto", bitslice.EngineAuto},
+	} {
+		// Fresh blocks per pass so the bitsliced engine's lazy plane
+		// transposes are spent inside its own timed region.
+		wall, mismatches := runEvalEngine(cases, cfg, eng.mode)
+		report.Mismatches += mismatches
+		report.Runs = append(report.Runs, EvalBenchRun{
+			Engine: eng.name, WallMS: durMSf(wall), Evals: evals,
+			EvalsPerSec: perSec(evals, wall),
+		})
+		if wall > 0 {
+			report.Speedup[eng.name] = treeWall.Seconds() / wall.Seconds()
+		}
+	}
+	return report
+}
+
+func runEvalEngine(cases []*evalBenchCase, cfg EvalBenchConfig, mode bitslice.Engine) (time.Duration, int) {
+	blocks := cfg.Points / 64
+	type bound struct {
+		ev  *bitslice.Evaluator
+		blk []*bitslice.Block
+	}
+	var best time.Duration
+	mismatches := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		// Blocks are rebuilt every round (untimed) so the bitsliced
+		// engine's lazy plane transposes are spent inside each timed
+		// pass, not cached from the previous one.
+		prep := make([]bound, len(cases))
+		for i, c := range cases {
+			if c.prog == nil {
+				continue
+			}
+			blks := make([]*bitslice.Block, blocks)
+			for b := 0; b < blocks; b++ {
+				blk := bitslice.NewBlock(cfg.Width, 64)
+				for _, v := range c.vars {
+					for l := 0; l < 64; l++ {
+						blk.Set(v, l, c.inputs[b][v][l])
+					}
+				}
+				blks[b] = blk
+			}
+			prep[i] = bound{ev: bitslice.NewEvaluatorEngine(c.prog, mode), blk: blks}
+		}
+
+		out := make([]uint64, 0, 64)
+		start := time.Now()
+		for i, c := range cases {
+			if c.prog == nil {
+				continue
+			}
+			for b, blk := range prep[i].blk {
+				out = prep[i].ev.EvalBlock(blk, out[:0])
+				if round > 0 {
+					continue
+				}
+				for l, got := range out {
+					if got != c.want[b][l] {
+						mismatches++
+					}
+				}
+			}
+		}
+		if wall := time.Since(start); round == 0 || wall < best {
+			best = wall
+		}
+	}
+	return best, mismatches
+}
+
+func perSec(n int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}
+
+// WriteEvalBenchJSON serializes the report as indented JSON.
+func WriteEvalBenchJSON(w io.Writer, r EvalBenchReport) error { return writeJSONReport(w, r) }

@@ -1,0 +1,57 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestEvalBenchSmoke runs a small eval-engine benchmark end to end:
+// every engine covers the full corpus, no bytecode engine ever
+// disagrees with the tree interpreter, and the report serializes.
+func TestEvalBenchSmoke(t *testing.T) {
+	cfg := EvalBenchConfig{Samples: 4, Points: 256, Width: 64}
+	report := RunEvalBench(cfg)
+
+	if report.Mismatches != 0 {
+		t.Fatalf("bytecode engines disagreed with the tree interpreter on %d points", report.Mismatches)
+	}
+	if report.Exprs != 12 {
+		t.Fatalf("corpus size %d, want 12 (4 per category)", report.Exprs)
+	}
+	if len(report.Runs) != 4 {
+		t.Fatalf("%d engine runs, want tree+bytecode+bitsliced+auto", len(report.Runs))
+	}
+	wantEvals := report.Exprs * 256
+	for _, run := range report.Runs {
+		if run.Evals != wantEvals {
+			t.Errorf("engine %s covered %d evals, want %d", run.Engine, run.Evals, wantEvals)
+		}
+		if run.EvalsPerSec <= 0 {
+			t.Errorf("engine %s reports no throughput", run.Engine)
+		}
+	}
+	for _, eng := range []string{"bytecode", "bitsliced", "auto"} {
+		if report.Speedup[eng] <= 0 {
+			t.Errorf("missing speedup entry for %s", eng)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEvalBenchJSON(&buf, report); err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	var back EvalBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Exprs != report.Exprs || len(back.Runs) != len(report.Runs) {
+		t.Fatalf("round-trip lost data: %+v", back)
+	}
+
+	// Points round up to whole 64-lane blocks.
+	odd := EvalBenchConfig{Points: 70}.withDefaults()
+	if odd.Points != 128 {
+		t.Fatalf("points 70 rounded to %d, want 128", odd.Points)
+	}
+}

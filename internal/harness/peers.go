@@ -28,7 +28,7 @@ func DefaultTools(width uint) []Tool {
 		{
 			Name: "SSPAM",
 			New: func() func(*expr.Expr) *expr.Expr {
-				s := sspam.New()
+				s := sspam.NewWidth(width)
 				return s.Simplify
 			},
 		},

@@ -80,14 +80,29 @@ func cleanupRules() []Rule {
 type Simplifier struct {
 	rules    []Rule
 	maxIters int
+	width    uint
 }
 
-// New returns a Simplifier with the default library.
+// New returns a Simplifier with the default library at width 64.
 func New() *Simplifier { return NewWithRules(DefaultRules()) }
 
-// NewWithRules returns a Simplifier over a custom library.
+// NewWidth returns a Simplifier with the default library folding
+// constants at the given bit width.
+func NewWidth(width uint) *Simplifier { return NewWithRulesWidth(DefaultRules(), width) }
+
+// NewWithRules returns a Simplifier over a custom library at width 64.
 func NewWithRules(rules []Rule) *Simplifier {
-	return &Simplifier{rules: rules, maxIters: 16}
+	return NewWithRulesWidth(rules, 64)
+}
+
+// NewWithRulesWidth returns a Simplifier over a custom library
+// folding constants at the given bit width (widths outside 1..64
+// fall back to 64).
+func NewWithRulesWidth(rules []Rule, width uint) *Simplifier {
+	if width == 0 || width > 64 {
+		width = 64
+	}
+	return &Simplifier{rules: rules, maxIters: 16, width: width}
 }
 
 // Simplify applies the library bottom-up to a fixpoint (bounded).
@@ -95,7 +110,7 @@ func (s *Simplifier) Simplify(e *expr.Expr) *expr.Expr {
 	cur := e
 	for i := 0; i < s.maxIters; i++ {
 		next := s.pass(cur)
-		next = foldConsts(next)
+		next = foldConsts(next, s.width)
 		if expr.Equal(next, cur) {
 			return cur
 		}
@@ -191,15 +206,18 @@ func restore(b map[string]*expr.Expr, s map[string]*expr.Expr) {
 	}
 }
 
-// foldConsts performs bottom-up constant folding at width 64 (sound
-// for every narrower width).
-func foldConsts(e *expr.Expr) *expr.Expr {
+// foldConsts performs bottom-up constant folding at the simplifier's
+// configured width. Folding at a wider width is NOT sound for the
+// narrower ring: 128+128 is 0 at width 8, and a 64-bit fold would
+// leave the untruncated constant 256 in the output, changing the
+// expression's value and blocking later width-aware rules.
+func foldConsts(e *expr.Expr, width uint) *expr.Expr {
 	return expr.Rewrite(e, func(n *expr.Expr) *expr.Expr {
 		switch {
 		case n.Op.IsUnary() && n.X.Op == expr.OpConst:
-			return expr.Const(eval.Eval(n, nil, 64))
+			return expr.Const(eval.Eval(n, nil, width))
 		case n.Op.IsBinary() && n.X.Op == expr.OpConst && n.Y.Op == expr.OpConst:
-			return expr.Const(eval.Eval(n, nil, 64))
+			return expr.Const(eval.Eval(n, nil, width))
 		}
 		return nil
 	})

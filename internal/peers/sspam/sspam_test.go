@@ -109,3 +109,33 @@ func TestSimplifyPreservesSemanticsOnRandomInputs(t *testing.T) {
 		}
 	}
 }
+
+// TestFoldConstsRespectsWidth is the regression test for constant
+// folding at a hardcoded width 64: at width 8, 128+128 must fold to
+// the truncated constant 0 — not 256 — which in turn lets the
+// add-zero cleanup fire. Before the fix the width-8 simplifier left
+// an untruncated 256 in the output, changing the expression's value
+// in the 8-bit ring.
+func TestFoldConstsRespectsWidth(t *testing.T) {
+	s8 := NewWidth(8)
+	got := s8.Simplify(parser.MustParse("128+128"))
+	if !got.IsConst(0) {
+		t.Fatalf("width-8 fold of 128+128 = %v, want 0", got)
+	}
+	got = s8.Simplify(parser.MustParse("(x|y)+(128+128)"))
+	want := parser.MustParse("x|y")
+	if !expr.Equal(got, want) {
+		t.Fatalf("width-8 simplify of (x|y)+(128+128) = %v, want %v", got, want)
+	}
+	// Width-8 folds must stay sound in the width-8 ring.
+	rng := rand.New(rand.NewSource(9))
+	in := parser.MustParse("(x&~y)+(200+100)*z")
+	out := s8.Simplify(in)
+	if eq, env := eval.ProbablyEqual(rng, in, out, 8, 60); !eq {
+		t.Fatalf("width-8 simplify broke semantics: %v -> %v at %v", in, out, env)
+	}
+	// The default width-64 simplifier is unchanged.
+	if got := New().Simplify(parser.MustParse("128+128")); !got.IsConst(256) {
+		t.Fatalf("width-64 fold of 128+128 = %v, want 256", got)
+	}
+}

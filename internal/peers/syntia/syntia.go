@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"mbasolver/internal/eval"
+	"mbasolver/internal/eval/bitslice"
 	"mbasolver/internal/expr"
 )
 
@@ -87,13 +88,67 @@ func (s *Synthesizer) Synthesize(oracle *expr.Expr) Result {
 		return Result{Expr: expr.Const(v), Score: 1, Perfect: true}
 	}
 	envs := make([]eval.Env, s.cfg.Samples)
-	outs := make([]uint64, s.cfg.Samples)
 	for i := range envs {
 		envs[i] = eval.RandomEnv(s.rng, vars, s.cfg.Width)
-		outs[i] = eval.Eval(oracle, envs[i], s.cfg.Width)
 	}
-	best := s.search(vars, envs, outs)
+	samples := newSampleSet(envs, vars, s.cfg.Width)
+	// evalAll returns the set's shared scratch buffer, which candidate
+	// scoring reuses — copy the oracle outputs out of it.
+	outs := append([]uint64(nil), samples.evalAll(oracle)...)
+	best := s.search(vars, samples, outs)
 	return best
+}
+
+// sampleSet holds the drawn oracle inputs packed into 64-lane
+// bitslice blocks. The blocks cache each variable's bit-plane
+// transpose, so scoring thousands of MCTS candidates against the same
+// samples pays the transposes once; the scratch evaluator is rebound
+// per candidate and reuses its register file.
+type sampleSet struct {
+	envs    []eval.Env
+	vars    []string
+	width   uint
+	blocks  []*bitslice.Block
+	scratch bitslice.Evaluator
+	outBuf  []uint64
+}
+
+func newSampleSet(envs []eval.Env, vars []string, width uint) *sampleSet {
+	ss := &sampleSet{envs: envs, vars: vars, width: width}
+	for start := 0; start < len(envs); start += 64 {
+		n := len(envs) - start
+		if n > 64 {
+			n = 64
+		}
+		blk := bitslice.NewBlock(width, n)
+		for lane := 0; lane < n; lane++ {
+			for _, v := range vars {
+				blk.Set(v, lane, envs[start+lane][v])
+			}
+		}
+		ss.blocks = append(ss.blocks, blk)
+	}
+	return ss
+}
+
+// evalAll evaluates e on every sample, in draw order, through the
+// bytecode engine (falling back to the tree walker if compilation
+// fails, which no grammar expression does).
+func (ss *sampleSet) evalAll(e *expr.Expr) []uint64 {
+	out := ss.outBuf[:0]
+	p, err := bitslice.Compile(e, ss.width)
+	if err != nil {
+		for _, env := range ss.envs {
+			out = append(out, eval.Eval(e, env, ss.width))
+		}
+	} else {
+		ss.scratch.Bind(p)
+		for _, blk := range ss.blocks {
+			out = ss.scratch.EvalBlock(blk, out)
+		}
+	}
+	ss.outBuf = out
+	return out
 }
 
 // grammar productions for a hole: a terminal or an operator with new
@@ -148,7 +203,7 @@ type node struct {
 }
 
 // search runs UCT-MCTS and returns the best complete candidate seen.
-func (s *Synthesizer) search(vars []string, envs []eval.Env, outs []uint64) Result {
+func (s *Synthesizer) search(vars []string, samples *sampleSet, outs []uint64) Result {
 	root := &node{partial: hole()}
 	best := Result{Expr: expr.Const(0), Score: -1}
 
@@ -170,7 +225,7 @@ func (s *Synthesizer) search(vars []string, envs []eval.Env, outs []uint64) Resu
 		}
 		// Rollout: randomly complete the partial expression.
 		candidate := s.rollout(target.partial, vars, s.cfg.MaxDepth-depth)
-		score := s.score(candidate, envs, outs)
+		score := s.score(candidate, samples, outs)
 		if score > best.Score || (score == best.Score && candidate.Size() < best.Expr.Size()) {
 			best = Result{Expr: candidate, Score: score, Perfect: score >= 1}
 		}
@@ -275,14 +330,15 @@ func (s *Synthesizer) rollout(e *expr.Expr, vars []string, depthLeft int) *expr.
 // reproduces every sampled output. Partial credit combines arithmetic
 // closeness and hamming closeness, mirroring Syntia's multi-metric
 // distance.
-func (s *Synthesizer) score(candidate *expr.Expr, envs []eval.Env, outs []uint64) float64 {
+func (s *Synthesizer) score(candidate *expr.Expr, samples *sampleSet, outs []uint64) float64 {
 	if hasHole(candidate) {
 		return 0
 	}
 	mask := eval.Mask(s.cfg.Width)
+	got64 := samples.evalAll(candidate)
 	total := 0.0
-	for i, env := range envs {
-		got := eval.Eval(candidate, env, s.cfg.Width)
+	for i := range samples.envs {
+		got := got64[i]
 		want := outs[i]
 		if got == want {
 			total += 1
@@ -299,5 +355,5 @@ func (s *Synthesizer) score(candidate *expr.Expr, envs []eval.Env, outs []uint64
 		sim := math.Max(ham, arith) * 0.9 // imperfect match caps below 1
 		total += sim
 	}
-	return total / float64(len(envs))
+	return total / float64(len(samples.envs))
 }

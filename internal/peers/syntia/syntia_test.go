@@ -90,11 +90,12 @@ func TestHoleMachinery(t *testing.T) {
 func TestScoreBounds(t *testing.T) {
 	s := New(Config{Seed: 2, Samples: 4})
 	envs := []eval.Env{{"x": 1}, {"x": 2}, {"x": 3}, {"x": 4}}
+	samples := newSampleSet(envs, []string{"x"}, 64)
 	outs := []uint64{1, 2, 3, 4}
-	if got := s.score(parser.MustParse("x"), envs, outs); got != 1 {
+	if got := s.score(parser.MustParse("x"), samples, outs); got != 1 {
 		t.Errorf("perfect candidate score = %v, want 1", got)
 	}
-	if got := s.score(parser.MustParse("x+1"), envs, outs); got >= 1 || got < 0 {
+	if got := s.score(parser.MustParse("x+1"), samples, outs); got >= 1 || got < 0 {
 		t.Errorf("imperfect candidate score = %v, want in [0,1)", got)
 	}
 }

@@ -163,18 +163,43 @@ type SolveResponse struct {
 	Engines   []EngineStats `json:"engines,omitempty"` // per-engine stats when racing
 }
 
-// ClassifyRequest asks for the complexity metrics of one expression.
+// ClassifyRequest asks for the complexity metrics of one expression,
+// and optionally for a bulk input/output sample of its behaviour.
 type ClassifyRequest struct {
-	Expr  string `json:"expr"`
-	Width uint   `json:"width,omitempty"` // reserved; classification is width-independent
+	Expr string `json:"expr"`
+	// Width is the ring width 1..64 the samples are drawn at; 0 means
+	// the server default. The metrics themselves are width-independent.
+	Width uint `json:"width,omitempty"`
+	// Samples asks for that many pseudo-random input/output observations
+	// of the expression, evaluated on the bitsliced bytecode engine
+	// (capped at the server maximum). 0 means metrics only.
+	Samples int `json:"samples,omitempty"`
+	// Seed makes the sample stream reproducible; 0 means the server's
+	// fixed default seed, so default-seeded responses are deterministic
+	// and cacheable.
+	Seed uint64 `json:"seed,omitempty"`
 }
 
-// ClassifyResponse reports metrics and the canonical hash.
+// IOPoint is one sampled input/output observation of an expression.
+type IOPoint struct {
+	Inputs map[string]uint64 `json:"inputs"`
+	Output uint64            `json:"output"`
+}
+
+// ClassifyResponse reports metrics, the canonical hash, and the
+// requested I/O samples.
 type ClassifyResponse struct {
-	Input     string      `json:"input"`
-	Metrics   ExprMetrics `json:"metrics"`
-	Hash      string      `json:"hash"`
-	ElapsedMS float64     `json:"elapsed_ms"`
+	Input   string      `json:"input"`
+	Metrics ExprMetrics `json:"metrics"`
+	Hash    string      `json:"hash"`
+	// Width is the resolved ring width the samples were drawn at.
+	Width uint `json:"width"`
+	// Samples are the requested observations, in seed order. May be
+	// shorter than requested if the budget expired mid-sampling (such
+	// truncated answers are never cached).
+	Samples   []IOPoint `json:"samples,omitempty"`
+	Cached    bool      `json:"cached,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
 }
 
 // SatResponse is the machine-readable form of an SMT-LIB

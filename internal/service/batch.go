@@ -49,11 +49,27 @@ type BatchRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// BatchItem is one unit of batch work: exactly one of Solve or
-// Simplify must be set.
+// BatchItem is one unit of batch work: exactly one of Solve, Simplify
+// or Classify must be set.
 type BatchItem struct {
 	Solve    *SolveRequest    `json:"solve,omitempty"`
 	Simplify *SimplifyRequest `json:"simplify,omitempty"`
+	Classify *ClassifyRequest `json:"classify,omitempty"`
+}
+
+// kinds reports how many of the item's request fields are set.
+func (it BatchItem) kinds() int {
+	n := 0
+	if it.Solve != nil {
+		n++
+	}
+	if it.Simplify != nil {
+		n++
+	}
+	if it.Classify != nil {
+		n++
+	}
+	return n
 }
 
 // RouteKey returns the canonical routing/grouping key of the item: the
@@ -63,13 +79,16 @@ type BatchItem struct {
 // contexts hot for its shard. The key is derived from canonical
 // digests, so textual variants of the same expression route together.
 func (it BatchItem) RouteKey() (string, error) {
+	if it.kinds() != 1 {
+		return "", fmt.Errorf("batch item must set exactly one of solve, simplify, classify")
+	}
 	switch {
-	case it.Solve != nil && it.Simplify == nil:
+	case it.Solve != nil:
 		return it.Solve.RouteKey()
-	case it.Simplify != nil && it.Solve == nil:
+	case it.Simplify != nil:
 		return it.Simplify.RouteKey()
 	default:
-		return "", fmt.Errorf("batch item must set exactly one of solve, simplify")
+		return it.Classify.RouteKey()
 	}
 }
 
@@ -101,6 +120,9 @@ func (r SimplifyRequest) RouteKey() (string, error) {
 }
 
 // RouteKey returns the canonical digest key of a classify request.
+// Sampling options (width, samples, seed) are deliberately excluded:
+// routing by expression alone keeps every sample variant of one
+// expression on the same node, where its classify cache lives.
 func (r ClassifyRequest) RouteKey() (string, error) {
 	e, err := parser.Parse(r.Expr)
 	if err != nil {
@@ -117,6 +139,7 @@ type BatchItemResult struct {
 	Index    int               `json:"index"`
 	Solve    *SolveResponse    `json:"solve,omitempty"`
 	Simplify *SimplifyResponse `json:"simplify,omitempty"`
+	Classify *ClassifyResponse `json:"classify,omitempty"`
 	// Error reports a malformed item (bad expression, unknown solver) or
 	// a non-degradable failure. Malformed items never fail the batch.
 	Error string `json:"error,omitempty"`
@@ -148,18 +171,23 @@ type batchGroup struct {
 	key     string
 	members []int
 
-	// solve fields (solve == true) or simplify fields.
-	solve  bool
-	a, b   *expr.Expr
-	width  uint
-	spec   solveSpec
-	e      *expr.Expr
-	disj   bool
-	verify bool
+	// solve fields (solve == true), classify fields (classify == true)
+	// or simplify fields.
+	solve    bool
+	classify bool
+	a, b     *expr.Expr
+	width    uint
+	spec     solveSpec
+	e        *expr.Expr
+	disj     bool
+	verify   bool
+	samples  int
+	seed     uint64
 
 	solveResp *SolveResponse
 	simpResp  *SimplifyResponse
-	errText   string // degraded simplify group: per-item error text
+	classResp *ClassifyResponse
+	errText   string // degraded simplify/classify group: per-item error text
 }
 
 // degradedSolve is the reasoned-Unknown answer for a solve group the
@@ -266,6 +294,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			case g.solve:
 				cp := *g.solveResp
 				item.Solve = &cp
+			case g.classify:
+				cp := *g.classResp
+				item.Classify = &cp
 			default:
 				cp := *g.simpResp
 				item.Simplify = &cp
@@ -310,8 +341,11 @@ func (s *Server) planBatch(items []BatchItem, deadline time.Time, resp *BatchRes
 // pre-simplification, conflict budget), so only genuinely identical
 // requests share a run.
 func (s *Server) parseBatchItem(it BatchItem, deadline time.Time) (*batchGroup, error) {
+	if it.kinds() != 1 {
+		return nil, fmt.Errorf("batch item must set exactly one of solve, simplify, classify")
+	}
 	switch {
-	case it.Solve != nil && it.Simplify == nil:
+	case it.Solve != nil:
 		req := it.Solve
 		width, err := s.width(req.Width)
 		if err != nil {
@@ -357,7 +391,22 @@ func (s *Server) parseBatchItem(it BatchItem, deadline time.Time) (*batchGroup, 
 			},
 		}, nil
 
-	case it.Simplify != nil && it.Solve == nil:
+	case it.Classify != nil:
+		req := it.Classify
+		e, width, samples, seed, err := s.parseClassify(req)
+		if err != nil {
+			return nil, err
+		}
+		return &batchGroup{
+			key:      classifyKey(width, samples, seed, expr.Hash(e)),
+			classify: true,
+			e:        e,
+			width:    width,
+			samples:  samples,
+			seed:     seed,
+		}, nil
+
+	default:
 		req := it.Simplify
 		width, err := s.width(req.Width)
 		if err != nil {
@@ -378,9 +427,6 @@ func (s *Server) parseBatchItem(it BatchItem, deadline time.Time) (*batchGroup, 
 			disj:   disj,
 			verify: req.Verify,
 		}, nil
-
-	default:
-		return nil, fmt.Errorf("batch item must set exactly one of solve, simplify")
 	}
 }
 
@@ -398,6 +444,15 @@ func (s *Server) batchCacheGet(g *batchGroup) bool {
 		}
 		return false
 	}
+	if g.classify {
+		if v, ok := s.cache.Get(g.key); ok {
+			cp := *v.(*ClassifyResponse)
+			cp.Cached = true
+			g.classResp = &cp
+			return true
+		}
+		return false
+	}
 	if v, ok := s.cache.Get(g.key); ok {
 		cp := *v.(*SimplifyResponse)
 		cp.Cached = true
@@ -409,7 +464,8 @@ func (s *Server) batchCacheGet(g *batchGroup) bool {
 
 // degradeBatchGroup marks one never-started group with the same
 // reasoned degradation the admission queue produces for shed work:
-// solves answer a reasoned Unknown, simplifies report an error.
+// solves answer a reasoned Unknown, simplifies and classifies report
+// an error.
 func (s *Server) degradeBatchGroup(g *batchGroup, reqID string) {
 	s.met.noteShed(reqID)
 	if g.solve {
@@ -424,9 +480,12 @@ func (s *Server) degradeBatchGroup(g *batchGroup, reqID string) {
 // stores its result (or its reasoned degradation) in the group.
 func (s *Server) runBatchGroup(r *http.Request, g *batchGroup, deadline time.Time) {
 	err := s.submit(r.Context(), deadline, func(wc *workerCtx) {
-		if g.solve {
+		switch {
+		case g.solve:
 			g.solveResp = s.runSolve(wc, g.a, g.b, g.width, g.spec)
-		} else {
+		case g.classify:
+			g.classResp = runClassify(wc, g.e, g.width, g.samples, g.seed)
+		default:
 			g.simpResp = s.runSimplify(wc, g.e, g.width, g.disj, g.verify, deadline)
 		}
 	})
@@ -440,19 +499,31 @@ func (s *Server) runBatchGroup(r *http.Request, g *batchGroup, deadline time.Tim
 			g.solveResp = degradedSolve(g.width, reason)
 			s.met.verdict("none", g.solveResp.Status)
 		} else {
-			// Simplification has no Unknown verdict to degrade to; the
-			// item reports a reasoned error instead.
+			// Simplification and classification have no Unknown verdict
+			// to degrade to; the item reports a reasoned error instead.
 			g.errText = fmt.Sprintf("%s: %v", reason, err)
 		}
 		return
 	}
 	// Cache definitive results under the same policy as the single-item
-	// handlers: never timeouts, never degraded answers.
-	if g.solve {
+	// handlers: never timeouts, never degraded answers — and for
+	// classify, never a sample block truncated by a mid-run stop.
+	switch {
+	case g.solve:
 		if g.solveResp.Status != smt.Timeout.String() {
 			s.cache.Put(solveKey(g.width, expr.Hash(g.a), expr.Hash(g.b)), g.solveResp)
 		}
-	} else if g.simpResp.Verify == nil || g.simpResp.Verify.Status != smt.Timeout.String() {
-		s.cache.Put(g.key, g.simpResp)
+	case g.classify:
+		if g.samples == 0 || len(g.classResp.Samples) == g.samples {
+			// A short sample block is the classify shape of a timeout: the
+			// stop flag fired mid-run. The guard above keeps such answers
+			// out of the cache; classify has no Status field to test.
+			//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
+			s.cache.Put(g.key, g.classResp)
+		}
+	default:
+		if g.simpResp.Verify == nil || g.simpResp.Verify.Status != smt.Timeout.String() {
+			s.cache.Put(g.key, g.simpResp)
+		}
 	}
 }

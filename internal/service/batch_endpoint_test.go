@@ -99,6 +99,67 @@ func TestBatchSharesCacheWithSingleEndpoints(t *testing.T) {
 	}
 }
 
+// TestBatchClassifySampling: classify items ride the batch plane like
+// the other kinds — textual variants dedup into one group, the sample
+// payload arrives per item, and a deterministic (default-seeded) run
+// is cached for the next batch.
+func TestBatchClassifySampling(t *testing.T) {
+	_, cl := newTestServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+	items := []service.BatchItem{
+		{Classify: &service.ClassifyRequest{Expr: "(x&y)+z", Width: 8, Samples: 64}},
+		{Solve: &service.SolveRequest{A: "x", B: "x", Width: 8}},
+		{Classify: &service.ClassifyRequest{Expr: "z+(y&x)", Width: 8, Samples: 64}}, // same canonical expr as item 0
+	}
+	resp, err := cl.Batch(ctx, service.BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range resp.Items {
+		if it.Error != "" {
+			t.Fatalf("item %d failed: %s", i, it.Error)
+		}
+	}
+	c0 := resp.Items[0].Classify
+	if c0 == nil || len(c0.Samples) != 64 || c0.Width != 8 {
+		t.Fatalf("item 0: %+v, want 64 width-8 samples", c0)
+	}
+	if resp.Groups != 2 || !resp.Items[2].Deduped {
+		t.Fatalf("groups=%d deduped(item2)=%t, want canonical classify dedup", resp.Groups, resp.Items[2].Deduped)
+	}
+	if c2 := resp.Items[2].Classify; c2 == nil || len(c2.Samples) != 64 {
+		t.Fatalf("deduped item lost its samples: %+v", resp.Items[2].Classify)
+	}
+
+	// The same classify item in a fresh batch is a cache hit; a
+	// different seed is a different fact and must miss.
+	again, err := cl.Batch(ctx, service.BatchRequest{Items: []service.BatchItem{
+		{Classify: &service.ClassifyRequest{Expr: "(x&y)+z", Width: 8, Samples: 64}},
+		{Classify: &service.ClassifyRequest{Expr: "(x&y)+z", Width: 8, Samples: 64, Seed: 9}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", again.CacheHits)
+	}
+	if c := again.Items[0].Classify; c == nil || !c.Cached || len(c.Samples) != 64 {
+		t.Fatalf("repeat classify not served from cache: %+v", again.Items[0].Classify)
+	}
+	if c := again.Items[1].Classify; c == nil || c.Cached {
+		t.Fatalf("distinct-seed classify wrongly cached: %+v", again.Items[1].Classify)
+	}
+
+	// An item setting none of the kinds reports per-item.
+	bad, err := cl.Batch(ctx, service.BatchRequest{Items: []service.BatchItem{{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.Items[0].Error == "" {
+		t.Fatal("empty item not reported per-item")
+	}
+}
+
 func TestBatchRejections(t *testing.T) {
 	_, cl := newTestServer(t, service.Config{Workers: 1, MaxBatchItems: 2})
 	ctx := context.Background()

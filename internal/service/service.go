@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"mbasolver/internal/core"
+	"mbasolver/internal/eval/bitslice"
 	"mbasolver/internal/expr"
 	"mbasolver/internal/fault"
 	"mbasolver/internal/metrics"
@@ -551,6 +552,14 @@ func simplifyKey(width uint, disj, verify bool, d expr.Digest) string {
 	return fmt.Sprintf("simplify|w%d|disj%t|v%t|%s", width, disj, verify, d)
 }
 
+// classifyKey is the execution/cache key of a classify item. Width,
+// sample count and seed all change the sample payload, so they are all
+// part of the key; the seed here is the resolved one (default applied),
+// keeping explicit-default and implicit-default requests on one entry.
+func classifyKey(width uint, samples int, seed uint64, d expr.Digest) string {
+	return fmt.Sprintf("classify|w%d|n%d|seed%d|%s", width, samples, seed, d)
+}
+
 // ---- handlers ------------------------------------------------------
 
 func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
@@ -820,6 +829,67 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, &out)
 }
 
+// maxClassifySamples caps one classify request's I/O sample count so a
+// single item cannot hold a worker for an unbounded evaluation run.
+const maxClassifySamples = 1024
+
+// classifySeed is the default sampling seed when the request leaves
+// Seed zero. It is a fixed constant so default-seeded sample streams
+// are deterministic across processes and therefore cacheable.
+const classifySeed = 0x5eed5eed5eed5eed
+
+// parseClassify validates one classify request into its execution
+// parameters, shared by the single-item handler and the batch planner.
+func (s *Server) parseClassify(req *ClassifyRequest) (e *expr.Expr, width uint, samples int, seed uint64, err error) {
+	e, err = parser.Parse(req.Expr)
+	if err != nil {
+		return nil, 0, 0, 0, fmt.Errorf("expr: %w", err)
+	}
+	width, err = s.width(req.Width)
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	if req.Samples < 0 {
+		return nil, 0, 0, 0, fmt.Errorf("samples must be non-negative")
+	}
+	if req.Samples > maxClassifySamples {
+		return nil, 0, 0, 0, fmt.Errorf("samples %d above the server cap %d", req.Samples, maxClassifySamples)
+	}
+	seed = req.Seed
+	if seed == 0 {
+		seed = classifySeed
+	}
+	return e, width, req.Samples, seed, nil
+}
+
+// runClassify computes metrics and, when samples > 0, draws the I/O
+// sample block on the bitsliced bytecode engine. The worker's stop
+// flag bounds sampling: a cancelled request returns the samples drawn
+// so far (callers must not cache truncated answers).
+func runClassify(wc *workerCtx, e *expr.Expr, width uint, samples int, seed uint64) *ClassifyResponse {
+	resp := &ClassifyResponse{
+		Input:   e.String(),
+		Metrics: MetricsOf(metrics.Measure(e)),
+		Hash:    expr.HashString(e),
+		Width:   width,
+	}
+	if samples > 0 {
+		if prog, err := bitslice.Compile(e, width); err == nil {
+			raw := bitslice.SampleIO(prog, samples, seed, wc.stop)
+			pts := make([]IOPoint, len(raw))
+			for i, sm := range raw {
+				in := make(map[string]uint64, len(prog.Vars))
+				for vi, name := range prog.Vars {
+					in[name] = sm.Inputs[vi]
+				}
+				pts[i] = IOPoint{Inputs: in, Output: sm.Output}
+			}
+			resp.Samples = pts
+		}
+	}
+	return resp
+}
+
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	status := http.StatusOK
@@ -831,23 +901,29 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err.Error())
 		return
 	}
-	e, err := parser.Parse(req.Expr)
+	e, width, samples, seed, err := s.parseClassify(&req)
 	if err != nil {
 		status = http.StatusBadRequest
-		s.writeError(w, status, fmt.Sprintf("expr: %v", err))
+		s.writeError(w, status, err.Error())
+		return
+	}
+
+	key := classifyKey(width, samples, seed, expr.Hash(e))
+	if v, ok := s.cache.Get(key); ok {
+		resp := *v.(*ClassifyResponse)
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
 		return
 	}
 
 	// Classification shares the admission path so overload protection is
-	// uniform across endpoints, even though the work is cheap.
+	// uniform across endpoints; with sampling requested the work is no
+	// longer trivially cheap, so the slot matters.
 	deadline := start.Add(s.timeout(0))
 	var resp *ClassifyResponse
 	err = s.submit(r.Context(), deadline, func(wc *workerCtx) {
-		resp = &ClassifyResponse{
-			Input:   e.String(),
-			Metrics: MetricsOf(metrics.Measure(e)),
-			Hash:    expr.HashString(e),
-		}
+		resp = runClassify(wc, e, width, samples, seed)
 	})
 	if err != nil {
 		status = submitErrorStatus(err)
@@ -855,8 +931,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err.Error())
 		return
 	}
-	resp.ElapsedMS = durMS(time.Since(start))
-	writeJSON(w, status, resp)
+	// Same policy as the batch executor: a short sample block means the
+	// stop flag fired mid-run, and such truncated answers must not be
+	// cached; classify has no Status field to test.
+	if samples == 0 || len(resp.Samples) == samples {
+		//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
+		s.cache.Put(key, resp)
+	}
+	out := *resp
+	out.ElapsedMS = durMS(time.Since(start))
+	writeJSON(w, status, &out)
 }
 
 // handleHealth is pure liveness: the process is up and able to answer

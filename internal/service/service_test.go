@@ -166,6 +166,84 @@ func TestClassifyEndpoint(t *testing.T) {
 	}
 }
 
+// TestClassifySampling drives the bulk I/O-sampling path: samples must
+// be deterministic for a fixed seed, replay correctly through the tree
+// evaluator, and respect the requested width.
+func TestClassifySampling(t *testing.T) {
+	_, cl := newTestServer(t, service.Config{Workers: 2})
+	ctx := context.Background()
+	const src = "(x&~y) + 3*z"
+	const width = 16
+	e := parser.MustParse(src)
+
+	req := service.ClassifyRequest{Expr: src, Width: width, Samples: 200}
+	resp, err := cl.Classify(ctx, req)
+	if err != nil {
+		t.Fatalf("classify: %v", err)
+	}
+	if resp.Width != width {
+		t.Fatalf("resolved width %d, want %d", resp.Width, width)
+	}
+	if len(resp.Samples) != 200 {
+		t.Fatalf("got %d samples, want 200", len(resp.Samples))
+	}
+	mask := uint64(1)<<width - 1
+	for i, p := range resp.Samples {
+		env := eval.Env{}
+		for name, v := range p.Inputs {
+			if v != v&mask {
+				t.Fatalf("sample %d: input %s=%d exceeds width %d", i, name, v, width)
+			}
+			env[name] = v
+		}
+		if len(env) != 3 {
+			t.Fatalf("sample %d: inputs %v, want x, y, z", i, p.Inputs)
+		}
+		if got := eval.Eval(e, env, width); got != p.Output {
+			t.Fatalf("sample %d: replay %d != reported output %d", i, got, p.Output)
+		}
+	}
+
+	// Default seed is fixed: the identical request reproduces the stream —
+	// and, being deterministic, is answered from the verdict cache.
+	again, err := cl.Classify(ctx, req)
+	if err != nil {
+		t.Fatalf("classify (repeat): %v", err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat classify with sampling was not served from cache")
+	}
+	if len(again.Samples) != len(resp.Samples) {
+		t.Fatalf("cached repeat has %d samples, want %d", len(again.Samples), len(resp.Samples))
+	}
+	for i := range again.Samples {
+		if again.Samples[i].Output != resp.Samples[i].Output {
+			t.Fatalf("sample %d not deterministic across requests", i)
+		}
+	}
+
+	// An explicit distinct seed draws a different stream.
+	seeded, err := cl.Classify(ctx, service.ClassifyRequest{Expr: src, Width: width, Samples: 200, Seed: 7})
+	if err != nil {
+		t.Fatalf("classify (seed 7): %v", err)
+	}
+	same := true
+	for i := range seeded.Samples {
+		if seeded.Samples[i].Output != resp.Samples[i].Output {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 7 reproduced the default-seed stream")
+	}
+
+	// Over-cap requests are rejected, not clamped.
+	if _, err := cl.Classify(ctx, service.ClassifyRequest{Expr: src, Samples: 100000}); err == nil {
+		t.Fatal("over-cap sample count accepted")
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	svc, cl := newTestServer(t, service.Config{Workers: 1})
 	ctx := context.Background()

@@ -24,7 +24,10 @@ func TestWitnessOnRewriterFold(t *testing.T) {
 	s := NewBoolectorSim()
 	for _, p := range pairs {
 		a, b := parser.MustParse(p[0]), parser.MustParse(p[1])
-		res := s.CheckEquiv(a, b, 8, Budget{})
+		// NoScreen: the pre-solve screen would refute these pairs
+		// before the rewriter ever folds them; this test pins the
+		// witness behaviour of the rewriter-fold path specifically.
+		res := s.CheckEquiv(a, b, 8, Budget{NoScreen: true})
 		if res.Status != NotEquivalent {
 			t.Errorf("%q vs %q -> %v, want not-equivalent", p[0], p[1], res.Status)
 			continue

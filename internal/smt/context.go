@@ -349,6 +349,20 @@ func (c *Context) checkTermEquiv(start time.Time, ta, tb *bv.Term, budget Budget
 	ta, tb = c.in.Intern(ta), c.in.Intern(tb)
 	origA, origB := ta, tb
 
+	// Pre-solve equivalence screen, mirroring the one-shot path: a
+	// refute-only vector pass that catches most non-identities before
+	// rewriting or the warm SAT circuit get involved. It leaves the
+	// context untouched, so screened queries cost no learned state.
+	if !budget.NoScreen {
+		if w, ok := screenEquiv(ta, tb, budget, deadline); ok {
+			c.stats.Queries++
+			return Result{
+				Status: NotEquivalent, Witness: w, Screened: true,
+				Elapsed: time.Since(start),
+			}
+		}
+	}
+
 	if c.s.level != bv.RewriteNone {
 		ta, tb = c.rw.Rewrite(ta), c.rw.Rewrite(tb)
 		if ta == tb {

@@ -1,0 +1,158 @@
+package smt
+
+import (
+	"sort"
+	"time"
+
+	"mbasolver/internal/bv"
+	"mbasolver/internal/eval/bitslice"
+)
+
+// The pre-solve screen evaluates a few 64-lane vector blocks; the
+// witness prober (which runs only after rewriting has already proved
+// the sides differ) digs deeper. 4 blocks = 256 points, 8 = 512,
+// matching the old scalar prober's budget.
+const (
+	screenRandomBlocks  = 4
+	witnessRandomBlocks = 8
+)
+
+// probeDistinguish is the shared core of the pre-solve equivalence
+// screen and the rewriter-verdict witness prober: it compiles the
+// disequality ta != tb into bitslice bytecode and evaluates corner
+// and pseudo-random vector blocks, 64 assignments at a time, looking
+// for a concrete input on which the sides differ.
+//
+// It is refute-only. A found witness is re-verified against the
+// tree-walking bv.Eval before being returned, so a true result is
+// always a genuine counterexample — the screen can turn a slow
+// NotEquivalent into a fast one but can never flip a verdict.
+//
+// ok=false means no witness was found (the probes all failed, the
+// budget expired mid-probe, or the term did not compile) and the map
+// is nil. A variable-free disequality yields an empty, non-nil map:
+// the empty assignment is the witness.
+//
+// The search honours the query budget between blocks: a raised stop
+// flag or an expired deadline ends it immediately.
+func probeDistinguish(ta, tb *bv.Term, randomBlocks int, budget Budget, deadline time.Time) (map[string]uint64, bool) {
+	expired := func() bool {
+		return budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline))
+	}
+	if expired() {
+		return nil, false
+	}
+	vars := termVars(ta, tb)
+	names := make([]string, 0, len(vars))
+	for name := range vars {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	prog, err := bitslice.CompileTerm(bv.Predicate(bv.Ne, ta, tb))
+	if err != nil {
+		return nil, false
+	}
+	ev := bitslice.NewEvaluator(prog)
+
+	width := ta.Width
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
+	}
+
+	// check scans one evaluated block for a nonzero lane (the sides
+	// differ there) and re-verifies the assignment on the tree walker.
+	outs := make([]uint64, 0, 64)
+	check := func(blk *bitslice.Block) map[string]uint64 {
+		outs = ev.EvalBlock(blk, outs[:0])
+		for lane, d := range outs {
+			if d == 0 {
+				continue
+			}
+			env := blk.Env(names, lane)
+			if bv.Eval(ta, env) != bv.Eval(tb, env) {
+				return env
+			}
+		}
+		return nil
+	}
+
+	// Corner block: the first lanes assign the same corner to every
+	// variable (all zeros, all ones, ...); the rest vary the corner
+	// per variable, so symmetric pairs like x vs y — on which every
+	// uniform assignment agrees by construction — still get refuted.
+	corners := cornerTuple(mask)
+	blk := bitslice.NewBlock(width, 64)
+	nc := len(corners)
+	for lane := 0; lane < 64; lane++ {
+		for vi, name := range names {
+			var v uint64
+			if lane < nc {
+				v = corners[lane]
+			} else {
+				v = corners[(lane+vi*(1+lane/nc))%nc]
+			}
+			blk.Set(name, lane, v)
+		}
+	}
+	if w := check(blk); w != nil {
+		return w, true
+	}
+
+	// Deterministic pseudo-random blocks (splitmix64, same stream
+	// seed as the old scalar prober).
+	seed := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		seed += 0x9e3779b97f4a7c15
+		z := seed
+		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+		z = (z ^ z>>27) * 0x94d049bb133111eb
+		return z ^ z>>31
+	}
+	for b := 0; b < randomBlocks; b++ {
+		if expired() {
+			return nil, false
+		}
+		blk := bitslice.NewBlock(width, 64)
+		for lane := 0; lane < 64; lane++ {
+			for _, name := range names {
+				blk.Set(name, lane, next())
+			}
+		}
+		if w := check(blk); w != nil {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// cornerTuple returns the deduplicated corner values for a mask: all
+// zeros, all ones, one, alternating bits, and the signed extremes.
+func cornerTuple(mask uint64) []uint64 {
+	raw := []uint64{0, mask, 1, 0xaaaaaaaaaaaaaaaa & mask, 0x5555555555555555 & mask, mask >> 1, (mask >> 1) + 1}
+	uniq := raw[:0]
+	for _, c := range raw {
+		dup := false
+		for _, u := range uniq {
+			if u == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, c)
+		}
+	}
+	return uniq
+}
+
+// screenEquiv is the pre-solve equivalence screen: a cheap refutation
+// pass run before any rewriting or SAT work. It returns a verified
+// witness and true when the sides are provably not equivalent.
+func screenEquiv(ta, tb *bv.Term, budget Budget, deadline time.Time) (map[string]uint64, bool) {
+	if ta.Width != tb.Width {
+		return nil, false
+	}
+	return probeDistinguish(ta, tb, screenRandomBlocks, budget, deadline)
+}

@@ -83,6 +83,12 @@ type Budget struct {
 	// boundaries, translated through the blaster's variable map. The
 	// portfolio solver wires one pool across its personalities.
 	Share *bitblast.Endpoint
+	// NoScreen disables the pre-solve equivalence screen (random +
+	// corner vector blocks on the bitsliced evaluator that refute
+	// most non-identities before any rewriting or SAT work). The
+	// differential suites use it to compare screened and unscreened
+	// verdicts; production callers leave it off.
+	NoScreen bool
 }
 
 // stopped reports whether the external cancellation flag is raised.
@@ -97,6 +103,7 @@ type Result struct {
 	Conflicts    int64 // CDCL conflicts spent
 	Propagations int64 // CDCL propagations spent
 	Rewritten    bool  // verdict reached by word-level rewriting alone
+	Screened     bool  // verdict reached by the pre-solve vector screen
 }
 
 // Solver is one SMT solver personality. Solvers are stateless between
@@ -238,6 +245,19 @@ func (s *Solver) prepareQuery(start time.Time, ta, tb *bv.Term, budget Budget) (
 	}
 	if siteRewrite.Fire() {
 		fault.PanicAt("smt.rewrite")
+	}
+
+	// Pre-solve equivalence screen: evaluate corner + random vector
+	// blocks on the bitsliced engine before buying any rewriting or
+	// SAT work. Most non-identities die here with a verified witness;
+	// the screen is refute-only, so it can never flip a verdict.
+	if !budget.NoScreen {
+		if w, ok := screenEquiv(ta, tb, budget, deadline); ok {
+			return nil, origA, origB, deadline, &Result{
+				Status: NotEquivalent, Witness: w, Screened: true,
+				Elapsed: time.Since(start),
+			}
+		}
 	}
 
 	rw := bv.NewRewriter(s.level)

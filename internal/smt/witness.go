@@ -1,7 +1,6 @@
 package smt
 
 import (
-	"sort"
 	"time"
 
 	"mbasolver/internal/bv"
@@ -19,10 +18,12 @@ func termVars(ta, tb *bv.Term) map[string]uint {
 // findWitness searches for a concrete input on which the two terms
 // evaluate differently, for NotEquivalent verdicts reached by
 // rewriting alone (which proves the sides differ but yields no model).
-// It probes a deterministic sequence of assignments — the constant
-// corners first, then pseudo-random points — and returns the first
-// distinguishing one with ok=true (a variable-free query yields an
-// empty, non-nil map: the empty assignment is the witness).
+// It probes deterministic corner tuples — both uniform and varied per
+// variable, so symmetric pairs like x vs y are distinguishable — then
+// pseudo-random 64-lane vector blocks on the bitsliced evaluator, and
+// returns the first distinguishing assignment with ok=true (a
+// variable-free query yields an empty, non-nil map: the empty
+// assignment is the witness).
 //
 // ok=false means no witness was found — the budget expired mid-probe
 // or every probe failed — and the returned map is nil. Callers must
@@ -30,75 +31,8 @@ func termVars(ta, tb *bv.Term) map[string]uint {
 // all-zeros, which on a budget bail would assert a distinguishing
 // input nobody ever checked.
 //
-// Each probe evaluates both terms, which on deep shared DAGs is
-// expensive, so the search honours the query budget: a raised stop
-// flag or an expired deadline ends it immediately.
+// The search honours the query budget: a raised stop flag or an
+// expired deadline ends it immediately.
 func findWitness(ta, tb *bv.Term, budget Budget, deadline time.Time) (map[string]uint64, bool) {
-	expired := func() bool {
-		return budget.stopped() || (!deadline.IsZero() && time.Now().After(deadline))
-	}
-	if expired() {
-		return nil, false
-	}
-	vars := termVars(ta, tb)
-	names := make([]string, 0, len(vars))
-	for name := range vars {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
-	width := ta.Width
-	mask := ^uint64(0)
-	if width < 64 {
-		mask = 1<<width - 1
-	}
-
-	env := make(map[string]uint64, len(names))
-	bailed := false
-	try := func(value func(i int) uint64) map[string]uint64 {
-		if expired() {
-			bailed = true
-			return nil
-		}
-		for i, name := range names {
-			env[name] = value(i) & mask
-		}
-		if bv.Eval(ta, env) != bv.Eval(tb, env) {
-			out := make(map[string]uint64, len(env))
-			for k, v := range env {
-				out[k] = v
-			}
-			return out
-		}
-		return nil
-	}
-
-	// Corners: all zeros, all ones, one, alternating bits.
-	for _, c := range []uint64{0, ^uint64(0), 1, 0xaaaaaaaaaaaaaaaa, 0x5555555555555555} {
-		if w := try(func(int) uint64 { return c }); w != nil {
-			return w, true
-		}
-		if bailed {
-			return nil, false
-		}
-	}
-	// Deterministic pseudo-random probes (splitmix64).
-	seed := uint64(0x9e3779b97f4a7c15)
-	next := func() uint64 {
-		seed += 0x9e3779b97f4a7c15
-		z := seed
-		z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
-		z = (z ^ z>>27) * 0x94d049bb133111eb
-		return z ^ z>>31
-	}
-	for round := 0; round < 256 && !bailed; round++ {
-		vals := make([]uint64, len(names))
-		for i := range vals {
-			vals[i] = next()
-		}
-		if w := try(func(i int) uint64 { return vals[i] }); w != nil {
-			return w, true
-		}
-	}
-	return nil, false
+	return probeDistinguish(ta, tb, witnessRandomBlocks, budget, deadline)
 }

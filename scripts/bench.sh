@@ -21,6 +21,13 @@
 # machine — the report records the core count; the warm rows carry the
 # shard-locality story regardless.
 #
+# The eval stage benchmarks the evaluation engines — the tree-walking
+# interpreter against the flat bytecode program (scalar, bitsliced and
+# cost-model auto) — on a generated width-64 MBA corpus, and writes
+# BENCH_eval.json. Every bytecode output is differentially checked
+# against the interpreter; "mismatches" must be 0, and the auto engine
+# is expected to clear 20x the interpreter's throughput.
+#
 # Tunables (env):
 #   BENCH_N          corpus equations            (default 6)
 #   BENCH_REPEATS    round-robin passes          (default 4)
@@ -31,6 +38,7 @@
 #   CLUSTER_BENCH_SEED     cluster corpus seed   (default 1)
 #   CLUSTER_BENCH_REPEATS  warm batches per size (default 4)
 #   CLUSTER_BENCH_OUT      cluster report file   (default BENCH_cluster.json)
+#   EVAL_BENCH_OUT   eval report file            (default BENCH_eval.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,3 +59,9 @@ go run ./cmd/mbabench \
     -seed "${CLUSTER_BENCH_SEED:-1}" \
     -width "${BENCH_WIDTH:-8}"
 echo "bench: wrote $cluster_out"
+
+# The eval bench sizes and widths itself (width-64 corpus, its own
+# sample count) — BENCH_WIDTH deliberately does not apply here.
+eval_out="${EVAL_BENCH_OUT:-BENCH_eval.json}"
+go run ./cmd/mbabench -eval-bench "$eval_out"
+echo "bench: wrote $eval_out"

@@ -43,10 +43,11 @@ go test -race -count=1 ./internal/chaos/
 go test -race -count=1 ./internal/portfolio/ -run 'TestParallelMatchesSolo|TestParallelCubeFallback|TestContextSetSharingAndCubes'
 
 # Bench smoke: the miniature incremental-vs-fresh solver benchmark,
-# the solo-vs-share+cubes benchmark and the sharded-cluster benchmark
-# must run end to end with zero verdict mismatches, and the Go
-# benchmarks must still execute (full numbers: scripts/bench.sh).
-go test ./internal/harness/ -run 'TestSolverBenchSmoke|TestParallelBenchSmoke|TestClusterBenchSmoke'
+# the solo-vs-share+cubes benchmark, the sharded-cluster benchmark and
+# the evaluation-engine benchmark must run end to end with zero
+# verdict/evaluation mismatches, and the Go benchmarks must still
+# execute (full numbers: scripts/bench.sh).
+go test ./internal/harness/ -run 'TestSolverBenchSmoke|TestParallelBenchSmoke|TestClusterBenchSmoke|TestEvalBenchSmoke'
 go test ./internal/smt/ -run '^$' -bench CheckTermEquiv -benchtime 1x
 
 # --- mbaserved boot + selfcheck smoke ---------------------------------
