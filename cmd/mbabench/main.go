@@ -156,6 +156,7 @@ func main() {
 			step("%s node(s): cold scaling %.2fx, warm scaling %.2fx, cold/warm speedup %.2fx",
 				key, report.ColdScaling[key], report.WarmScaling[key], report.ColdWarmSpeedup[key])
 		}
+		step("warm restart from the verdict store: %.2fx over a cold fill", report.RestartSpeedup)
 		step("%d verdict mismatches", report.Mismatches)
 		if report.Mismatches != 0 {
 			fatal(fmt.Errorf("cluster bench found %d verdict mismatches", report.Mismatches))

@@ -32,6 +32,7 @@ func TestFixtureExitCodes(t *testing.T) {
 		{"goroutinelife", "mbasolver/internal/gorolife", 1},
 		{"ctxflow", "mbasolver/internal/service/ctxfix", 1},
 		{"reasoncheck", "mbasolver/internal/smtreason", 1},
+		{"storeput", "mbasolver/internal/storeput", 1},
 		{"clean", "example.com/clean", 0},
 	}
 	for _, tc := range cases {

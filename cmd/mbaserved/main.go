@@ -5,8 +5,8 @@
 //	mbaserved [-addr 127.0.0.1:8391] [-workers N] [-queue N] [-cache N]
 //	          [-timeout 5s] [-max-timeout 60s] [-width 64]
 //	          [-breaker-threshold N] [-breaker-cooldown 250ms]
-//	          [-share] [-cubes]
-//	mbaserved -selfcheck [-target http://host:port]
+//	          [-share] [-cubes] [-store DIR]
+//	mbaserved -selfcheck [-target http://host:port] [-expect-store-recovered]
 //
 // In server mode it listens on -addr (port 0 picks a free port), prints
 // the resolved URL on stdout and serves until SIGINT/SIGTERM, then
@@ -14,13 +14,25 @@
 // cancelled through their budget stop flags, and the worker pool
 // drains.
 //
+// With -store the node persists definitive verdicts, simplifications
+// and classify answers in an append-only, checksummed log under DIR
+// and replays it at boot, so a restarted node answers its warm set
+// from disk instead of re-solving it. Recovery never blocks startup:
+// a torn or corrupt log is truncated to its intact prefix (reported on
+// stdout before the listening line, and in /debug/metrics under
+// "store"). A SIGKILLed node loses at most the last group-commit
+// interval of writes.
+//
 // With -selfcheck it drives a server end-to-end — simplify (verified),
 // solve (single and portfolio, cached repeats), classify, a concurrent
 // burst, and a /debug/metrics scrape asserting cache hits and a quiet
 // pool — and exits non-zero on any failure. Without -target it boots a
 // private in-process server and additionally checks that shutdown
 // returns the process to its baseline goroutine count; with -target it
-// smokes a running instance (this is what scripts/ci.sh does).
+// smokes a running instance (this is what scripts/ci.sh does). The
+// extra -expect-store-recovered flag makes the target-mode smoke also
+// require the server to report a non-empty store recovery and store
+// hits — the crash-and-restart assertion in ci.sh's SIGKILL stage.
 package main
 
 import (
@@ -38,6 +50,7 @@ import (
 
 	"mbasolver/internal/service"
 	"mbasolver/internal/service/client"
+	"mbasolver/internal/store"
 )
 
 func main() {
@@ -52,8 +65,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "initial cooldown of an open circuit breaker (0 = 250ms)")
 	share := flag.Bool("share", false, "portfolio solves exchange short learned clauses between personalities")
 	cubes := flag.Bool("cubes", false, "portfolio solves fall back to cube-and-conquer when the race cannot decide")
+	storeDir := flag.String("store", "", "persistent verdict store directory (empty = memory-only)")
 	selfcheck := flag.Bool("selfcheck", false, "run the end-to-end smoke instead of serving")
 	target := flag.String("target", "", "with -selfcheck: smoke this base URL instead of an in-process server")
+	expectRecovered := flag.Bool("expect-store-recovered", false, "with -selfcheck -target: require the server to report store recovery and store hits")
 	flag.Parse()
 
 	cfg := service.Config{
@@ -70,7 +85,23 @@ func main() {
 	}
 
 	if *selfcheck {
-		os.Exit(runSelfcheck(cfg, *target))
+		os.Exit(runSelfcheck(cfg, *target, *expectRecovered))
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			// Open only fails on environment errors (unwritable directory);
+			// corruption never stops a boot.
+			fmt.Fprintln(os.Stderr, "mbaserved:", err)
+			os.Exit(1)
+		}
+		cfg.Store = st
+		snap := st.Snapshot()
+		fmt.Printf("mbaserved: store %s: recovered %d record(s), %d truncation(s)\n",
+			*storeDir, snap.Recovered, snap.Truncated)
 	}
 
 	svc := service.New(cfg)
@@ -111,15 +142,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbaserved: http shutdown:", err)
 		os.Exit(1)
 	}
+	if st != nil {
+		// After the pool drained: the last persists are queued, the final
+		// group commit flushes them.
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "mbaserved: store close:", err)
+			os.Exit(1)
+		}
+	}
 	fmt.Fprintln(os.Stderr, "mbaserved: drained, bye")
 }
 
 // runSelfcheck smokes a server and returns the process exit code.
-func runSelfcheck(cfg service.Config, target string) int {
+func runSelfcheck(cfg service.Config, target string, expectRecovered bool) int {
 	if target != "" {
-		if err := smoke(target); err != nil {
+		if err := smoke(target, expectRecovered); err != nil {
 			fmt.Fprintln(os.Stderr, "selfcheck FAIL:", err)
 			return 1
+		}
+		if expectRecovered {
+			if err := checkStoreRecovered(target); err != nil {
+				fmt.Fprintln(os.Stderr, "selfcheck FAIL:", err)
+				return 1
+			}
 		}
 		fmt.Println("selfcheck ok")
 		return 0
@@ -139,7 +184,7 @@ func runSelfcheck(cfg service.Config, target string) int {
 	//lint:ignore goroutinelife Serve returns when httpSrv.Shutdown below closes the listener
 	go func() { _ = httpSrv.Serve(ln) }()
 
-	smokeErr := smoke("http://" + ln.Addr().String())
+	smokeErr := smoke("http://"+ln.Addr().String(), false)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
@@ -174,11 +219,42 @@ func runSelfcheck(cfg service.Config, target string) int {
 	return 0
 }
 
+// checkStoreRecovered asserts a warm-restart target actually restarted
+// warm: its metrics must report a store that replayed records at boot
+// AND served at least one of this smoke's queries from disk (the LRU
+// is cold after a restart, so the smoke's first queries fall through
+// to the store when the previous run persisted them).
+func checkStoreRecovered(base string) error {
+	cl := client.New(base)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	met, err := cl.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	switch {
+	case met.Store == nil:
+		return fmt.Errorf("no store metrics; is the server running with -store?")
+	case met.Store.Recovered == 0:
+		return fmt.Errorf("store recovered 0 records; expected a warm restart (%+v)", *met.Store)
+	case met.Store.Hits == 0:
+		return fmt.Errorf("store hits = 0; the warm restart served nothing from disk (%+v)", *met.Store)
+	}
+	fmt.Printf("store: recovered=%d truncated=%d hits=%d puts=%d\n",
+		met.Store.Recovered, met.Store.Truncated, met.Store.Hits, met.Store.Puts)
+	return nil
+}
+
 // smoke drives every endpoint and checks the metrics surface. It owns
 // its HTTP transport so it can close idle keep-alive connections before
 // the final goroutine accounting: each pooled connection pins a conn
 // goroutine server-side, which would read as a leak otherwise.
-func smoke(base string) error {
+//
+// warmRestart flips the pool-admission expectation: on a cold boot the
+// smoke's queries must reach the workers, but on a warm restart the
+// same deterministic queries are supposed to come back from the
+// persistent store without ever touching the pool.
+func smoke(base string, warmRestart bool) error {
 	tr := &http.Transport{}
 	defer tr.CloseIdleConnections()
 	cl := client.New(base, client.WithHTTPClient(&http.Client{Transport: tr}))
@@ -311,7 +387,7 @@ func smoke(base string) error {
 	if hits := after.Cache.Hits - before.Cache.Hits; hits < 2 {
 		return fmt.Errorf("cache hits grew by %d, want >= 2", hits)
 	}
-	if after.Pool.Admitted <= before.Pool.Admitted {
+	if !warmRestart && after.Pool.Admitted <= before.Pool.Admitted {
 		return fmt.Errorf("admitted counter did not move")
 	}
 	return nil

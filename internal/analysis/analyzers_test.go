@@ -37,6 +37,10 @@ func TestFixtures(t *testing.T) {
 		// The reasoncheck fixture's path contains internal/smt (verdict
 		// scope) without suffix-matching the budgetloop scope.
 		{dir: "reasoncheck", pkg: "mbasolver/internal/smtreason", minDiags: 5},
+		// The storeput fixture's path contains internal/store, putting
+		// Store-named Put receivers under the persistence rule: an
+		// unguarded write to the on-disk store is a finding.
+		{dir: "storeput", pkg: "mbasolver/internal/storeput", minDiags: 3},
 		{dir: "clean", pkg: "example.com/clean", minDiags: 0},
 	}
 	for _, tc := range cases {

@@ -11,7 +11,7 @@ import (
 // reasonScopePkgs are the packages that construct or transport
 // verdicts (matched by import-path substring so fixtures can pose as
 // them).
-var reasonScopePkgs = []string{"internal/smt", "internal/sat", "internal/portfolio", "internal/service", "internal/cluster"}
+var reasonScopePkgs = []string{"internal/smt", "internal/sat", "internal/portfolio", "internal/service", "internal/cluster", "internal/store"}
 
 func inReasonScope(pkg *Package) bool {
 	for _, part := range reasonScopePkgs {
@@ -33,10 +33,12 @@ func inReasonScope(pkg *Package) bool {
 //  2. An assignment `x.Status = <unknown-ish>` must be paired with a
 //     `x.Reason = ...` assignment on the same receiver somewhere in
 //     the same function.
-//  3. A call to a Put method on a *Cache-named type must sit under an
-//     if whose condition mentions the timeout/fault vocabulary
-//     (Status/Verify + Timeout/Unknown, or IsInjected): timeouts and
-//     injected faults are never persisted.
+//  3. A call to a Put method on a *Cache- or *Store-named type must
+//     sit under an if whose condition mentions the timeout/fault
+//     vocabulary (Status/Verify + Timeout/Unknown, or IsInjected):
+//     timeouts and injected faults are never persisted — neither in
+//     the in-memory LRU nor in the on-disk verdict store, where a bad
+//     entry would outlive the process.
 //
 // Known limitations: rule 3 is a guard-presence check — it verifies a
 // timeout/fault conditional dominates the write but not the guard's
@@ -262,7 +264,8 @@ func isEmptyString(e ast.Expr) bool {
 }
 
 // isCachePut reports whether the call invokes a Put method on a
-// Cache-named receiver type (the semantic LRU, the persistence layer).
+// Cache- or Store-named receiver type (the semantic LRU and the
+// persistent verdict store — both persistence layers rule 3 guards).
 func isCachePut(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Put" {
@@ -277,7 +280,11 @@ func isCachePut(pkg *Package, call *ast.CallExpr) bool {
 		recv = p.Elem()
 	}
 	named, ok := recv.(*types.Named)
-	return ok && strings.Contains(named.Obj().Name(), "Cache")
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Cache") || strings.Contains(name, "Store")
 }
 
 // guardedIf is one if statement's extent and condition text.

@@ -1,0 +1,97 @@
+// Package storeput exercises reasoncheck rule 3 against the
+// persistent verdict store. The harness loads it posing as
+// mbasolver/internal/storeput: the path contains "internal/store", so
+// the persistence rules apply, and the Put receiver is Store-named —
+// the on-disk layer where an unguarded write outlives the process.
+package storeput
+
+// Status mirrors the solver's verdict vocabulary.
+type Status int
+
+const (
+	Proved Status = iota
+	Timeout
+)
+
+const Unknown = Timeout
+
+func (s Status) String() string {
+	if s == Timeout {
+		return "timeout"
+	}
+	return "proved"
+}
+
+// Verdict is the wire shape handed to the store.
+type Verdict struct {
+	Status Status
+	Reason string
+}
+
+// VerdictStore stands in for the append-only persistent store. Its
+// name contains "Store", which is what puts its Put method under
+// rule 3.
+type VerdictStore struct {
+	m map[string][]byte
+}
+
+func (s *VerdictStore) Put(key string, val []byte) {
+	s.m[key] = val
+}
+
+// persistAlways violates rule 3 at the disk layer: an unguarded write
+// means a timeout verdict would be recovered at every future boot and
+// served forever — strictly worse than the LRU case, which at least
+// dies with the process.
+func persistAlways(s *VerdictStore, key string, val []byte) {
+	s.Put(key, val) // want "cache write is not guarded by a timeout/fault check"
+}
+
+// persistTimeout is the concrete bug the rule exists for: the caller
+// checked something, just not the right thing, and the timeout
+// verdict reaches the log.
+func persistTimeout(s *VerdictStore, key string, v Verdict, val []byte) {
+	if len(val) > 0 {
+		s.Put(key, val) // want "cache write is not guarded by a timeout/fault check"
+	}
+}
+
+// persistEarlyReturn shows the early-return shape rule 3 deliberately
+// rejects: the guard exists but does not positionally enclose the
+// write, so the analyzer cannot see that it dominates it.
+func persistEarlyReturn(s *VerdictStore, key string, v Verdict, val []byte) {
+	if v.Status == Timeout {
+		return
+	}
+	s.Put(key, val) // want "cache write is not guarded by a timeout/fault check"
+}
+
+// persistSettled is the repaired shape: the enclosing guard speaks the
+// Status/Timeout vocabulary, so only settled verdicts reach the disk.
+func persistSettled(s *VerdictStore, key string, v Verdict, val []byte) {
+	if v.Status != Timeout {
+		s.Put(key, val)
+	}
+}
+
+// WireVerdict is the wire shape, carrying String() renderings.
+type WireVerdict struct {
+	Status string
+}
+
+// persistWireGuard shows the wire-shape guard on String() renderings,
+// the form the service layer uses.
+func persistWireGuard(s *VerdictStore, key string, v WireVerdict, val []byte) {
+	if v.Status != Timeout.String() {
+		s.Put(key, val)
+	}
+}
+
+// persistUnlessInjected shows the fault-injection form: results
+// produced under an armed fault site are simulations and must never
+// be recovered as facts.
+func persistUnlessInjected(s *VerdictStore, key string, val []byte, IsInjected func() bool) {
+	if !IsInjected() {
+		s.Put(key, val)
+	}
+}

@@ -3,7 +3,9 @@ package harness
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/http/httptest"
+	"os"
 	"runtime"
 	"time"
 
@@ -13,6 +15,7 @@ import (
 	"mbasolver/internal/service"
 	"mbasolver/internal/service/client"
 	"mbasolver/internal/smt"
+	"mbasolver/internal/store"
 )
 
 // ClusterBenchConfig sizes the sharded-cluster benchmark: the same
@@ -68,7 +71,7 @@ func (c ClusterBenchConfig) withDefaults() ClusterBenchConfig {
 // ClusterBenchRun is one (node count, phase) measurement.
 type ClusterBenchRun struct {
 	Nodes int    `json:"nodes"`
-	Phase string `json:"phase"` // "cold" or "warm"
+	Phase string `json:"phase"` // "cold", "warm", "store-cold" or "store-restart"
 	// Batches and Queries are totals over the phase (warm phases send
 	// WarmRepeats identical batches).
 	Batches    int     `json:"batches"`
@@ -78,6 +81,10 @@ type ClusterBenchRun struct {
 	CacheHits  int     `json:"cache_hits"`
 	Degraded   int     `json:"degraded"` // reasoned Unknowns (should be 0 — no faults here)
 	ShardsUsed int     `json:"shards_used"`
+	// StoreHits counts queries answered from the persistent verdict
+	// store (second-level lookups behind the LRU); non-zero only in the
+	// store phases.
+	StoreHits int `json:"store_hits"`
 }
 
 // ClusterBenchReport is the full result, serialized to
@@ -104,6 +111,12 @@ type ClusterBenchReport struct {
 	// cold number is the capacity story.
 	ColdScaling map[string]float64 `json:"cold_scaling"`
 	WarmScaling map[string]float64 `json:"warm_scaling"`
+	// RestartSpeedup is store-cold wall over store-restart wall at the
+	// largest node count: how much faster the identical batch completes
+	// when every node recovers its persistent verdict log at boot and
+	// serves from disk instead of re-solving. Fresh processes, cold
+	// LRUs — the speedup is purely the on-disk state.
+	RestartSpeedup float64 `json:"restart_speedup"`
 	// Mismatches counts items whose definitive verdict disagreed with
 	// the known ground truth, across every run; anything but zero is a
 	// correctness bug.
@@ -147,23 +160,56 @@ func clusterBenchCorpus(cfg ClusterBenchConfig) []clusterBenchQuery {
 type benchCluster struct {
 	nodes  []*service.Server
 	fronts []*httptest.Server
+	stores []*store.Store
+	addrs  []string // per-node listen addresses, reusable across a reboot
 	router *cluster.Router
 	front  *httptest.Server
 	client *client.Client
 }
 
-func bootBenchCluster(cfg ClusterBenchConfig, n int) (*benchCluster, error) {
+// bootBenchCluster boots n nodes behind a router. storeDirs, when
+// non-nil, backs node i with a persistent verdict store at
+// storeDirs[i]. addrs, when non-nil, pins each node's listen address:
+// the restart phase reboots on the first boot's addresses because the
+// router's consistent-hash ring keys on node URLs — same addresses,
+// same shard assignment, so every query returns to the node whose
+// store holds its verdict.
+func bootBenchCluster(cfg ClusterBenchConfig, n int, storeDirs, addrs []string) (*benchCluster, error) {
 	bc := &benchCluster{}
 	urls := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		svc := service.New(service.Config{
+		addr := "127.0.0.1:0"
+		if addrs != nil {
+			addr = addrs[i]
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			bc.close()
+			return nil, fmt.Errorf("node %d listen on %s: %w", i, addr, err)
+		}
+		nodeCfg := service.Config{
 			Workers:        cfg.Workers,
 			DefaultTimeout: 60 * time.Second,
 			MaxTimeout:     120 * time.Second,
-		})
-		ts := httptest.NewServer(svc.Handler())
+		}
+		if storeDirs != nil {
+			st, err := store.Open(storeDirs[i], store.Options{})
+			if err != nil {
+				ln.Close()
+				bc.close()
+				return nil, fmt.Errorf("node %d store: %w", i, err)
+			}
+			bc.stores = append(bc.stores, st)
+			nodeCfg.Store = st
+		}
+		svc := service.New(nodeCfg)
+		ts := httptest.NewUnstartedServer(svc.Handler())
+		ts.Listener.Close()
+		ts.Listener = ln
+		ts.Start()
 		bc.nodes = append(bc.nodes, svc)
 		bc.fronts = append(bc.fronts, ts)
+		bc.addrs = append(bc.addrs, ln.Addr().String())
 		urls = append(urls, ts.URL)
 	}
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
@@ -193,10 +239,69 @@ func (bc *benchCluster) close() {
 		_ = svc.Shutdown(ctx)
 		bc.fronts[i].Close()
 	}
+	// Stores close after their services drain: Close flushes the pending
+	// channel and fsyncs, so everything the phase computed is on disk
+	// for the next boot.
+	for _, st := range bc.stores {
+		_ = st.Close()
+	}
+}
+
+// storeHits sums second-level store lookups served across every node;
+// zero when the cluster runs memory-only.
+func (bc *benchCluster) storeHits() int {
+	total := 0
+	for _, st := range bc.stores {
+		total += int(st.Snapshot().Hits)
+	}
+	return total
+}
+
+// runClusterPhase drives `batches` identical copies of req through the
+// cluster and checks every definitive verdict against the corpus
+// ground truth. It returns the measured run plus the number of verdict
+// mismatches for the caller's report.
+func runClusterPhase(ctx context.Context, bc *benchCluster, req service.BatchRequest, corpus []clusterBenchQuery, n int, phase string, batches int) (ClusterBenchRun, int, error) {
+	run := ClusterBenchRun{Nodes: n, Phase: phase, Batches: batches}
+	mismatches := 0
+	shards := map[string]bool{}
+	hitsBefore := bc.storeHits()
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		resp, err := bc.client.Batch(ctx, req)
+		if err != nil {
+			return run, mismatches, fmt.Errorf("%d nodes, %s batch %d: %w", n, phase, b, err)
+		}
+		run.Queries += len(resp.Items)
+		run.CacheHits += resp.CacheHits
+		for i, it := range resp.Items {
+			if it.Solve == nil {
+				return run, mismatches, fmt.Errorf("%d nodes, %s: item %d missing result: %+v", n, phase, i, it)
+			}
+			shards[it.Node] = true
+			switch it.Solve.Status {
+			case smt.Timeout.String():
+				run.Degraded++
+			case corpus[i].want.String():
+			default:
+				mismatches++
+			}
+		}
+	}
+	wall := time.Since(start)
+	run.WallMS = durMSf(wall)
+	if wall > 0 {
+		run.Throughput = float64(run.Queries) / wall.Seconds()
+	}
+	run.ShardsUsed = len(shards)
+	run.StoreHits = bc.storeHits() - hitsBefore
+	return run, mismatches, nil
 }
 
 // RunClusterBench measures routed batch throughput at each configured
-// node count, cold and warm, against one fixed known-answer workload.
+// node count, cold and warm, against one fixed known-answer workload,
+// then reruns the largest cluster with per-node persistent stores
+// through a full stop-and-reboot cycle to price a warm restart.
 // Every definitive verdict is checked against ground truth; the report
 // carries the mismatch count (must be zero) alongside the timings, so
 // the benchmark doubles as a distributed differential test.
@@ -220,50 +325,18 @@ func RunClusterBench(cfg ClusterBenchConfig) (ClusterBenchReport, error) {
 
 	baseColdQPS, baseWarmQPS := 0.0, 0.0
 	for _, n := range cfg.NodeCounts {
-		bc, err := bootBenchCluster(cfg, n)
+		bc, err := bootBenchCluster(cfg, n, nil, nil)
 		if err != nil {
 			return report, err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 
-		runPhase := func(phase string, batches int) (ClusterBenchRun, error) {
-			run := ClusterBenchRun{Nodes: n, Phase: phase, Batches: batches}
-			shards := map[string]bool{}
-			start := time.Now()
-			for b := 0; b < batches; b++ {
-				resp, err := bc.client.Batch(ctx, req)
-				if err != nil {
-					return run, fmt.Errorf("%d nodes, %s batch %d: %w", n, phase, b, err)
-				}
-				run.Queries += len(resp.Items)
-				run.CacheHits += resp.CacheHits
-				for i, it := range resp.Items {
-					if it.Solve == nil {
-						return run, fmt.Errorf("%d nodes, %s: item %d missing result: %+v", n, phase, i, it)
-					}
-					shards[it.Node] = true
-					switch it.Solve.Status {
-					case smt.Timeout.String():
-						run.Degraded++
-					case corpus[i].want.String():
-					default:
-						report.Mismatches++
-					}
-				}
-			}
-			wall := time.Since(start)
-			run.WallMS = durMSf(wall)
-			if wall > 0 {
-				run.Throughput = float64(run.Queries) / wall.Seconds()
-			}
-			run.ShardsUsed = len(shards)
-			return run, nil
-		}
-
-		cold, err := runPhase("cold", 1)
+		cold, mm, err := runClusterPhase(ctx, bc, req, corpus, n, "cold", 1)
+		report.Mismatches += mm
 		if err == nil {
 			var warm ClusterBenchRun
-			warm, err = runPhase("warm", cfg.WarmRepeats)
+			warm, mm, err = runClusterPhase(ctx, bc, req, corpus, n, "warm", cfg.WarmRepeats)
+			report.Mismatches += mm
 			if err == nil {
 				report.Runs = append(report.Runs, cold, warm)
 				key := fmt.Sprintf("%d", n)
@@ -290,6 +363,60 @@ func RunClusterBench(cfg ClusterBenchConfig) (ClusterBenchReport, error) {
 		if err != nil {
 			return report, err
 		}
+	}
+
+	// Warm-restart pricing: the largest cluster again, this time with a
+	// persistent verdict store per node. "store-cold" fills the logs
+	// from scratch; the cluster is then fully torn down (a clean close
+	// drains the group commits onto disk) and rebooted from the same
+	// directories on the same addresses, and "store-restart" measures
+	// the identical batch served from recovered state — fresh
+	// processes, cold LRUs, warm disks.
+	nMax := 0
+	for _, n := range cfg.NodeCounts {
+		if n > nMax {
+			nMax = n
+		}
+	}
+	storeDirs := make([]string, nMax)
+	for i := range storeDirs {
+		dir, err := os.MkdirTemp("", "mbabench-store-")
+		if err != nil {
+			return report, fmt.Errorf("store dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		storeDirs[i] = dir
+	}
+
+	bc, err := bootBenchCluster(cfg, nMax, storeDirs, nil)
+	if err != nil {
+		return report, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	storeCold, mm, err := runClusterPhase(ctx, bc, req, corpus, nMax, "store-cold", 1)
+	report.Mismatches += mm
+	cancel()
+	addrs := bc.addrs
+	bc.close()
+	if err != nil {
+		return report, err
+	}
+
+	bc, err = bootBenchCluster(cfg, nMax, storeDirs, addrs)
+	if err != nil {
+		return report, err
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 10*time.Minute)
+	storeRestart, mm, err := runClusterPhase(ctx, bc, req, corpus, nMax, "store-restart", 1)
+	report.Mismatches += mm
+	cancel()
+	bc.close()
+	if err != nil {
+		return report, err
+	}
+	report.Runs = append(report.Runs, storeCold, storeRestart)
+	if storeRestart.WallMS > 0 {
+		report.RestartSpeedup = storeCold.WallMS / storeRestart.WallMS
 	}
 	return report, nil
 }

@@ -3,7 +3,8 @@ package harness
 import "testing"
 
 // TestClusterBenchSmoke runs a miniature cluster benchmark end to end:
-// real nodes, a real router, cold and warm phases at two node counts.
+// real nodes, a real router, cold and warm phases at two node counts,
+// then the store-backed stop-and-reboot cycle at the largest count.
 // Zero verdict mismatches and zero degraded items are hard assertions
 // — this is the distributed differential test ci.sh leans on.
 func TestClusterBenchSmoke(t *testing.T) {
@@ -21,8 +22,8 @@ func TestClusterBenchSmoke(t *testing.T) {
 	if report.Mismatches != 0 {
 		t.Fatalf("%d verdict mismatches across the cluster", report.Mismatches)
 	}
-	if len(report.Runs) != 4 {
-		t.Fatalf("%d runs, want cold+warm at 2 node counts", len(report.Runs))
+	if len(report.Runs) != 6 {
+		t.Fatalf("%d runs, want cold+warm at 2 node counts plus store-cold+store-restart", len(report.Runs))
 	}
 	for _, run := range report.Runs {
 		if run.Degraded != 0 {
@@ -31,11 +32,27 @@ func TestClusterBenchSmoke(t *testing.T) {
 		if run.Queries == 0 || run.Throughput <= 0 {
 			t.Fatalf("%d nodes %s: empty run %+v", run.Nodes, run.Phase, run)
 		}
-		if run.Phase == "warm" && run.CacheHits == 0 {
-			t.Fatalf("%d nodes warm: identical batch missed every shard cache", run.Nodes)
+		switch run.Phase {
+		case "warm":
+			if run.CacheHits == 0 {
+				t.Fatalf("%d nodes warm: identical batch missed every shard cache", run.Nodes)
+			}
+		case "store-cold":
+			if run.StoreHits != 0 {
+				t.Fatalf("store-cold: %d store hits from an empty store", run.StoreHits)
+			}
+		case "store-restart":
+			// Same addresses, same ring: every query must return to the
+			// node whose recovered log holds its verdict.
+			if run.StoreHits != run.Queries {
+				t.Fatalf("store-restart: %d of %d queries served from the store", run.StoreHits, run.Queries)
+			}
 		}
 		if run.Nodes == 2 && run.Phase == "cold" && run.ShardsUsed < 2 {
 			t.Fatalf("2-node cold run used %d shards — ring not splitting", run.ShardsUsed)
 		}
+	}
+	if report.RestartSpeedup <= 0 {
+		t.Fatalf("restart speedup %v, want > 0", report.RestartSpeedup)
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"mbasolver/internal/metrics"
 	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
+	"mbasolver/internal/store"
 )
 
 // ExprMetrics is the wire form of the paper's complexity metrics
@@ -306,6 +307,10 @@ type MetricsSnapshot struct {
 	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
 	Cache      CacheSnapshot               `json:"cache"`
 	Pool       PoolSnapshot                `json:"pool"`
+	// Store reports the persistent verdict store (hits, misses,
+	// recovery and poisoning counters); omitted when the node runs
+	// memory-only.
+	Store *store.Snapshot `json:"store,omitempty"`
 	// Verdicts counts outcomes per solver personality, e.g.
 	// {"btorsim": {"equivalent": 12, "timeout": 1}}.
 	Verdicts map[string]map[string]int64 `json:"verdicts"`

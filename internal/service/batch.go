@@ -442,6 +442,12 @@ func (s *Server) batchCacheGet(g *batchGroup) bool {
 			g.solveResp = &cp
 			return true
 		}
+		if r := s.storeGetSolve(key); r != nil {
+			cp := *r
+			cp.Cached = true
+			g.solveResp = &cp
+			return true
+		}
 		return false
 	}
 	if g.classify {
@@ -451,10 +457,22 @@ func (s *Server) batchCacheGet(g *batchGroup) bool {
 			g.classResp = &cp
 			return true
 		}
+		if r := s.storeGetClassify(g.key, g.samples); r != nil {
+			cp := *r
+			cp.Cached = true
+			g.classResp = &cp
+			return true
+		}
 		return false
 	}
 	if v, ok := s.cache.Get(g.key); ok {
 		cp := *v.(*SimplifyResponse)
+		cp.Cached = true
+		g.simpResp = &cp
+		return true
+	}
+	if r := s.storeGetSimplify(g.key); r != nil {
+		cp := *r
 		cp.Cached = true
 		g.simpResp = &cp
 		return true
@@ -511,7 +529,9 @@ func (s *Server) runBatchGroup(r *http.Request, g *batchGroup, deadline time.Tim
 	switch {
 	case g.solve:
 		if g.solveResp.Status != smt.Timeout.String() {
-			s.cache.Put(solveKey(g.width, expr.Hash(g.a), expr.Hash(g.b)), g.solveResp)
+			key := solveKey(g.width, expr.Hash(g.a), expr.Hash(g.b))
+			s.cache.Put(key, g.solveResp)
+			s.persistSolve(key, g.solveResp)
 		}
 	case g.classify:
 		if g.samples == 0 || len(g.classResp.Samples) == g.samples {
@@ -520,10 +540,12 @@ func (s *Server) runBatchGroup(r *http.Request, g *batchGroup, deadline time.Tim
 			// out of the cache; classify has no Status field to test.
 			//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
 			s.cache.Put(g.key, g.classResp)
+			s.persistClassify(g.key, g.samples, g.classResp)
 		}
 	default:
 		if g.simpResp.Verify == nil || g.simpResp.Verify.Status != smt.Timeout.String() {
 			s.cache.Put(g.key, g.simpResp)
+			s.persistSimplify(g.key, g.simpResp)
 		}
 	}
 }

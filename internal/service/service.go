@@ -19,16 +19,21 @@ import (
 	"mbasolver/internal/parser"
 	"mbasolver/internal/portfolio"
 	"mbasolver/internal/smt"
+	"mbasolver/internal/store"
 )
 
 // Fault-injection sites (no-ops unless a chaos plan arms them):
 // service.admit simulates allocation failure at queue admission (the
 // request sheds with 429 exactly like a full queue); service.worker
 // panics inside the worker body, exercising the per-task containment
-// that keeps the worker alive.
+// that keeps the worker alive; service.stop raises the task's stop
+// flag at dispatch, simulating a client that disconnected while the
+// task sat in the queue — the deterministic way to produce truncated
+// classify sample blocks and budget-exhausted solves in tests.
 var (
 	siteAdmit  = fault.NewSite("service.admit")
 	siteWorker = fault.NewSite("service.worker")
+	siteStop   = fault.NewSite("service.stop")
 )
 
 // Config sizes the service. The zero value yields sensible defaults.
@@ -92,6 +97,12 @@ type Config struct {
 	// (default 256). Larger batches are rejected with 400 so a single
 	// call cannot pin the pool for minutes past every deadline.
 	MaxBatchItems int
+	// Store is the optional persistent verdict store consulted behind
+	// the LRU and written through on definitive answers (nil =
+	// memory-only). The server shares it read/write with its workers but
+	// does not own its lifecycle: the caller Opens it before New and
+	// Closes it after Shutdown.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -211,6 +222,7 @@ type Server struct {
 	cfg     Config
 	met     *serverMetrics
 	cache   *Cache
+	store   *store.Store // second-level persistent lookup; nil = memory-only
 	queue   chan *task
 	down    chan struct{} // closed on shutdown; cancels in-flight budgets
 	closing atomic.Bool
@@ -228,6 +240,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		met:     newServerMetrics(PathSimplify, PathSolve, PathClassify, PathBatch, PathHealth, PathReady, PathMetrics),
 		cache:   NewCache(cfg.CacheSize),
+		store:   cfg.Store,
 		queue:   make(chan *task, cfg.QueueDepth),
 		down:    make(chan struct{}),
 		solvers: map[string]*smt.Solver{},
@@ -276,7 +289,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
 	}
-	return s.met.snapshot(s.cache.Snapshot(), pool)
+	snap := s.met.snapshot(s.cache.Snapshot(), pool)
+	if s.store != nil {
+		st := s.store.Snapshot()
+		snap.Store = &st
+	}
+	return snap
 }
 
 // Shutdown stops admitting work, cancels in-flight solves via their
@@ -397,6 +415,12 @@ func (s *Server) runTask(w *workerCtx, t *task) {
 	}()
 	if siteWorker.Fire() {
 		fault.PanicAt("service.worker")
+	}
+	if siteStop.Fire() {
+		// Simulated client-gone-at-dispatch: the task runs under a
+		// pre-raised stop flag, so solves return budget timeouts and
+		// classify sample runs come back truncated — deterministically.
+		stop.Store(true)
 	}
 	t.run(w)
 }
@@ -601,6 +625,13 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, &resp)
 		return
 	}
+	if sr := s.storeGetSimplify(key); sr != nil {
+		resp := *sr
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
+		return
+	}
 
 	deadline := start.Add(s.timeout(0))
 	var resp *SimplifyResponse
@@ -618,6 +649,7 @@ func (s *Server) handleSimplify(w http.ResponseWriter, r *http.Request) {
 	// responses stay uncached so a retry gets a fresh proof attempt.
 	if resp.Verify == nil || resp.Verify.Status != smt.Timeout.String() {
 		s.cache.Put(key, resp)
+		s.persistSimplify(key, resp)
 	}
 	out := *resp
 	out.ElapsedMS = durMS(time.Since(start))
@@ -797,6 +829,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, &resp)
 		return
 	}
+	if sr := s.storeGetSolve(key); sr != nil {
+		resp := *sr
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
+		return
+	}
 
 	conflicts := req.Conflicts
 	if conflicts == 0 {
@@ -820,9 +859,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Verdicts are semantic facts; timeouts are budget artifacts. Cache
-	// only the former.
+	// (and persist) only the former.
 	if resp.Status != smt.Timeout.String() {
 		s.cache.Put(key, resp)
+		s.persistSolve(key, resp)
 	}
 	out := *resp
 	out.ElapsedMS = durMS(time.Since(start))
@@ -916,6 +956,13 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, &resp)
 		return
 	}
+	if sr := s.storeGetClassify(key, samples); sr != nil {
+		resp := *sr
+		resp.Cached = true
+		resp.ElapsedMS = durMS(time.Since(start))
+		writeJSON(w, status, &resp)
+		return
+	}
 
 	// Classification shares the admission path so overload protection is
 	// uniform across endpoints; with sampling requested the work is no
@@ -937,6 +984,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if samples == 0 || len(resp.Samples) == samples {
 		//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
 		s.cache.Put(key, resp)
+		s.persistClassify(key, samples, resp)
 	}
 	out := *resp
 	out.ElapsedMS = durMS(time.Since(start))

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"encoding/json"
+
+	"mbasolver/internal/smt"
+)
+
+// This file is the bridge between the request handlers and the
+// persistent verdict store (internal/store): a second-level lookup
+// behind the in-memory LRU, and write-through persistence for
+// definitive answers.
+//
+// Lookup order on every cacheable path (single handlers and the batch
+// executor) is LRU → store → solve. A store hit is promoted into the
+// LRU so the disk is touched once per process per key.
+//
+// The never-persist invariants live here, enforced on BOTH directions:
+//
+//   - Persist: timeouts and Unknown verdicts are budget artifacts, a
+//     fault-injected run degrades to exactly those shapes (contained
+//     panics never produce a response at all), and a truncated
+//     classify sample block is a partial answer — none may outlive the
+//     process, so every store.Put sits under the same timeout guard
+//     the LRU writes use (machine-checked by mbalint's reasoncheck).
+//   - Recall: the store file is just bytes on disk — hand-edited,
+//     bit-rotted within a CRC-valid frame, or written by a future
+//     buggy version — so a recalled entry that violates the invariants
+//     is treated as a miss instead of being served or promoted.
+
+// storeGetSolve recalls a solve verdict from the persistent store,
+// promoting it into the LRU. Returns nil on miss, undecodable bytes,
+// or an entry that violates the never-persist invariants.
+func (s *Server) storeGetSolve(key string) *SolveResponse {
+	if s.store == nil {
+		return nil
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	resp := &SolveResponse{}
+	if err := json.Unmarshal(data, resp); err != nil || resp.Status == "" {
+		return nil
+	}
+	if resp.Status != smt.Timeout.String() {
+		s.cache.Put(key, resp)
+		return resp
+	}
+	return nil // a persisted timeout violates the invariant; refuse it
+}
+
+// storeGetSimplify recalls a simplification from the persistent store,
+// promoting it into the LRU.
+func (s *Server) storeGetSimplify(key string) *SimplifyResponse {
+	if s.store == nil {
+		return nil
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	resp := &SimplifyResponse{}
+	if err := json.Unmarshal(data, resp); err != nil || resp.Simplified == "" {
+		return nil
+	}
+	if resp.Verify == nil || resp.Verify.Status != smt.Timeout.String() {
+		s.cache.Put(key, resp)
+		return resp
+	}
+	return nil
+}
+
+// storeGetClassify recalls a classify answer from the persistent
+// store, promoting it into the LRU. samples is the request's resolved
+// sample count: an entry with a shorter block is a persisted truncated
+// answer and is refused.
+func (s *Server) storeGetClassify(key string, samples int) *ClassifyResponse {
+	if s.store == nil {
+		return nil
+	}
+	data, ok := s.store.Get(key)
+	if !ok {
+		return nil
+	}
+	resp := &ClassifyResponse{}
+	if err := json.Unmarshal(data, resp); err != nil || resp.Hash == "" {
+		return nil
+	}
+	if samples == 0 || len(resp.Samples) == samples {
+		//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
+		s.cache.Put(key, resp)
+		return resp
+	}
+	return nil
+}
+
+// persistSolve writes a definitive solve verdict through to the
+// persistent store. The guard repeats the caller's LRU guard on
+// purpose: the two layers must agree even if one call site drifts.
+func (s *Server) persistSolve(key string, resp *SolveResponse) {
+	if s.store == nil || resp == nil {
+		return
+	}
+	if resp.Status != smt.Timeout.String() && resp.Reason != ReasonUnavailable {
+		if data, err := json.Marshal(resp); err == nil {
+			s.store.Put(key, data)
+		}
+	}
+}
+
+// persistSimplify writes a simplification through to the persistent
+// store; one with a timed-out verification stays memory-only so a
+// retry after restart gets a fresh proof attempt.
+func (s *Server) persistSimplify(key string, resp *SimplifyResponse) {
+	if s.store == nil || resp == nil {
+		return
+	}
+	if resp.Verify == nil || resp.Verify.Status != smt.Timeout.String() {
+		if data, err := json.Marshal(resp); err == nil {
+			s.store.Put(key, data)
+		}
+	}
+}
+
+// persistClassify writes a classify answer through to the persistent
+// store. A short sample block is the classify shape of a timeout (the
+// stop flag fired mid-run) and must never reach disk.
+func (s *Server) persistClassify(key string, samples int, resp *ClassifyResponse) {
+	if s.store == nil || resp == nil {
+		return
+	}
+	if samples == 0 || len(resp.Samples) == samples {
+		if data, err := json.Marshal(resp); err == nil {
+			//lint:ignore reasoncheck the truncation guard is the timeout check for sample blocks
+			s.store.Put(key, data)
+		}
+	}
+}

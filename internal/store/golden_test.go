@@ -1,0 +1,165 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRecordEncodingGolden pins the on-disk frame encoding to the hex
+// vectors in testdata/records.golden. A diff here means the format
+// changed: bump the log header magic so old logs recover as empty
+// instead of misparsing, and regenerate the vectors deliberately.
+func TestRecordEncodingGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "records.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	checked := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 3 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		key, val, wantHex := parts[0], parts[1], parts[2]
+		got := hex.EncodeToString(encodeRecord(key, []byte(val)))
+		if got != wantHex {
+			t.Errorf("encodeRecord(%q, %q):\n got %s\nwant %s", key, val, got, wantHex)
+		}
+		checked++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if checked != 3 {
+		t.Fatalf("checked %d golden frames, want 3", checked)
+	}
+}
+
+// loadHexFixture decodes a testdata hex log (comment lines stripped)
+// into a fresh store directory and returns the directory.
+func loadHexFixture(t *testing.T, name string) string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		b, err := hex.DecodeString(line)
+		if err != nil {
+			t.Fatalf("%s: bad hex line %q: %v", name, line, err)
+		}
+		buf.Write(b)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRecoveryCRCMismatchFixture replays the pinned log whose second
+// record fails its CRC: recovery must keep exactly the first record,
+// truncate the rest, and still start.
+func TestRecoveryCRCMismatchFixture(t *testing.T) {
+	dir := loadHexFixture(t, "log_crc_mismatch.hex")
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open on corrupt log: %v", err)
+	}
+	defer s.Close()
+
+	snap := s.Snapshot()
+	if snap.Recovered != 1 || snap.Truncated != 1 {
+		t.Fatalf("recovered=%d truncated=%d, want 1 and 1", snap.Recovered, snap.Truncated)
+	}
+	if v, ok := s.Get("solve|w8|k1"); !ok || string(v) != `{"status":"equivalent","width":8}` {
+		t.Fatalf("first record not recovered intact: %q ok=%v", v, ok)
+	}
+	// The corrupt record and everything after it must be gone.
+	for _, key := range []string{"simplify|w8|k2", "classify|w8|k3"} {
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("%s survived recovery past a corrupt frame", key)
+		}
+	}
+	// The truncation is physical: a second recovery sees a clean log.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if snap := s2.Snapshot(); snap.Recovered != 1 || snap.Truncated != 0 {
+		t.Fatalf("second recovery: recovered=%d truncated=%d, want 1 and 0", snap.Recovered, snap.Truncated)
+	}
+}
+
+// TestRecoveryTornTailFixture replays the pinned log whose last frame
+// is torn mid-write: both whole records survive, the tail is cut.
+func TestRecoveryTornTailFixture(t *testing.T) {
+	dir := loadHexFixture(t, "log_torn_tail.hex")
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open on torn log: %v", err)
+	}
+	defer s.Close()
+
+	snap := s.Snapshot()
+	if snap.Recovered != 2 || snap.Truncated != 1 {
+		t.Fatalf("recovered=%d truncated=%d, want 2 and 1", snap.Recovered, snap.Truncated)
+	}
+	if v, ok := s.Get("simplify|w8|k2"); !ok || string(v) != `{"simplified":"x+y"}` {
+		t.Fatalf("second record not recovered intact: %q ok=%v", v, ok)
+	}
+	if _, ok := s.Get("classify|w8|k3"); ok {
+		t.Fatal("torn record served after recovery")
+	}
+}
+
+// TestRecoveryBadHeader quarantines a log whose magic is wrong: the
+// store starts empty rather than refusing to boot or misparsing.
+func TestRecoveryBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("NOTALOG0garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open on bad header: %v", err)
+	}
+	defer s.Close()
+	snap := s.Snapshot()
+	if snap.Recovered != 0 || snap.Truncated != 1 || snap.Entries != 0 {
+		t.Fatalf("recovered=%d truncated=%d entries=%d, want 0/1/0", snap.Recovered, snap.Truncated, snap.Entries)
+	}
+	// The quarantined log must be writable again.
+	s.Put("k", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, ok := s2.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("write after quarantine did not survive restart: %q ok=%v", v, ok)
+	}
+}

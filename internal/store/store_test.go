@@ -1,0 +1,446 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"mbasolver/internal/fault"
+	"mbasolver/internal/leakcheck"
+)
+
+// openT opens a store and registers its Close with the test, after a
+// leak check: the group-commit writer goroutine must be gone by the
+// time the test ends (stop channel + WaitGroup.Wait in Close).
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s
+}
+
+// waitDrained waits for the writer to consume the pending queue.
+func waitDrained(t *testing.T, s *Store) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.pending) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("writer never drained %d pending records", len(s.pending))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRoundtripAcrossRestart(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprintf("solve|w8|key%03d", i), []byte(fmt.Sprintf(`{"status":"equivalent","i":%d}`, i)))
+	}
+	if got, ok := s.Get("solve|w8|key042"); !ok || string(got) != `{"status":"equivalent","i":42}` {
+		t.Fatalf("read-your-write failed: %q ok=%v", got, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openT(t, dir, Options{})
+	snap := s2.Snapshot()
+	if snap.Recovered != n || snap.Truncated != 0 || snap.Entries != n {
+		t.Fatalf("recovered=%d truncated=%d entries=%d, want %d/0/%d",
+			snap.Recovered, snap.Truncated, snap.Entries, n, n)
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("solve|w8|key%03d", i)
+		want := fmt.Sprintf(`{"status":"equivalent","i":%d}`, i)
+		if got, ok := s2.Get(key); !ok || string(got) != want {
+			t.Fatalf("%s: %q ok=%v, want %q", key, got, ok, want)
+		}
+	}
+}
+
+// TestLastWriteWinsOnRecovery checks duplicate keys replay in append
+// order: the newest value is the one recovered.
+func TestLastWriteWinsOnRecovery(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("old"))
+	s.Put("k", []byte("new"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := openT(t, dir, Options{})
+	if v, ok := s2.Get("k"); !ok || string(v) != "new" {
+		t.Fatalf("recovered %q ok=%v, want \"new\"", v, ok)
+	}
+}
+
+// TestKillAtRandomOffset simulates a SIGKILL at every interesting
+// point of the log: for a deterministic series of offsets, a copy of
+// a pristine log is truncated there and reopened. Recovery must
+// always start, recover a prefix of the original records intact, and
+// never serve a damaged value.
+func TestKillAtRandomOffset(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	base := t.TempDir()
+	s, err := Open(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	want := map[string]string{}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("solve|w8|key%02d", i)
+		val := fmt.Sprintf(`{"status":"equivalent","i":%d}`, i)
+		want[key] = val
+		s.Put(key, []byte(val))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(filepath.Join(base, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// splitmix64 offsets: deterministic, scattered over the whole file.
+	rng := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		rng += 0x9E3779B97F4A7C15
+		z := rng
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	for trial := 0; trial < 24; trial++ {
+		cut := int(next() % uint64(len(pristine)+1))
+		t.Run(fmt.Sprintf("cut@%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, logName), pristine[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			s2 := openT(t, dir, Options{})
+			snap := s2.Snapshot()
+			if snap.Recovered > n {
+				t.Fatalf("recovered %d records from a log of %d", snap.Recovered, n)
+			}
+			// Every recovered value must be byte-identical to the original
+			// write — a truncated log may lose the tail, never corrupt it.
+			got := 0
+			s2.Range(func(key string, val []byte) bool {
+				if want[key] != string(val) {
+					t.Errorf("key %s recovered as %q, want %q", key, val, want[key])
+				}
+				got++
+				return true
+			})
+			if int64(got) != snap.Recovered {
+				t.Fatalf("index has %d entries, snapshot says %d recovered", got, snap.Recovered)
+			}
+		})
+	}
+}
+
+// TestWriteFailurePoisonsStore arms an always-failing write site: the
+// store must poison itself after the threshold and keep serving from
+// memory — Gets still hit, Puts still land in the index, the node
+// never sees an error.
+func TestWriteFailurePoisonsStore(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	defer fault.Disable()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{PoisonThreshold: 3})
+
+	if err := fault.EnableSpec("store.write:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	waitDrained(t, s)
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Snapshot().Poisoned {
+		if time.Now().After(deadline) {
+			t.Fatalf("store never poisoned after repeated write failures: %+v", s.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fault.Disable()
+
+	// Memory-only degradation: everything written is still served.
+	for i := 0; i < 6; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d lost after poisoning; the index must keep serving", i)
+		}
+	}
+	s.Put("late", []byte("v"))
+	if _, ok := s.Get("late"); !ok {
+		t.Fatal("Put after poisoning must still land in memory")
+	}
+	snap := s.Snapshot()
+	if snap.WriteErrors < 3 {
+		t.Fatalf("write_errors=%d, want >= 3", snap.WriteErrors)
+	}
+}
+
+// TestFsyncFailurePoisonsStore does the same through the group-commit
+// path: failing fsyncs accumulate to poison, without data loss in
+// memory.
+func TestFsyncFailurePoisonsStore(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	defer fault.Disable()
+	dir := t.TempDir()
+	s := openT(t, dir, Options{PoisonThreshold: 2, SyncInterval: time.Millisecond})
+
+	if err := fault.EnableSpec("store.fsync:every=1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+		time.Sleep(3 * time.Millisecond) // separate commits so failures accumulate
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Snapshot().Poisoned {
+		if time.Now().After(deadline) {
+			t.Fatalf("store never poisoned after repeated fsync failures: %+v", s.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fault.Disable()
+	if snap := s.Snapshot(); snap.SyncErrors < 2 {
+		t.Fatalf("sync_errors=%d, want >= 2", snap.SyncErrors)
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("k%d lost after fsync poisoning", i)
+		}
+	}
+}
+
+// TestShortWriteRepairsTail tears one append mid-frame: the writer
+// must truncate the torn bytes so later appends produce a clean log,
+// and a restart must recover every record that reported success.
+func TestShortWriteRepairsTail(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	defer fault.Disable()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Put("k0", []byte("v0"))
+	if err := s.Close(); err != nil { // drain + sync: k0 is durable
+		t.Fatal(err)
+	}
+
+	// Arm the tear for exactly one write. The single writer consumes the
+	// queue in FIFO order, so k1's append fires the site and k2's lands
+	// cleanly after the repair.
+	if err := fault.EnableSpec("store.write.short:hit=1"); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k1", []byte("v1")) // torn on disk, repaired, memory-only
+	s.Put("k2", []byte("v2")) // must land cleanly after the repair
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disable()
+
+	s2 := openT(t, dir, Options{})
+	snap := s2.Snapshot()
+	if snap.Truncated != 0 {
+		t.Fatalf("recovery truncated %d time(s); the writer should have repaired the torn tail", snap.Truncated)
+	}
+	if _, ok := s2.Get("k0"); !ok {
+		t.Fatal("k0 lost")
+	}
+	if _, ok := s2.Get("k2"); !ok {
+		t.Fatal("k2 lost: the log was left unusable after the torn write")
+	}
+	if _, ok := s2.Get("k1"); ok {
+		t.Fatal("k1's torn write must not have survived")
+	}
+}
+
+// TestBitFlipDetectedAtRecovery writes one silently corrupted frame:
+// the write "succeeds", so only the next recovery scan can notice —
+// and it must cut the log there, keeping the intact prefix.
+func TestBitFlipDetectedAtRecovery(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	defer fault.Disable()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k0", []byte("v0"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.EnableSpec("store.write.flip:hit=1"); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k1", []byte("v1")) // bit-flipped on disk (FIFO: first append fires)
+	s.Put("k2", []byte("v2")) // after the corruption, lost at recovery
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fault.Disable()
+
+	s2 := openT(t, dir, Options{})
+	snap := s2.Snapshot()
+	if snap.Recovered != 1 || snap.Truncated != 1 {
+		t.Fatalf("recovered=%d truncated=%d, want 1 and 1", snap.Recovered, snap.Truncated)
+	}
+	if v, ok := s2.Get("k0"); !ok || string(v) != "v0" {
+		t.Fatalf("k0: %q ok=%v", v, ok)
+	}
+	for _, key := range []string{"k1", "k2"} {
+		if _, ok := s2.Get(key); ok {
+			t.Fatalf("%s served from a log with a corrupt middle", key)
+		}
+	}
+}
+
+// TestInjectedRecoveryCorruption arms the recovery-read site: the scan
+// sees a flipped bit, truncates there, and the store still opens.
+func TestInjectedRecoveryCorruption(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	defer fault.Disable()
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := fault.EnableSpec("store.recover:hit=3"); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	fault.Disable()
+	if err != nil {
+		t.Fatalf("Open must survive injected recovery corruption: %v", err)
+	}
+	snap := s2.Snapshot()
+	if snap.Recovered != 2 || snap.Truncated != 1 {
+		t.Fatalf("recovered=%d truncated=%d, want 2 and 1", snap.Recovered, snap.Truncated)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The rot was injected into the read path, not the disk... but the
+	// scan truncated the log as if real, so a clean reopen sees exactly
+	// the surviving prefix.
+	s3 := openT(t, dir, Options{})
+	if snap := s3.Snapshot(); snap.Recovered != 2 || snap.Truncated != 0 {
+		t.Fatalf("clean reopen: recovered=%d truncated=%d, want 2 and 0", snap.Recovered, snap.Truncated)
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the store from many
+// goroutines under -race: the index must stay consistent and the
+// writer must keep up.
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	s := openT(t, dir, Options{})
+
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				s.Put(key, []byte(key))
+				if v, ok := s.Get(key); !ok || string(v) != key {
+					t.Errorf("%s: read-your-write got %q ok=%v", key, v, ok)
+					return
+				}
+				s.Get(fmt.Sprintf("w%d-k%d", (w+1)%workers, i)) // racing cross-reads
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := s.Len(); n != workers*perWorker {
+		t.Fatalf("entries=%d, want %d", n, workers*perWorker)
+	}
+}
+
+// TestPutAfterCloseDropped: a closed store keeps serving Gets but
+// drops Puts instead of racing the closed file.
+func TestPutAfterCloseDropped(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("k", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close must be idempotent: %v", err)
+	}
+	before := s.Snapshot().Dropped
+	s.Put("late", []byte("v"))
+	if s.Snapshot().Dropped != before+1 {
+		t.Fatal("Put after Close must be counted as dropped")
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "v" {
+		t.Fatalf("Get after Close: %q ok=%v", v, ok)
+	}
+}
+
+// TestOversizedRecordDropped: records beyond MaxRecordBytes never
+// reach the log (recovery would treat their length as corruption).
+func TestOversizedRecordDropped(t *testing.T) {
+	t.Cleanup(leakcheck.Check(t))
+	dir := t.TempDir()
+	s := openT(t, dir, Options{MaxRecordBytes: 64})
+	s.Put("big", make([]byte, 128))
+	if s.Snapshot().Dropped != 1 {
+		t.Fatal("oversized record must be dropped")
+	}
+	if _, ok := s.Get("big"); ok {
+		t.Fatal("oversized record must not be indexed either")
+	}
+}

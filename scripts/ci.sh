@@ -170,3 +170,84 @@ for i in 1 2 3; do
 done
 trap 'rm -rf "$bin"' EXIT
 echo "ci: cluster smoke ok"
+
+# --- store crash-restart smoke ----------------------------------------
+# The crash-safety contract, end to end on a live process: boot with a
+# persistent store, fill it via the selfcheck, SIGKILL the server (no
+# drain, no store Close — whatever the group-commit ticker had flushed
+# is all the disk gets), then reboot from the same directory. The
+# second boot must log a recovery line, and the second selfcheck —
+# running with -expect-store-recovered — must see its deterministic
+# queries answered from disk (store hits > 0) without pool admissions.
+storedir="$bin/store"
+mkdir -p "$storedir"
+
+slog="$bin/store-boot1.log"
+"$bin/mbaserved" -addr 127.0.0.1:0 -store "$storedir" >"$slog" 2>&1 &
+srv=$!
+trap 'kill -9 "$srv" 2>/dev/null || true; rm -rf "$bin"' EXIT
+target=""
+for _ in $(seq 1 100); do
+    target=$(sed -n 's/^mbaserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$slog")
+    [ -n "$target" ] && break
+    if ! kill -0 "$srv" 2>/dev/null; then
+        echo "ci: mbaserved (-store, boot 1) died during startup" >&2
+        cat "$slog" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$target" ]; then
+    echo "ci: mbaserved (-store, boot 1) never announced its listen address" >&2
+    cat "$slog" >&2
+    exit 1
+fi
+
+"$bin/mbaserved" -selfcheck -target "$target"
+
+# Give the group-commit ticker a beat to fsync the selfcheck's verdicts,
+# then kill without ceremony: SIGKILL is the crash the store exists for.
+sleep 0.5
+kill -9 "$srv"
+wait "$srv" 2>/dev/null || true
+
+slog2="$bin/store-boot2.log"
+"$bin/mbaserved" -addr 127.0.0.1:0 -store "$storedir" >"$slog2" 2>&1 &
+srv=$!
+trap 'kill -9 "$srv" 2>/dev/null || true; rm -rf "$bin"' EXIT
+target=""
+for _ in $(seq 1 100); do
+    target=$(sed -n 's/^mbaserved: listening on \(http:\/\/[^ ]*\)$/\1/p' "$slog2")
+    [ -n "$target" ] && break
+    if ! kill -0 "$srv" 2>/dev/null; then
+        echo "ci: mbaserved (-store, boot 2) died during startup after SIGKILL" >&2
+        cat "$slog2" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$target" ]; then
+    echo "ci: mbaserved (-store, boot 2) never announced its listen address" >&2
+    cat "$slog2" >&2
+    exit 1
+fi
+
+# The second boot must have replayed a non-empty log: the recovery line
+# precedes the listening line and reports a non-zero record count.
+if ! grep -Eq '^mbaserved: store .*: recovered [1-9][0-9]* record\(s\)' "$slog2"; then
+    echo "ci: second boot did not recover any records from $storedir" >&2
+    cat "$slog2" >&2
+    exit 1
+fi
+
+"$bin/mbaserved" -selfcheck -target "$target" -expect-store-recovered
+
+# This boot was warm: graceful shutdown must still drain and exit 0.
+kill -TERM "$srv"
+if ! wait "$srv"; then
+    echo "ci: mbaserved (-store, boot 2) did not exit cleanly on SIGTERM" >&2
+    cat "$slog2" >&2
+    exit 1
+fi
+trap 'rm -rf "$bin"' EXIT
+echo "ci: store crash-restart smoke ok"
